@@ -1,0 +1,60 @@
+// Ablation — attacker budget vs success.  The paper's constraint model
+// (§II-A) caps the attacker's total removal cost; this sweep shows the
+// success-rate curve and where each algorithm's plans start fitting.
+#include <iostream>
+
+#include "attack/algorithms.hpp"
+#include "attack/models.hpp"
+#include "citygen/generate.hpp"
+#include "core/env.hpp"
+#include "core/table.hpp"
+#include "exp/scenario.hpp"
+
+int main() {
+  using namespace mts;
+  using attack::Algorithm;
+  using attack::AttackStatus;
+
+  const auto env = BenchEnv::from_environment();
+  const int trials = std::max(4, env.trials / 2);
+  const int path_rank = std::min(env.path_rank, 60);
+
+  const auto network = citygen::generate_city(citygen::City::SanFrancisco, env.scale, env.seed);
+  const auto weights = attack::make_weights(network, attack::WeightType::Time);
+  const auto costs = attack::make_costs(network, attack::CostType::Lanes);
+
+  Rng rng(env.seed ^ 0x77777777ULL);
+  exp::ScenarioOptions scenario_options;
+  scenario_options.path_rank = path_rank;
+  const auto scenarios = exp::sample_scenarios(network, weights, trials, rng, scenario_options);
+
+  Table table("Ablation — success rate vs budget (San Francisco, TIME, LANES)",
+              {"Budget", "LP-PathCover", "GreedyPathCover", "GreedyEdge", "GreedyEig"});
+
+  for (double budget : {2.0, 4.0, 6.0, 8.0, 12.0, 1e18}) {
+    std::vector<std::string> row = {budget > 1e17 ? "unlimited" : format_fixed(budget, 0)};
+    for (Algorithm algorithm : attack::kAllAlgorithms) {
+      int successes = 0;
+      for (const auto& scenario : scenarios) {
+        attack::ForcePathCutProblem problem;
+        problem.graph = &network.graph();
+        problem.weights = weights;
+        problem.costs = costs;
+        problem.source = scenario.source;
+        problem.target = scenario.target;
+        problem.p_star = scenario.p_star;
+        problem.seed_paths = scenario.prefix;
+        problem.budget = budget;
+        const auto result = run_attack(algorithm, problem);
+        if (result.status == AttackStatus::Success) ++successes;
+      }
+      row.push_back(std::to_string(successes) + "/" + std::to_string(scenarios.size()));
+    }
+    table.add_row(std::move(row));
+  }
+  table.render_text(std::cout);
+  table.save_csv("bench_results/ablation_budget.csv");
+  std::cout << "\nExpected shape: cover-based algorithms fit tighter budgets than the naive\n"
+               "ones because their plans cost less (Tables II-VIII).\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation — route interdiction (§II-A "slow all traffic between common
+// locations"): realized delay factor vs budget, exact greedy vs the
+// betweenness-guided heuristic.
+#include <iostream>
+
+#include "attack/interdiction.hpp"
+#include "attack/models.hpp"
+#include "citygen/generate.hpp"
+#include "core/env.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "graph/dijkstra.hpp"
+
+int main() {
+  using namespace mts;
+  using attack::InterdictionOptions;
+  using attack::InterdictionStrategy;
+
+  const auto env = BenchEnv::from_environment();
+  const int trials = std::max(4, env.trials / 2);
+
+  const auto network = citygen::generate_city(citygen::City::Chicago, env.scale, env.seed);
+  const auto& g = network.graph();
+  const auto weights = attack::make_weights(network, attack::WeightType::Time);
+  const auto costs = attack::make_costs(network, attack::CostType::Uniform);
+  const auto intersections = network.intersection_nodes();
+
+  Table table("Ablation — interdiction delay factor vs budget (Chicago, TIME, UNIFORM)",
+              {"Budget", "Greedy Mean", "Greedy Max", "Betweenness Mean", "Greedy Queries"});
+
+  Rng rng(env.seed ^ 0x2468aceULL);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  while (pairs.size() < static_cast<std::size_t>(trials)) {
+    const NodeId s = intersections[rng.uniform_index(intersections.size())];
+    const NodeId t = network.pois()[pairs.size() % network.pois().size()].node;
+    if (shortest_distance(g, weights, s, t) < kInfiniteDistance) pairs.emplace_back(s, t);
+  }
+
+  for (double budget : {2.0, 4.0, 8.0, 16.0}) {
+    RunningStats greedy_delay;
+    RunningStats betweenness_delay;
+    RunningStats queries;
+    for (const auto& [s, t] : pairs) {
+      InterdictionOptions greedy_options;
+      const auto greedy = interdict_route(g, weights, costs, s, t, budget, greedy_options);
+      greedy_delay.add(greedy.delay_factor());
+      queries.add(static_cast<double>(greedy.distance_queries));
+
+      InterdictionOptions b_options;
+      b_options.strategy = InterdictionStrategy::Betweenness;
+      const auto betweenness = interdict_route(g, weights, costs, s, t, budget, b_options);
+      betweenness_delay.add(betweenness.delay_factor());
+    }
+    table.add_row({format_fixed(budget, 0), format_fixed(greedy_delay.mean(), 3),
+                   format_fixed(greedy_delay.max(), 3),
+                   format_fixed(betweenness_delay.mean(), 3),
+                   format_fixed(queries.mean(), 0)});
+  }
+  table.render_text(std::cout);
+  table.save_csv("bench_results/ablation_interdiction.csv");
+  std::cout << "\nExpected shape: delay grows with budget; exact greedy >= the cheap\n"
+               "betweenness heuristic at every budget.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation — attack effort as a function of the forced path's rank.  The
+// paper fixes p* at the 100th shortest path; this sweep shows how ANER /
+// ACRE grow with rank (deeper alternatives need more roads blocked).
+#include <iostream>
+
+#include "attack/algorithms.hpp"
+#include "attack/models.hpp"
+#include "citygen/generate.hpp"
+#include "core/env.hpp"
+#include "core/table.hpp"
+#include "exp/scenario.hpp"
+
+int main() {
+  using namespace mts;
+  const auto env = BenchEnv::from_environment();
+  const int trials = std::max(2, env.trials / 3);
+
+  const auto network = citygen::generate_city(citygen::City::Chicago, env.scale, env.seed);
+  const auto weights = attack::make_weights(network, attack::WeightType::Time);
+  const auto costs = attack::make_costs(network, attack::CostType::Uniform);
+
+  Table table("Ablation — GreedyPathCover effort vs path rank (Chicago, TIME, UNIFORM)",
+              {"Path Rank", "ANER", "ACRE", "Avg Incr over shortest", "Avg Runtime"});
+
+  for (int rank : {10, 25, 50, 100, 200}) {
+    Rng rng(env.seed + static_cast<std::uint64_t>(rank));
+    exp::ScenarioOptions options;
+    options.path_rank = rank;
+    const auto scenarios = exp::sample_scenarios(network, weights, trials, rng, options);
+    double aner = 0.0;
+    double acre = 0.0;
+    double increase = 0.0;
+    double runtime = 0.0;
+    int n = 0;
+    for (const auto& scenario : scenarios) {
+      attack::ForcePathCutProblem problem;
+      problem.graph = &network.graph();
+      problem.weights = weights;
+      problem.costs = costs;
+      problem.source = scenario.source;
+      problem.target = scenario.target;
+      problem.p_star = scenario.p_star;
+      problem.seed_paths = scenario.prefix;
+      const auto result = run_attack(attack::Algorithm::GreedyPathCover, problem);
+      if (result.status != attack::AttackStatus::Success) continue;
+      aner += static_cast<double>(result.num_removed());
+      acre += result.total_cost;
+      increase += (scenario.p_star_length / scenario.shortest_length - 1.0) * 100.0;
+      runtime += result.seconds;
+      ++n;
+    }
+    if (n == 0) continue;
+    table.add_row({std::to_string(rank), format_fixed(aner / n, 2), format_fixed(acre / n, 2),
+                   format_fixed(increase / n, 2) + "%", format_fixed(runtime / n, 4)});
+  }
+  table.render_text(std::cout);
+  table.save_csv("bench_results/ablation_path_rank.csv");
+  std::cout << "\nExpected shape: ANER/ACRE grow with rank — deeper alternatives require\n"
+               "cutting more near-optimal routes.\n";
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Table I — city graph summaries: nodes, edges, average node degree,
+// plus shape metrics and the paper's reported values side by side.
+#include <iostream>
+
+#include "citygen/generate.hpp"
+#include "core/env.hpp"
+#include "core/table.hpp"
+#include "exp/paper_values.hpp"
+#include "graph/metrics.hpp"
+
+int main() {
+  using namespace mts;
+  const auto env = BenchEnv::from_environment();
+
+  Table table("Table I — City graph summaries (MTS_SCALE=" + format_fixed(env.scale, 2) + ")",
+              {"City", "Nodes", "Edges", "Avg Degree", "Orientation Order", "4-way Share",
+               "Paper Nodes", "Paper Edges", "Paper Avg Degree"});
+
+  for (citygen::City city : citygen::kAllCities) {
+    const auto network = citygen::generate_city(city, env.scale, env.seed);
+    const auto metrics = compute_network_metrics(network.graph());
+    const auto paper = exp::paper_table1(city);
+    table.add_row({citygen::to_string(city), std::to_string(metrics.num_nodes),
+                   std::to_string(metrics.num_edges), format_fixed(metrics.average_degree, 2),
+                   format_fixed(metrics.orientation_order, 3),
+                   format_fixed(metrics.four_way_share, 3), std::to_string(paper.nodes),
+                   std::to_string(paper.edges), format_fixed(paper.avg_degree, 2)});
+  }
+  table.render_text(std::cout);
+  table.save_csv("bench_results/table01_city_summaries.csv");
+  std::cout << "\nNote: the paper's San Francisco edge count (269002) is inconsistent with its\n"
+               "own average-degree column (2*E/N would be 55.7); see DESIGN.md.\n";
+  return 0;
+}

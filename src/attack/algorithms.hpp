@@ -1,0 +1,44 @@
+// The four Force Path Cut algorithms evaluated in the paper (§III-A):
+//
+//   LP-PathCover     — LP relaxation of weighted set cover + constraint
+//                      generation + rounding (optimization-based)
+//   GreedyPathCover  — greedy weighted set cover + constraint generation
+//   GreedyEdge       — cut the minimum-weight edge (not in p*) on the
+//                      current shortest path, repeat
+//   GreedyEig        — cut the edge (not in p*) on the current shortest
+//                      path with the highest eigen-score-to-cost ratio
+//
+// All operate on directed graphs and arbitrary weight/cost models, as the
+// paper's adaptation of PATHATTACK requires.
+#pragma once
+
+#include <cstdint>
+
+#include "attack/problem.hpp"
+#include "lp/covering.hpp"
+
+namespace mts::attack {
+
+enum class Algorithm { LpPathCover, GreedyPathCover, GreedyEdge, GreedyEig };
+
+const char* to_string(Algorithm algorithm);
+
+inline constexpr Algorithm kAllAlgorithms[] = {Algorithm::LpPathCover,
+                                               Algorithm::GreedyPathCover, Algorithm::GreedyEdge,
+                                               Algorithm::GreedyEig};
+
+struct AttackOptions {
+  /// Cap on oracle-driven iterations (each discovers one new constraint
+  /// path or removes one edge, so real instances finish far earlier).
+  std::size_t max_iterations = 5000;
+  /// Seed for LP randomized rounding.
+  std::uint64_t rng_seed = 1;
+  CoveringOptions covering;
+};
+
+/// Runs `algorithm` on `problem`.  The returned removal set never touches
+/// edges of p*.  `result.seconds` measures the attack computation only.
+AttackResult run_attack(Algorithm algorithm, const ForcePathCutProblem& problem,
+                        const AttackOptions& options = {});
+
+}  // namespace mts::attack

@@ -1,0 +1,85 @@
+#include "attack/area_isolation.hpp"
+
+#include <limits>
+
+#include "core/error.hpp"
+#include "graph/maxflow.hpp"
+
+namespace mts::attack {
+
+AreaIsolationResult isolate_area(const DiGraph& g, std::span<const double> costs,
+                                 std::span<const std::uint8_t> in_area,
+                                 IsolationDirection direction,
+                                 std::span<const std::uint8_t> origins) {
+  require(g.finalized(), "isolate_area: graph not finalized");
+  require(costs.size() == g.num_edges(), "isolate_area: costs size mismatch");
+  require(in_area.size() == g.num_nodes(), "isolate_area: area mask size mismatch");
+  require(origins.empty() || origins.size() == g.num_nodes(),
+          "isolate_area: origins mask size mismatch");
+
+  AreaIsolationResult result;
+  for (auto flag : in_area) {
+    if (flag) ++result.area_nodes;
+  }
+  result.outside_nodes = g.num_nodes() - result.area_nodes;
+  if (result.area_nodes == 0 || result.outside_nodes == 0) return result;
+
+  // Augmented graph: original edges keep their costs; a super source feeds
+  // every outside node and every area node drains to a super sink with
+  // uncuttable (infinite) arcs.  For Outbound the roles are swapped.
+  DiGraph aug;
+  for (NodeId n : g.nodes()) aug.add_node(g.x(n), g.y(n));
+  const NodeId super_source = aug.add_node();
+  const NodeId super_sink = aug.add_node();
+
+  std::vector<double> capacities;
+  capacities.reserve(g.num_edges() + g.num_nodes());
+  double cost_sum = 0.0;
+  for (EdgeId e : g.edges()) {
+    require(costs[e.value()] >= 0.0, "isolate_area: negative cost");
+    aug.add_edge(g.edge_from(e), g.edge_to(e));
+    capacities.push_back(costs[e.value()]);
+    cost_sum += costs[e.value()];
+  }
+  const double uncuttable = cost_sum + 1.0;
+  for (NodeId n : g.nodes()) {
+    const bool area = in_area[n.value()] != 0;
+    // Outside endpoints feed the super source (Inbound) / drain to the
+    // super sink (Outbound); when an origin mask is given only the listed
+    // outside nodes participate.
+    const bool outside_active = !area && (origins.empty() || origins[n.value()] != 0);
+    const bool feeds = direction == IsolationDirection::Inbound ? outside_active : area;
+    const bool drains = direction == IsolationDirection::Inbound ? area : outside_active;
+    if (feeds) {
+      aug.add_edge(super_source, n);
+      capacities.push_back(uncuttable);
+    }
+    if (drains) {
+      aug.add_edge(n, super_sink);
+      capacities.push_back(uncuttable);
+    }
+  }
+  aug.finalize();
+
+  const auto flow = max_flow(aug, capacities, super_source, super_sink);
+  if (flow.flow >= uncuttable) return result;  // no finite cut (shouldn't happen)
+
+  result.feasible = true;
+  result.total_cost = flow.flow;
+  for (EdgeId cut : flow.cut_edges) {
+    // Augmented edge ids [0, |E|) coincide with original edge ids.
+    if (cut.value() < g.num_edges()) result.cut_edges.emplace_back(cut.value());
+  }
+  return result;
+}
+
+std::vector<std::uint8_t> nodes_within_radius(const DiGraph& g, NodeId center, double radius_m) {
+  require(center.value() < g.num_nodes(), "nodes_within_radius: center out of range");
+  std::vector<std::uint8_t> mask(g.num_nodes(), 0);
+  for (NodeId n : g.nodes()) {
+    if (g.node_distance(center, n) <= radius_m) mask[n.value()] = 1;
+  }
+  return mask;
+}
+
+}  // namespace mts::attack

@@ -1,0 +1,49 @@
+// Area-isolation attack (paper §II-A, partition objective).
+//
+// "An attacker can try to disconnect (partition) some target area of
+// interest" — with removal costs as capacities, the cheapest set of road
+// closures making a target area unreachable from the rest of the city is
+// a minimum cut, computed here via Dinic on a super-source/super-sink
+// augmentation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace mts::attack {
+
+using mts::DiGraph;
+using mts::EdgeId;
+using mts::NodeId;
+
+enum class IsolationDirection {
+  Inbound,   // nothing outside can reach the area
+  Outbound,  // the area cannot reach the outside
+};
+
+struct AreaIsolationResult {
+  bool feasible = false;
+  double total_cost = 0.0;
+  std::vector<EdgeId> cut_edges;  // road segments to block
+  std::size_t area_nodes = 0;
+  std::size_t outside_nodes = 0;
+};
+
+/// Minimum-cost closure set isolating the nodes with `in_area[n] == 1`.
+/// `costs` are per-edge removal costs (> 0 for cuttable roads).
+/// `origins`, when non-empty, restricts which outside nodes traffic can
+/// originate from (Inbound) or must be kept unreachable (Outbound) — e.g.
+/// highway entrances; by default every outside node counts, so the cut
+/// blocks literally all outside traffic.  Origin nodes inside the area are
+/// ignored.
+AreaIsolationResult isolate_area(const DiGraph& g, std::span<const double> costs,
+                                 std::span<const std::uint8_t> in_area,
+                                 IsolationDirection direction = IsolationDirection::Inbound,
+                                 std::span<const std::uint8_t> origins = {});
+
+/// Convenience: marks all nodes within Euclidean `radius_m` of `center`.
+std::vector<std::uint8_t> nodes_within_radius(const DiGraph& g, NodeId center, double radius_m);
+
+}  // namespace mts::attack

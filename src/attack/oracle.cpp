@@ -1,0 +1,47 @@
+#include "attack/oracle.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/yen.hpp"
+
+namespace mts::attack {
+
+ExclusivityOracle::ExclusivityOracle(const ForcePathCutProblem& problem) : problem_(problem) {
+  require(problem.graph != nullptr, "oracle: null graph");
+  require(is_simple_path(*problem.graph, problem.p_star, problem.source, problem.target),
+          "oracle: p* is not a simple source->target path");
+  require(!problem.p_star.empty(), "oracle: p* is empty");
+  p_star_length_ = path_length(problem_.p_star.edges, problem_.weights);
+}
+
+double ExclusivityOracle::tie_epsilon() const {
+  return 1e-9 * (1.0 + std::abs(p_star_length_));
+}
+
+std::optional<Path> ExclusivityOracle::find_violating_path(const EdgeFilter& filter) const {
+  ++calls_;
+  const auto& g = *problem_.graph;
+  const double eps = tie_epsilon();
+
+  auto sp = shortest_path(g, problem_.weights, problem_.source, problem_.target, &filter);
+  // p*'s own edges are never removed by the algorithms, so s→d stays
+  // connected; a missing path means the caller removed part of p*.
+  require(sp.has_value(), "oracle: source cannot reach target (p* was damaged)");
+  require(sp->length <= p_star_length_ + eps,
+          "oracle: shortest path longer than p* (inconsistent weights)");
+
+  if (sp->length < p_star_length_ - eps) return sp;  // strictly better path
+
+  // Tied region: the shortest path length equals len(p*).
+  if (!(sp->edges == problem_.p_star.edges)) return sp;  // tied but different
+
+  // Dijkstra returned p* itself; certify no *other* path ties it.
+  auto second = second_shortest_path(g, problem_.weights, problem_.source, problem_.target,
+                                     problem_.p_star, &filter);
+  if (second && second->length <= p_star_length_ + eps) return second;
+  return std::nullopt;
+}
+
+}  // namespace mts::attack

@@ -1,0 +1,41 @@
+// Exclusivity oracle: "is p* the exclusive shortest path yet, and if not,
+// which path still beats it?"
+//
+// All four attack algorithms are driven by this constraint-generation
+// query.  A violating path is any simple s→d path different from p* whose
+// length is <= len(p*) (within floating tolerance).  Ties are certified
+// with an exact second-shortest-path search rather than assumed away.
+#pragma once
+
+#include <optional>
+
+#include "attack/problem.hpp"
+#include "graph/edge_filter.hpp"
+
+namespace mts::attack {
+
+using mts::EdgeFilter;
+
+class ExclusivityOracle {
+ public:
+  /// `problem` must outlive the oracle.  Throws PreconditionViolation if
+  /// p* is not a simple s→d path or touches a non-positive-length check.
+  explicit ExclusivityOracle(const ForcePathCutProblem& problem);
+
+  /// A path that still violates p*'s exclusivity under `filter`, or
+  /// nullopt when p* is certified exclusively shortest.
+  [[nodiscard]] std::optional<Path> find_violating_path(const EdgeFilter& filter) const;
+
+  [[nodiscard]] std::size_t calls() const { return calls_; }
+  [[nodiscard]] double p_star_length() const { return p_star_length_; }
+
+  /// Tolerance at which two path lengths are considered tied.
+  [[nodiscard]] double tie_epsilon() const;
+
+ private:
+  const ForcePathCutProblem& problem_;
+  double p_star_length_;
+  mutable std::size_t calls_ = 0;
+};
+
+}  // namespace mts::attack

@@ -1,0 +1,62 @@
+// The Force Path Cut problem on directed graphs (paper §II-B).
+//
+// Given graph G, weights w, removal costs c, endpoints (s, d), a chosen
+// alternative path p*, and a budget b, find E' ⊆ E with Σc(e) ≤ b such
+// that p* is the *exclusive* shortest s→d path in G \ E'.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/path.hpp"
+
+namespace mts::attack {
+
+using mts::DiGraph;
+using mts::EdgeId;
+using mts::NodeId;
+using mts::Path;
+
+struct ForcePathCutProblem {
+  const DiGraph* graph = nullptr;
+  std::span<const double> weights;  // victim's path metric
+  std::span<const double> costs;    // attacker's removal costs
+  NodeId source;
+  NodeId target;
+  Path p_star;
+  double budget = std::numeric_limits<double>::infinity();
+  /// Already-known paths shorter than p* (e.g. ranks 1..k-1 from the Yen
+  /// run that selected p* as the k-th path).  PathCover algorithms use
+  /// them as free initial set-cover constraints.
+  std::vector<Path> seed_paths;
+  /// Optional per-edge protection mask (size num_edges or empty): edges
+  /// marked 1 can never be removed — e.g. roads hardened by a defender
+  /// (see attack/defense.hpp).  If every cut must include a protected
+  /// edge, the attack reports Infeasible.
+  std::vector<std::uint8_t> protected_edges;
+};
+
+enum class AttackStatus {
+  Success,         // p* certified exclusively shortest after removals
+  BudgetExceeded,  // a forcing cut exists but costs more than the budget
+  Infeasible,      // p* cannot be forced (shares a cheaper tied twin)
+  IterationLimit,  // gave up; partial removals reported
+};
+
+const char* to_string(AttackStatus status);
+
+struct AttackResult {
+  AttackStatus status = AttackStatus::IterationLimit;
+  std::vector<EdgeId> removed_edges;
+  double total_cost = 0.0;
+  std::size_t oracle_calls = 0;
+  std::size_t iterations = 0;
+  double lp_lower_bound = 0.0;  // LP-PathCover only: certified lower bound
+  double seconds = 0.0;
+
+  [[nodiscard]] std::size_t num_removed() const { return removed_edges.size(); }
+};
+
+}  // namespace mts::attack

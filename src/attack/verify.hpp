@@ -1,0 +1,25 @@
+// Independent attack verification.
+//
+// Every experiment double-checks algorithm output against the Force Path
+// Cut success condition using primitives the algorithms themselves do not
+// share (shortest-path counting over the full SSSP DAG).
+#pragma once
+
+#include <string>
+
+#include "attack/problem.hpp"
+
+namespace mts::attack {
+
+struct VerifyReport {
+  bool ok = false;
+  std::string reason;  // empty when ok
+};
+
+/// Verifies that removing `removed_edges` makes p* the exclusive shortest
+/// path: no removed edge lies on p*, p* stays intact, the s→d distance
+/// equals len(p*), and exactly one shortest path (p* itself) attains it.
+VerifyReport verify_attack(const ForcePathCutProblem& problem,
+                           const std::vector<EdgeId>& removed_edges);
+
+}  // namespace mts::attack

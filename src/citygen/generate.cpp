@@ -1,0 +1,453 @@
+#include "citygen/generate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <string>
+
+#include <optional>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "core/units.hpp"
+#include "graph/spatial_index.hpp"
+#include "osm/projection.hpp"
+
+namespace mts::citygen {
+
+namespace {
+
+using osm::LocalProjection;
+using osm::OsmData;
+using osm::OsmNode;
+using osm::OsmWay;
+
+/// Street classes emitted by the generator, with their tag values.
+struct StreetClass {
+  const char* highway;
+  const char* maxspeed;
+  int total_lanes;  // both directions
+};
+
+constexpr StreetClass kResidential{"residential", "25 mph", 2};
+constexpr StreetClass kArterial{"secondary", "35 mph", 4};
+constexpr StreetClass kDiagonal{"primary", "40 mph", 4};
+constexpr StreetClass kFreeway{"motorway", "65 mph", 8};
+constexpr StreetClass kConnector{"tertiary", "30 mph", 2};
+
+/// Per-street-line decisions shared by all its block faces.
+struct LineAttrs {
+  StreetClass street_class = kResidential;
+  bool oneway = false;
+  bool reversed = false;  // travel direction vs. increasing index
+  std::string name;
+  double width_total = 0.0;
+};
+
+struct GenPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class CityBuilder {
+ public:
+  CityBuilder(const CitySpec& spec, std::uint64_t seed) : spec_(spec), rng_(seed) {}
+
+  OsmData build() {
+    for (std::size_t d = 0; d < spec_.districts.size(); ++d) generate_district(d);
+    build_spatial_indexes();
+    stitch_districts();
+    for (int i = 0; i < spec_.diagonals; ++i) carve_avenue(kDiagonal, "Diagonal", i, 1);
+    for (int i = 0; i < spec_.freeways; ++i) carve_avenue(kFreeway, "Freeway", i, 4);
+    apply_rivers();
+    place_hospitals();
+    return finish();
+  }
+
+ private:
+  // ---- district grids -----------------------------------------------------
+
+  void generate_district(std::size_t d) {
+    current_district_ = static_cast<int>(d);
+    const DistrictSpec& district = spec_.districts[d];
+    const double theta = district.rotation_deg * std::numbers::pi / 180.0;
+    const double cos_t = std::cos(theta);
+    const double sin_t = std::sin(theta);
+
+    // Node lattice with jitter.
+    std::vector<std::size_t> grid(static_cast<std::size_t>(district.rows) * district.cols);
+    for (int r = 0; r < district.rows; ++r) {
+      for (int c = 0; c < district.cols; ++c) {
+        const double gx = c * district.block_w + rng_.normal(0.0, spec_.jitter_sigma);
+        const double gy = r * district.block_h + rng_.normal(0.0, spec_.jitter_sigma);
+        const double x = district.origin_x + gx * cos_t - gy * sin_t;
+        const double y = district.origin_y + gx * sin_t + gy * cos_t;
+        grid[static_cast<std::size_t>(r) * district.cols + c] = add_point({x, y});
+      }
+    }
+    auto at = [&](int r, int c) { return grid[static_cast<std::size_t>(r) * district.cols + c]; };
+
+    // Per-line attributes, then block faces.
+    const auto row_lines = make_lines(d, district.rows, "St");
+    const auto col_lines = make_lines(d, district.cols, "Ave");
+
+    for (int r = 0; r < district.rows; ++r) {
+      bool prev_removed = false;
+      for (int c = 0; c + 1 < district.cols; ++c) {
+        prev_removed = emit_face(row_lines[r], at(r, c), at(r, c + 1), prev_removed);
+      }
+    }
+    for (int c = 0; c < district.cols; ++c) {
+      bool prev_removed = false;
+      for (int r = 0; r + 1 < district.rows; ++r) {
+        prev_removed = emit_face(col_lines[c], at(r, c), at(r + 1, c), prev_removed);
+      }
+    }
+  }
+
+  std::vector<LineAttrs> make_lines(std::size_t district, int count, const char* suffix) {
+    std::vector<LineAttrs> lines(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      LineAttrs& line = lines[static_cast<std::size_t>(i)];
+      const bool arterial = spec_.arterial_every > 0 && i % spec_.arterial_every == 0;
+      line.street_class = arterial ? kArterial : kResidential;
+      line.oneway = rng_.chance(spec_.oneway_fraction);
+      line.reversed = i % 2 == 1;  // downtown-style alternating directions
+      line.name = spec_.name + " D" + std::to_string(district) + " " + std::to_string(i) +
+                  (arterial ? std::string(" Main ") : std::string(" ")) + suffix;
+      line.width_total =
+          line.street_class.total_lanes * kLaneWidthMeters + rng_.uniform(-0.4, 1.2);
+    }
+    return lines;
+  }
+
+  /// Emits one block face unless removal strikes; returns whether it was
+  /// removed so callers can thread the clustering state along the line.
+  bool emit_face(const LineAttrs& line, std::size_t a, std::size_t b, bool prev_removed) {
+    double removal = line.street_class.highway == kArterial.highway
+                         ? spec_.street_removal_prob * 0.3
+                         : spec_.street_removal_prob;
+    if (prev_removed) removal = std::min(0.9, removal * spec_.removal_clustering);
+    if (rng_.chance(removal)) return true;
+    std::size_t from = a;
+    std::size_t to = b;
+    if (line.oneway && line.reversed) std::swap(from, to);
+    add_way({from, to}, line.street_class, line.name, line.width_total, line.oneway);
+    return false;
+  }
+
+  // ---- cross-district connectors ------------------------------------------
+
+  void stitch_districts() {
+    if (spec_.districts.size() < 2) return;
+    int connector_id = 0;
+    for (std::size_t a = 0; a < spec_.districts.size(); ++a) {
+      for (std::size_t b = a + 1; b < spec_.districts.size(); ++b) {
+        stitch_pair(a, b, connector_id);
+      }
+    }
+  }
+
+  void stitch_pair(std::size_t da, std::size_t db, int& connector_id) {
+    const double block = spec_.districts[da].block_w;
+    const double reach = 3.5 * block;
+
+    struct Candidate {
+      std::size_t a, b;
+      double dist;
+    };
+    std::vector<Candidate> candidates;
+    const PointGrid& grid_b = district_grids_[db];
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      if (district_of_[i] != static_cast<int>(da)) continue;
+      for (std::uint32_t j : grid_b.within(points_[i].x, points_[i].y, reach)) {
+        candidates.push_back({i, j, distance(points_[i], points_[j])});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& x, const Candidate& y) { return x.dist < y.dist; });
+
+    std::vector<std::size_t> used;
+    const std::size_t max_stitches =
+        spec_.stitch_max_per_pair > 0
+            ? static_cast<std::size_t>(spec_.stitch_max_per_pair)
+            : std::max<std::size_t>(6, candidates.size() / 25);
+    for (const auto& cand : candidates) {
+      if (used.size() >= 2 * max_stitches) break;
+      bool crowded = false;
+      for (std::size_t u : used) {
+        if (distance(points_[cand.a], points_[u]) < 1.5 * block ||
+            distance(points_[cand.b], points_[u]) < 1.5 * block) {
+          crowded = true;
+          break;
+        }
+      }
+      if (crowded) continue;
+      add_way({cand.a, cand.b}, kConnector,
+              spec_.name + " Connector " + std::to_string(connector_id++) + " Rd",
+              kConnector.total_lanes * kLaneWidthMeters, /*oneway=*/false);
+      used.push_back(cand.a);
+      used.push_back(cand.b);
+    }
+  }
+
+  // ---- diagonal avenues & freeways ----------------------------------------
+
+  /// Cuts a straight corridor across the city, hopping between existing
+  /// intersections every `stride` samples (stride > 1 = limited access).
+  void carve_avenue(const StreetClass& street_class, const char* label, int index, int stride) {
+    if (points_.empty()) return;
+    const auto [lo, hi] = bounding_box();
+    const double block = spec_.districts.front().block_w;
+
+    // Random entry/exit on opposite borders (alternate axis by index).
+    GenPoint start;
+    GenPoint end;
+    if (index % 2 == 0) {
+      start = {lo.x, rng_.uniform(lo.y, hi.y)};
+      end = {hi.x, rng_.uniform(lo.y, hi.y)};
+    } else {
+      start = {rng_.uniform(lo.x, hi.x), lo.y};
+      end = {rng_.uniform(lo.x, hi.x), hi.y};
+    }
+
+    const double span = distance(start, end);
+    const int samples = std::max(2, static_cast<int>(span / block));
+    std::vector<std::size_t> hops;
+    for (int s = 0; s <= samples; s += stride) {
+      const double t = static_cast<double>(s) / samples;
+      const GenPoint target{start.x + t * (end.x - start.x), start.y + t * (end.y - start.y)};
+      const std::size_t nearest = nearest_point(target);
+      if (hops.empty() || hops.back() != nearest) hops.push_back(nearest);
+    }
+
+    const std::string name =
+        spec_.name + " " + label + " " + std::to_string(index) + (stride > 1 ? "" : " Ave");
+    const double width = street_class.total_lanes * kLaneWidthMeters;
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      // Skip absurd hops (e.g. across an empty gap wider than the reach of
+      // a straight avenue).
+      if (distance(points_[hops[i]], points_[hops[i + 1]]) > 6.0 * block * stride) continue;
+      add_way({hops[i], hops[i + 1]}, street_class, name, width, /*oneway=*/false);
+    }
+  }
+
+  // ---- rivers ---------------------------------------------------------------
+
+  /// Proper segment intersection (shared endpoints count as crossing —
+  /// streets are never exactly river-aligned in practice).
+  static bool segments_cross(GenPoint a, GenPoint b, GenPoint c, GenPoint d) {
+    auto orient = [](GenPoint p, GenPoint q, GenPoint r) {
+      const double v = (q.x - p.x) * (r.y - p.y) - (q.y - p.y) * (r.x - p.x);
+      return v > 0.0 ? 1 : v < 0.0 ? -1 : 0;
+    };
+    const int o1 = orient(a, b, c);
+    const int o2 = orient(a, b, d);
+    const int o3 = orient(c, d, a);
+    const int o4 = orient(c, d, b);
+    return o1 != o2 && o3 != o4;
+  }
+
+  /// Deletes every street crossing a river except those near its bridge
+  /// points; bridges are spaced evenly along the river with some jitter.
+  void apply_rivers() {
+    if (spec_.rivers.empty() || points_.empty()) return;
+    const auto [lo, hi] = bounding_box();
+    const double block = spec_.districts.front().block_w;
+    const double bridge_radius = 1.4 * block;
+
+    for (const RiverSpec& river : spec_.rivers) {
+      const GenPoint r1{lo.x + river.fx1 * (hi.x - lo.x), lo.y + river.fy1 * (hi.y - lo.y)};
+      const GenPoint r2{lo.x + river.fx2 * (hi.x - lo.x), lo.y + river.fy2 * (hi.y - lo.y)};
+
+      std::vector<GenPoint> bridge_points;
+      const int bridges = std::max(1, river.bridges);
+      for (int i = 0; i < bridges; ++i) {
+        const double t = (i + 0.5) / bridges + rng_.uniform(-0.05, 0.05);
+        bridge_points.push_back(
+            {r1.x + t * (r2.x - r1.x), r1.y + t * (r2.y - r1.y)});
+      }
+
+      std::vector<PendingWay> kept;
+      kept.reserve(ways_.size());
+      for (auto& way : ways_) {
+        const GenPoint a = points_[way.nodes.front()];
+        const GenPoint b = points_[way.nodes.back()];
+        if (!segments_cross(a, b, r1, r2)) {
+          kept.push_back(std::move(way));
+          continue;
+        }
+        const GenPoint mid{(a.x + b.x) / 2.0, (a.y + b.y) / 2.0};
+        bool near_bridge = false;
+        for (const GenPoint& bp : bridge_points) {
+          if (distance(mid, bp) <= bridge_radius) {
+            near_bridge = true;
+            break;
+          }
+        }
+        if (near_bridge) kept.push_back(std::move(way));  // this street is a bridge
+      }
+      ways_ = std::move(kept);
+    }
+  }
+
+  // ---- hospitals -----------------------------------------------------------
+
+  void place_hospitals() {
+    const auto [lo, hi] = bounding_box();
+    for (const HospitalSpec& hospital : spec_.hospitals) {
+      const double angle = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+      const double offset = rng_.uniform(25.0, 45.0);  // off-road, as in real OSM
+      const GenPoint pos{lo.x + hospital.fx * (hi.x - lo.x) + offset * std::cos(angle),
+                         lo.y + hospital.fy * (hi.y - lo.y) + offset * std::sin(angle)};
+      hospitals_.push_back({hospital.name, pos});
+    }
+  }
+
+  // ---- assembly ------------------------------------------------------------
+
+  std::size_t add_point(GenPoint p) {
+    points_.push_back(p);
+    district_of_.push_back(current_district_);
+    return points_.size() - 1;
+  }
+
+  void add_way(std::vector<std::size_t> node_indices, const StreetClass& street_class,
+               std::string name, double width_total, bool oneway) {
+    PendingWay way;
+    way.nodes = std::move(node_indices);
+    way.highway = street_class.highway;
+    way.maxspeed = street_class.maxspeed;
+    way.lanes = oneway ? std::max(1, street_class.total_lanes / 2) : street_class.total_lanes;
+    way.width = oneway ? width_total / 2.0 : width_total;
+    way.name = std::move(name);
+    way.oneway = oneway;
+    ways_.push_back(std::move(way));
+  }
+
+  std::pair<GenPoint, GenPoint> bounding_box() const {
+    GenPoint lo{std::numeric_limits<double>::infinity(), std::numeric_limits<double>::infinity()};
+    GenPoint hi{-lo.x, -lo.y};
+    for (const auto& p : points_) {
+      lo.x = std::min(lo.x, p.x);
+      lo.y = std::min(lo.y, p.y);
+      hi.x = std::max(hi.x, p.x);
+      hi.y = std::max(hi.y, p.y);
+    }
+    return {lo, hi};
+  }
+
+  /// Builds the per-district and global point indexes once all district
+  /// nodes exist (stitching and avenues add ways, never nodes).
+  void build_spatial_indexes() {
+    const double cell = spec_.districts.front().block_w;
+    std::vector<std::vector<IndexedPoint>> per_district(spec_.districts.size());
+    std::vector<IndexedPoint> all;
+    all.reserve(points_.size());
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      const IndexedPoint p{points_[i].x, points_[i].y, static_cast<std::uint32_t>(i)};
+      per_district[static_cast<std::size_t>(district_of_[i])].push_back(p);
+      all.push_back(p);
+    }
+    district_grids_.clear();
+    district_grids_.reserve(per_district.size());
+    for (auto& pts : per_district) district_grids_.emplace_back(std::move(pts), cell);
+    global_grid_.emplace(std::move(all), cell);
+  }
+
+  std::size_t nearest_point(GenPoint target) const {
+    const auto hit = global_grid_->nearest(target.x, target.y);
+    return hit ? static_cast<std::size_t>(*hit) : 0;
+  }
+
+  static double distance(GenPoint a, GenPoint b) {
+    return std::hypot(a.x - b.x, a.y - b.y);
+  }
+
+  OsmData finish() {
+    OsmData data;
+    const LocalProjection projection(spec_.anchor_lat, spec_.anchor_lon);
+
+    data.nodes.reserve(points_.size() + hospitals_.size());
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      OsmNode node;
+      node.id = OsmNodeId(static_cast<std::int64_t>(i) + 1);
+      const auto ll = projection.to_latlon(points_[i].x, points_[i].y);
+      node.lat = ll.lat;
+      node.lon = ll.lon;
+      data.nodes.push_back(std::move(node));
+    }
+    for (std::size_t i = 0; i < hospitals_.size(); ++i) {
+      OsmNode node;
+      node.id = OsmNodeId(static_cast<std::int64_t>(points_.size() + i) + 1);
+      const auto ll = projection.to_latlon(hospitals_[i].second.x, hospitals_[i].second.y);
+      node.lat = ll.lat;
+      node.lon = ll.lon;
+      node.tags["amenity"] = "hospital";
+      node.tags["name"] = hospitals_[i].first;
+      data.nodes.push_back(std::move(node));
+    }
+
+    data.ways.reserve(ways_.size());
+    for (std::size_t i = 0; i < ways_.size(); ++i) {
+      const PendingWay& pending = ways_[i];
+      OsmWay way;
+      way.id = OsmWayId(static_cast<std::int64_t>(i) + 1000000);
+      for (std::size_t idx : pending.nodes) {
+        way.node_refs.push_back(OsmNodeId(static_cast<std::int64_t>(idx) + 1));
+      }
+      way.tags["highway"] = pending.highway;
+      way.tags["maxspeed"] = pending.maxspeed;
+      way.tags["lanes"] = std::to_string(pending.lanes);
+      char width_buf[32];
+      std::snprintf(width_buf, sizeof width_buf, "%.1f", pending.width);
+      way.tags["width"] = width_buf;
+      way.tags["name"] = pending.name;
+      if (pending.oneway) way.tags["oneway"] = "yes";
+      data.ways.push_back(std::move(way));
+    }
+    return data;
+  }
+
+  struct PendingWay {
+    std::vector<std::size_t> nodes;
+    std::string highway;
+    std::string maxspeed;
+    int lanes = 1;
+    double width = 3.35;
+    std::string name;
+    bool oneway = false;
+  };
+
+  const CitySpec& spec_;
+  Rng rng_;
+  std::vector<GenPoint> points_;
+  std::vector<int> district_of_;
+  int current_district_ = 0;
+  std::vector<PendingWay> ways_;
+  std::vector<std::pair<std::string, GenPoint>> hospitals_;
+  std::vector<PointGrid> district_grids_;
+  std::optional<PointGrid> global_grid_;
+};
+
+}  // namespace
+
+OsmData generate_city_osm(const CitySpec& spec, std::uint64_t seed) {
+  require(!spec.districts.empty(), "generate_city_osm: spec has no districts");
+  CityBuilder builder(spec, seed);
+  return builder.build();
+}
+
+osm::RoadNetwork generate_network(const CitySpec& spec, std::uint64_t seed) {
+  const OsmData data = generate_city_osm(spec, seed);
+  osm::BuildOptions options;
+  options.center = osm::LatLon{spec.anchor_lat, spec.anchor_lon};
+  return osm::RoadNetwork::build(data, options);
+}
+
+osm::RoadNetwork generate_city(City city, double scale, std::uint64_t seed) {
+  return generate_network(city_spec(city, scale), seed);
+}
+
+}  // namespace mts::citygen

@@ -1,0 +1,25 @@
+// Synthetic city generation.
+//
+// Produces OSM data (and, via osm::RoadNetwork, routable graphs) from a
+// CitySpec.  Deterministic in (spec, seed).  The output goes through the
+// exact same OSM-ingestion pipeline a real OpenStreetMap extract would.
+#pragma once
+
+#include <cstdint>
+
+#include "citygen/spec.hpp"
+#include "osm/model.hpp"
+#include "osm/road_network.hpp"
+
+namespace mts::citygen {
+
+/// Generates the OSM representation (nodes, tagged ways, hospital POIs).
+osm::OsmData generate_city_osm(const CitySpec& spec, std::uint64_t seed);
+
+/// Generates and builds the routable network (largest SCC, POIs snapped).
+osm::RoadNetwork generate_network(const CitySpec& spec, std::uint64_t seed);
+
+/// Convenience: calibrated spec -> network.
+osm::RoadNetwork generate_city(City city, double scale, std::uint64_t seed);
+
+}  // namespace mts::citygen

@@ -1,0 +1,189 @@
+#include "citygen/spec.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace mts::citygen {
+
+const char* to_string(City city) {
+  switch (city) {
+    case City::Boston: return "Boston";
+    case City::SanFrancisco: return "San Francisco";
+    case City::Chicago: return "Chicago";
+    case City::LosAngeles: return "Los Angeles";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+/// Scales a base grid dimension so node counts grow ~linearly in `scale`.
+int scaled(int base, double scale) {
+  return std::max(4, static_cast<int>(std::lround(base * std::sqrt(scale))));
+}
+
+/// District origins are calibrated for scale 1; they must shrink/grow with
+/// the grids they separate or scaled-down cities fall apart into islands.
+double offset(double base, double scale) { return base * std::sqrt(scale); }
+
+}  // namespace
+
+CitySpec city_spec(City city, double scale) {
+  require(scale > 0.0, "city_spec: scale must be positive");
+  CitySpec spec;
+  spec.city = city;
+  spec.name = to_string(city);
+
+  switch (city) {
+    case City::Boston: {
+      // Organic web: three small rotated grids, heavy jitter and removal,
+      // radial "square" avenues.  Lowest latticeness, lowest degree (4.60).
+      spec.anchor_lat = 42.3601;
+      spec.anchor_lon = -71.0589;
+      spec.districts = {
+          {0.0, 0.0, scaled(19, scale), scaled(17, scale), 95.0, 105.0, 12.0},
+          {offset(1780.0, scale), offset(350.0, scale), scaled(15, scale), scaled(14, scale),
+           90.0, 100.0, -28.0},
+          {offset(450.0, scale), offset(1950.0, scale), scaled(14, scale), scaled(15, scale),
+           105.0, 95.0, 38.0},
+      };
+      spec.jitter_sigma = 22.0;
+      spec.street_removal_prob = 0.27;  // redundancy-poor: few parallel routes
+      spec.removal_clustering = 3.2;     // correlated gaps -> real barriers
+      spec.oneway_fraction = 0.20;
+      spec.stitch_max_per_pair = 2;      // scarce bridges between districts
+      spec.arterial_every = 4;
+      spec.diagonals = 4;
+      // Charles-River-like barrier plus a Fort-Point-style channel: the
+      // scarcity of crossings is what makes Boston's alternative routes
+      // expensive (Table X).
+      spec.rivers = {
+          {-0.05, 0.58, 1.05, 0.70, 2},
+          {0.58, -0.05, 0.72, 0.55, 2},
+      };
+      spec.hospitals = {
+          {"Brigham and Women's Hospital", 0.22, 0.30},
+          {"Massachusetts General Hospital", 0.42, 0.62},
+          {"Boston Medical Center", 0.36, 0.18},
+          {"Tufts Medical Center", 0.55, 0.45},
+      };
+      break;
+    }
+    case City::SanFrancisco: {
+      // Two rotated grid systems meeting at a Market-Street-like seam.
+      spec.anchor_lat = 37.7749;
+      spec.anchor_lon = -122.4194;
+      spec.districts = {
+          {0.0, 0.0, scaled(22, scale), scaled(19, scale), 100.0, 90.0, 0.0},
+          {offset(2050.0, scale), offset(-500.0, scale), scaled(16, scale), scaled(14, scale),
+           110.0, 100.0, 45.0},
+      };
+      spec.jitter_sigma = 6.0;
+      spec.street_removal_prob = 0.10;
+      spec.oneway_fraction = 0.30;
+      spec.arterial_every = 3;
+      spec.diagonals = 1;
+      spec.stitch_max_per_pair = 14;  // the seam is crossed block after block
+      // No internal river: SF's water bounds the peninsula instead of
+      // splitting it, so the Market-Street grid seam is the main
+      // routing constraint.
+      spec.hospitals = {
+          {"UCSF Medical Center at Mission Bay", 0.68, 0.28},
+          {"Zuckerberg San Francisco General Hospital", 0.55, 0.15},
+          {"CPMC Van Ness Campus", 0.30, 0.60},
+          {"Kaiser Permanente San Francisco", 0.20, 0.72},
+      };
+      break;
+    }
+    case City::Chicago: {
+      // One near-perfect lattice plus the diagonal avenues (Milwaukee,
+      // Ogden, ...).  Highest latticeness.
+      spec.anchor_lat = 41.8781;
+      spec.anchor_lon = -87.6298;
+      spec.districts = {
+          {0.0, 0.0, scaled(36, scale), scaled(36, scale), 100.0, 100.0, 0.0},
+      };
+      spec.jitter_sigma = 4.0;
+      spec.street_removal_prob = 0.06;  // near-complete grid: alternatives abound
+      spec.oneway_fraction = 0.42;
+      spec.arterial_every = 3;
+      spec.diagonals = 4;
+      // The Chicago River is bridged roughly every block downtown, so it
+      // barely constrains routing.
+      spec.rivers = {
+          {-0.05, 0.52, 1.05, 0.60, 9},
+      };
+      spec.hospitals = {
+          {"Northwestern Memorial Hospital", 0.62, 0.58},
+          {"Rush University Medical Center", 0.35, 0.48},
+          {"University of Chicago Medical Center", 0.58, 0.15},
+          {"Advocate Illinois Masonic Medical Center", 0.45, 0.82},
+      };
+      break;
+    }
+    case City::LosAngeles: {
+      // Sprawl: four districts with slightly different orientations,
+      // stitched by arterials and crossed by freeways.  Largest graph.
+      spec.anchor_lat = 34.0522;
+      spec.anchor_lon = -118.2437;
+      spec.districts = {
+          {0.0, 0.0, scaled(22, scale), scaled(24, scale), 110.0, 100.0, 0.0},
+          {offset(2800.0, scale), offset(150.0, scale), scaled(20, scale), scaled(21, scale),
+           105.0, 110.0, 8.0},
+          {offset(150.0, scale), offset(2500.0, scale), scaled(19, scale), scaled(22, scale),
+           100.0, 105.0, -6.0},
+          {offset(2850.0, scale), offset(2600.0, scale), scaled(20, scale), scaled(20, scale),
+           115.0, 100.0, 3.0},
+      };
+      spec.jitter_sigma = 8.0;
+      spec.street_removal_prob = 0.25;
+      spec.oneway_fraction = 0.28;
+      spec.arterial_every = 5;
+      spec.diagonals = 2;
+      spec.freeways = 3;
+      // LA-River-style channel with regular crossings.
+      spec.rivers = {
+          {0.62, -0.05, 0.74, 1.05, 5},
+      };
+      spec.hospitals = {
+          {"LA Downtown Medical Center", 0.48, 0.52},
+          {"Cedars-Sinai Medical Center", 0.15, 0.70},
+          {"Ronald Reagan UCLA Medical Center", 0.08, 0.40},
+          {"Keck Hospital of USC", 0.72, 0.35},
+      };
+      break;
+    }
+  }
+  return spec;
+}
+
+CitySpec latticeness_spec(double organic, double scale) {
+  require(organic >= 0.0 && organic <= 1.0, "latticeness_spec: organic must be in [0, 1]");
+  CitySpec spec = city_spec(City::Chicago, scale);
+  spec.name = "Synthetic(organic=" + std::to_string(organic) + ")";
+  // Interpolate the knobs that distinguish Chicago (0) from Boston (1).
+  spec.jitter_sigma = 2.5 + organic * (22.0 - 2.5);
+  spec.street_removal_prob = 0.06 + organic * (0.27 - 0.06);
+  spec.removal_clustering = 1.0 + organic * 2.2;
+  // Bridges thin out as the city gets more organic (9 -> 2).
+  spec.rivers = {{-0.05, 0.52, 1.05, 0.60,
+                  static_cast<int>(std::lround(9.0 - organic * 7.0))}};
+  // Rotate a sub-district progressively to break the global grid.
+  if (spec.districts.size() == 1 && organic > 0.0) {
+    DistrictSpec rotated = spec.districts[0];
+    const int half_rows = std::max(4, rotated.rows / 2);
+    const int half_cols = std::max(4, rotated.cols / 2);
+    spec.districts[0].rows = half_rows;
+    spec.districts[0].cols = spec.districts[0].cols;
+    rotated.rows = rotated.rows - half_rows + 1;
+    rotated.cols = half_cols;
+    rotated.origin_x = 0.0;
+    rotated.origin_y = half_rows * spec.districts[0].block_h + 120.0;
+    rotated.rotation_deg = organic * 35.0;
+    spec.districts.push_back(rotated);
+  }
+  return spec;
+}
+
+}  // namespace mts::citygen

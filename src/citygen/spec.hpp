@@ -1,0 +1,101 @@
+// Synthetic city specifications.
+//
+// The paper evaluates on OSM extracts of Boston, San Francisco, Chicago
+// and Los Angeles.  Offline, we synthesize street networks whose *shape*
+// matches each city's archetype: Chicago a near-perfect lattice with
+// diagonal avenues, Boston an organic low-latticeness web, San Francisco
+// two rotated grid systems (the Market Street divide), Los Angeles a
+// multi-district sprawl stitched by freeways.  One-way share and street
+// removal are tuned so average node degree lands in the paper's Table I
+// range (4.6 - 5.6), and a single `organic` dial exposes latticeness for
+// ablation sweeps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mts::citygen {
+
+enum class City { Boston, SanFrancisco, Chicago, LosAngeles };
+
+const char* to_string(City city);
+
+/// All four cities, in the paper's order.
+inline constexpr City kAllCities[] = {City::Boston, City::SanFrancisco, City::Chicago,
+                                      City::LosAngeles};
+
+/// One rectangular grid district.
+struct DistrictSpec {
+  double origin_x = 0.0;  // meters, offset of the district's grid origin
+  double origin_y = 0.0;
+  int rows = 10;
+  int cols = 10;
+  double block_w = 100.0;  // meters
+  double block_h = 100.0;
+  double rotation_deg = 0.0;
+};
+
+struct HospitalSpec {
+  std::string name;
+  double fx = 0.5;  // fractional position inside the city bounding box
+  double fy = 0.5;
+};
+
+/// A water barrier crossed only at a few bridges.  Rivers are what make
+/// organic cities' alternative routes expensive (Boston's Charles River,
+/// SF's bay shore): any detour must reach the next bridge.  Endpoints are
+/// fractions of the generated city's bounding box.
+struct RiverSpec {
+  double fx1 = 0.0;
+  double fy1 = 0.5;
+  double fx2 = 1.0;
+  double fy2 = 0.5;
+  int bridges = 3;
+};
+
+struct CitySpec {
+  City city = City::Boston;
+  std::string name;
+  double anchor_lat = 0.0;
+  double anchor_lon = 0.0;
+  std::vector<DistrictSpec> districts;
+  /// Gaussian positional noise applied to every intersection (meters).
+  double jitter_sigma = 3.0;
+  /// Probability a residential block face is deleted (arterials use 30%).
+  double street_removal_prob = 0.15;
+  /// Removal clustering: multiplier applied to the removal probability of
+  /// the face following a removed face on the same street line.  > 1
+  /// produces correlated gaps — contiguous barriers that kill parallel
+  /// alternatives the way organic cities do (capped at 0.9 per face).
+  double removal_clustering = 1.0;
+  /// Probability a street line is one-way (direction alternates by index).
+  double oneway_fraction = 0.3;
+  /// Every k-th row/column is an arterial (faster, more lanes).
+  int arterial_every = 5;
+  /// Number of long diagonal avenues cut through the city.
+  int diagonals = 2;
+  /// Number of freeways (motorway class, sparse access); LA only by default.
+  int freeways = 0;
+  /// Cap on connector streets between each district pair (0 = automatic,
+  /// proportional to the shared border).  Small values model scarce
+  /// crossings (Boston's bridges); large values a heavily-crossed seam
+  /// (SF's Market Street).
+  int stitch_max_per_pair = 0;
+  /// Water barriers; streets crossing a river are deleted except near its
+  /// bridge points.
+  std::vector<RiverSpec> rivers;
+  std::vector<HospitalSpec> hospitals;
+};
+
+/// The calibrated spec for `city`, scaled so node count grows linearly
+/// with `scale` (scale 1 = a few thousand intersections; ~10 approaches
+/// the paper's full-size graphs).
+CitySpec city_spec(City city, double scale = 1.0);
+
+/// A tunable-latticeness spec for ablation sweeps: `organic` in [0, 1]
+/// interpolates from a perfect Chicago-like grid (0) to a heavily
+/// perturbed Boston-like web (1).  Node count follows `scale` as above.
+CitySpec latticeness_spec(double organic, double scale = 1.0);
+
+}  // namespace mts::citygen

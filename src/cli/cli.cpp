@@ -1,0 +1,272 @@
+#include "cli/cli.hpp"
+
+#include <map>
+#include <optional>
+#include <ostream>
+
+#include "attack/algorithms.hpp"
+#include "attack/area_isolation.hpp"
+#include "attack/interdiction.hpp"
+#include "attack/models.hpp"
+#include "attack/verify.hpp"
+#include "citygen/generate.hpp"
+#include "core/error.hpp"
+#include "core/table.hpp"
+#include "exp/scenario.hpp"
+#include "graph/metrics.hpp"
+#include "osm/xml.hpp"
+#include "viz/geojson.hpp"
+#include "viz/svg.hpp"
+
+namespace mts::cli {
+
+namespace {
+
+/// Flag map: "--key value" pairs after the subcommand.
+class Flags {
+ public:
+  Flags(const std::vector<std::string>& args, std::size_t start) {
+    for (std::size_t i = start; i < args.size(); i += 2) {
+      if (args[i].rfind("--", 0) != 0 || i + 1 >= args.size()) {
+        throw InvalidInput("expected --flag value pairs, got '" + args[i] + "'");
+      }
+      values_[args[i].substr(2)] = args[i + 1];
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] std::string require_flag(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) throw InvalidInput("missing required flag --" + key);
+    return it->second;
+  }
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stol(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+citygen::City parse_city(const std::string& name) {
+  if (name == "boston") return citygen::City::Boston;
+  if (name == "sf" || name == "san-francisco") return citygen::City::SanFrancisco;
+  if (name == "chicago") return citygen::City::Chicago;
+  if (name == "la" || name == "los-angeles") return citygen::City::LosAngeles;
+  throw InvalidInput("unknown city '" + name + "' (boston|sf|chicago|la)");
+}
+
+attack::Algorithm parse_algorithm(const std::string& name) {
+  if (name == "lp-pathcover") return attack::Algorithm::LpPathCover;
+  if (name == "greedy-pathcover") return attack::Algorithm::GreedyPathCover;
+  if (name == "greedy-edge") return attack::Algorithm::GreedyEdge;
+  if (name == "greedy-eig") return attack::Algorithm::GreedyEig;
+  throw InvalidInput("unknown algorithm '" + name +
+                     "' (lp-pathcover|greedy-pathcover|greedy-edge|greedy-eig)");
+}
+
+attack::WeightType parse_weight(const std::string& name) {
+  if (name == "time") return attack::WeightType::Time;
+  if (name == "length") return attack::WeightType::Length;
+  throw InvalidInput("unknown weight '" + name + "' (time|length)");
+}
+
+attack::CostType parse_cost(const std::string& name) {
+  if (name == "uniform") return attack::CostType::Uniform;
+  if (name == "lanes") return attack::CostType::Lanes;
+  if (name == "width") return attack::CostType::Width;
+  throw InvalidInput("unknown cost '" + name + "' (uniform|lanes|width)");
+}
+
+osm::RoadNetwork load_network(const Flags& flags) {
+  const std::string path = flags.require_flag("osm");
+  return osm::RoadNetwork::build(osm::load_osm_xml(path));
+}
+
+/// Hospital POI index by name, or the first hospital when unspecified.
+std::size_t hospital_index(const osm::RoadNetwork& network, const Flags& flags) {
+  require(!network.pois().empty(), "network has no POIs");
+  const std::string wanted = flags.get("hospital", "");
+  if (wanted.empty()) return 0;
+  for (std::size_t i = 0; i < network.pois().size(); ++i) {
+    if (network.pois()[i].name == wanted) return i;
+  }
+  throw InvalidInput("hospital '" + wanted + "' not found in the network");
+}
+
+int cmd_generate(const Flags& flags, std::ostream& out) {
+  const auto city = parse_city(flags.get("city", "boston"));
+  const auto spec = citygen::city_spec(city, flags.get_double("scale", 1.0));
+  const auto data =
+      citygen::generate_city_osm(spec, static_cast<std::uint64_t>(flags.get_int("seed", 7)));
+  const std::string path = flags.require_flag("out");
+  osm::save_osm_xml(data, path);
+  out << "wrote " << data.nodes.size() << " nodes, " << data.ways.size() << " ways to "
+      << path << "\n";
+  return 0;
+}
+
+int cmd_info(const Flags& flags, std::ostream& out) {
+  const auto network = load_network(flags);
+  const auto metrics = compute_network_metrics(network.graph());
+  Table table("Network info", {"Metric", "Value"});
+  table.add_row({"Intersections (graph nodes)", std::to_string(metrics.num_nodes)});
+  table.add_row({"Directed road segments", std::to_string(metrics.num_edges)});
+  table.add_row({"Average node degree", format_fixed(metrics.average_degree, 2)});
+  table.add_row({"Orientation order (1 = grid)", format_fixed(metrics.orientation_order, 3)});
+  table.add_row({"4-way intersection share", format_fixed(metrics.four_way_share, 3)});
+  table.add_row({"Mean segment length (m)", format_fixed(metrics.mean_segment_length, 1)});
+  table.render_text(out);
+  out << "POIs:\n";
+  for (const auto& poi : network.pois()) {
+    out << "  - " << poi.name << " (" << poi.amenity << ")\n";
+  }
+  return 0;
+}
+
+int cmd_attack(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const auto network = load_network(flags);
+  const auto weights = attack::make_weights(network, parse_weight(flags.get("weight", "time")));
+  const auto costs = attack::make_costs(network, parse_cost(flags.get("cost", "uniform")));
+  const auto algorithm = parse_algorithm(flags.get("algorithm", "greedy-pathcover"));
+
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 7)));
+  exp::ScenarioOptions options;
+  options.path_rank = static_cast<int>(flags.get_int("rank", 100));
+  const auto scenario =
+      exp::sample_scenario(network, weights, hospital_index(network, flags), rng, options);
+  if (!scenario) {
+    err << "error: could not sample a scenario (try a smaller --rank)\n";
+    return 1;
+  }
+
+  attack::ForcePathCutProblem problem;
+  problem.graph = &network.graph();
+  problem.weights = weights;
+  problem.costs = costs;
+  problem.source = scenario->source;
+  problem.target = scenario->target;
+  problem.p_star = scenario->p_star;
+  problem.seed_paths = scenario->prefix;
+  problem.budget = flags.get_double("budget", problem.budget);
+
+  const auto result = run_attack(algorithm, problem);
+  out << "status: " << to_string(result.status) << "\n"
+      << "victim: random intersection -> " << scenario->hospital << "\n"
+      << "forced path rank " << options.path_rank << ": "
+      << format_fixed(scenario->p_star_length, 1) << " (fastest "
+      << format_fixed(scenario->shortest_length, 1) << ")\n"
+      << "removed " << result.num_removed() << " segments, cost "
+      << format_fixed(result.total_cost, 2) << ", computed in "
+      << format_fixed(result.seconds * 1000, 1) << " ms\n";
+  for (EdgeId e : result.removed_edges) {
+    const auto& name = network.segment_name(e);
+    out << "  - block " << (name.empty() ? "(unnamed road)" : name) << "\n";
+  }
+  if (result.status != attack::AttackStatus::Success) return 1;
+
+  const auto verdict = attack::verify_attack(problem, result.removed_edges);
+  out << "verified exclusive shortest: " << (verdict.ok ? "yes" : verdict.reason) << "\n";
+
+  const std::string svg = flags.get("svg", "");
+  if (!svg.empty()) {
+    viz::save_attack_svg(svg, network, problem.p_star, result.removed_edges, problem.source,
+                         problem.target);
+    out << "wrote " << svg << "\n";
+  }
+  const std::string geojson = flags.get("geojson", "");
+  if (!geojson.empty()) {
+    viz::save_attack_geojson(geojson, network, problem.p_star, result.removed_edges,
+                             problem.source, problem.target);
+    out << "wrote " << geojson << "\n";
+  }
+  return verdict.ok ? 0 : 1;
+}
+
+int cmd_isolate(const Flags& flags, std::ostream& out) {
+  const auto network = load_network(flags);
+  const auto costs = attack::make_costs(network, parse_cost(flags.get("cost", "lanes")));
+  const auto& poi = network.pois()[hospital_index(network, flags)];
+  const auto area = attack::nodes_within_radius(network.graph(), poi.access_node,
+                                                flags.get_double("radius", 400.0));
+  const auto result = attack::isolate_area(network.graph(), costs, area);
+  if (!result.feasible) {
+    out << "isolation infeasible (area empty or covers the whole city)\n";
+    return 1;
+  }
+  out << "isolating " << result.area_nodes << " intersections around " << poi.name
+      << ": block " << result.cut_edges.size() << " segments, cost "
+      << format_fixed(result.total_cost, 2) << "\n";
+  for (EdgeId e : result.cut_edges) {
+    const auto& name = network.segment_name(e);
+    out << "  - block " << (name.empty() ? "(unnamed road)" : name) << "\n";
+  }
+  return 0;
+}
+
+int cmd_interdict(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const auto network = load_network(flags);
+  const auto weights = attack::make_weights(network, parse_weight(flags.get("weight", "time")));
+  const auto costs = attack::make_costs(network, parse_cost(flags.get("cost", "uniform")));
+  const auto& poi = network.pois()[hospital_index(network, flags)];
+
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 7)));
+  const auto intersections = network.intersection_nodes();
+  const NodeId source = intersections[rng.uniform_index(intersections.size())];
+  if (source == poi.node) {
+    err << "error: sampled source equals the target\n";
+    return 1;
+  }
+  const auto result = attack::interdict_route(network.graph(), weights, costs, source, poi.node,
+                                      flags.get_double("budget", 8.0));
+  out << "interdiction " << source.value() << " -> " << poi.name << ": baseline "
+      << format_fixed(result.baseline_distance, 1) << ", after "
+      << result.removed_edges.size() << " closures "
+      << format_fixed(result.final_distance, 1) << " (delay factor "
+      << format_fixed(result.delay_factor(), 2) << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+  return "usage: mts <command> [--flag value ...]\n"
+         "commands:\n"
+         "  generate   --city boston|sf|chicago|la --scale S --seed N --out FILE.osm\n"
+         "  info       --osm FILE.osm\n"
+         "  attack     --osm FILE.osm [--hospital NAME] [--algorithm ALG] [--weight W]\n"
+         "             [--cost C] [--rank K] [--seed N] [--budget B] [--svg F] [--geojson F]\n"
+         "  isolate    --osm FILE.osm [--hospital NAME] [--radius M] [--cost C]\n"
+         "  interdict  --osm FILE.osm [--hospital NAME] [--budget B] [--weight W] [--cost C]\n"
+         "  help\n";
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  try {
+    if (args.empty() || args[0] == "help" || args[0] == "--help") {
+      out << usage();
+      return args.empty() ? 1 : 0;
+    }
+    const Flags flags(args, 1);
+    if (args[0] == "generate") return cmd_generate(flags, out);
+    if (args[0] == "info") return cmd_info(flags, out);
+    if (args[0] == "attack") return cmd_attack(flags, out, err);
+    if (args[0] == "isolate") return cmd_isolate(flags, out);
+    if (args[0] == "interdict") return cmd_interdict(flags, out, err);
+    err << "error: unknown command '" << args[0] << "'\n" << usage();
+    return 1;
+  } catch (const std::exception& ex) {
+    err << "error: " << ex.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace mts::cli

@@ -1,0 +1,31 @@
+// The `mts` command-line tool, as a testable library.
+//
+// Subcommands cover the full workflow a downstream user needs without
+// writing C++:
+//
+//   mts generate  --city boston --scale 1 --seed 7 --out boston.osm
+//   mts info      --osm boston.osm
+//   mts attack    --osm boston.osm --hospital "Tufts Medical Center"
+//                 --algorithm greedy-pathcover --weight time --cost width
+//                 --rank 100 --seed 7 [--svg out.svg] [--geojson out.geojson]
+//   mts isolate   --osm boston.osm --hospital "..." --radius 400 --cost lanes
+//   mts interdict --osm boston.osm --hospital "..." --budget 8 --seed 7
+//
+// `--city` also accepts sf/san-francisco, chicago, la/los-angeles.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mts::cli {
+
+/// Runs the CLI with `args` (excluding argv[0]).  Returns the process
+/// exit code; all human output goes to `out`, errors to `err`.  Never
+/// throws — failures are reported as messages + non-zero exit.
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+/// Usage text (also printed on `mts help` / bad input).
+std::string usage();
+
+}  // namespace mts::cli

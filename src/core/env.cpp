@@ -1,0 +1,34 @@
+#include "core/env.hpp"
+
+#include <cstdlib>
+
+namespace mts {
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw, &end, 10);
+  if (end == raw) return fallback;
+  return parsed;
+}
+
+double env_double(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return parsed;
+}
+
+BenchEnv BenchEnv::from_environment() {
+  BenchEnv env;
+  env.scale = env_double("MTS_SCALE", env.scale);
+  env.trials = static_cast<int>(env_int("MTS_TRIALS", env.trials));
+  env.seed = static_cast<std::uint64_t>(env_int("MTS_SEED", static_cast<std::int64_t>(env.seed)));
+  env.path_rank = static_cast<int>(env_int("MTS_PATH_RANK", env.path_rank));
+  return env;
+}
+
+}  // namespace mts

@@ -1,0 +1,32 @@
+// Environment-variable knobs shared by every benchmark binary.
+//
+// MTS_SCALE     city size multiplier (1 = scaled-down default, larger values
+//               approach the paper's full-size graphs)
+// MTS_TRIALS    experiments per table cell (paper used 40; default 24)
+// MTS_SEED      RNG seed for the whole experiment
+// MTS_PATH_RANK rank of the forced alternative path p* (paper: 100)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mts {
+
+/// Reads an integer environment variable, falling back to `fallback` when
+/// unset or unparsable.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Reads a floating-point environment variable with fallback.
+double env_double(const std::string& name, double fallback);
+
+/// Bundled experiment knobs with their defaults applied.
+struct BenchEnv {
+  double scale = 1.0;
+  int trials = 24;
+  std::uint64_t seed = 7;
+  int path_rank = 100;
+
+  static BenchEnv from_environment();
+};
+
+}  // namespace mts

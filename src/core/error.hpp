@@ -1,0 +1,39 @@
+// Library-wide error type and precondition checks.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace mts {
+
+/// Base class for every error thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown on malformed input data (bad OSM file, inconsistent graph, ...).
+class InvalidInput : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when an algorithm's preconditions are violated by the caller.
+class PreconditionViolation : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Checks a caller-facing precondition; throws PreconditionViolation with
+/// file/line context on failure.  Used at public API boundaries (internal
+/// invariants use assert).
+inline void require(bool condition, const std::string& message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw PreconditionViolation(std::string(loc.file_name()) + ":" +
+                                std::to_string(loc.line()) + ": " + message);
+  }
+}
+
+}  // namespace mts

@@ -1,0 +1,89 @@
+// Strong ID types used throughout the library.
+//
+// Graph nodes and edges are referred to by dense 32-bit indices.  Wrapping
+// them in distinct types prevents the classic bug of passing an edge index
+// where a node index is expected, at zero runtime cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace mts {
+
+/// A type-tagged dense index.  `Tag` only serves to make distinct ID types
+/// incompatible with each other; `Rep` is the underlying integer.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  /// The sentinel "no such object" value.
+  static constexpr StrongId invalid() { return StrongId(); }
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const {
+    return value_ != std::numeric_limits<Rep>::max();
+  }
+
+  friend constexpr bool operator==(StrongId, StrongId) = default;
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  Rep value_ = std::numeric_limits<Rep>::max();
+};
+
+struct NodeTag {};
+struct EdgeTag {};
+struct OsmNodeTag {};
+struct OsmWayTag {};
+
+/// Index of an intersection (graph vertex).
+using NodeId = StrongId<NodeTag>;
+/// Index of a directed road segment (graph edge).
+using EdgeId = StrongId<EdgeTag>;
+/// 64-bit OSM element identifiers (sparse, file-assigned).
+using OsmNodeId = StrongId<OsmNodeTag, std::int64_t>;
+using OsmWayId = StrongId<OsmWayTag, std::int64_t>;
+
+/// Iterates a contiguous range of StrongIds: `for (NodeId u : g.nodes())`.
+template <typename Id>
+class IdRange {
+ public:
+  class iterator {
+   public:
+    using value_type = Id;
+    constexpr explicit iterator(typename Id::rep_type v) : v_(v) {}
+    constexpr Id operator*() const { return Id(v_); }
+    constexpr iterator& operator++() {
+      ++v_;
+      return *this;
+    }
+    friend constexpr bool operator==(iterator, iterator) = default;
+
+   private:
+    typename Id::rep_type v_;
+  };
+
+  constexpr IdRange(typename Id::rep_type begin, typename Id::rep_type end)
+      : begin_(begin), end_(end) {}
+  [[nodiscard]] constexpr iterator begin() const { return iterator(begin_); }
+  [[nodiscard]] constexpr iterator end() const { return iterator(end_); }
+  [[nodiscard]] constexpr std::size_t size() const { return end_ - begin_; }
+
+ private:
+  typename Id::rep_type begin_;
+  typename Id::rep_type end_;
+};
+
+}  // namespace mts
+
+template <typename Tag, typename Rep>
+struct std::hash<mts::StrongId<Tag, Rep>> {
+  std::size_t operator()(mts::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};

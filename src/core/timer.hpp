@@ -1,0 +1,25 @@
+// Wall-clock stopwatch for algorithm timing.
+#pragma once
+
+#include <chrono>
+
+namespace mts {
+
+/// Measures elapsed wall time; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mts

@@ -1,0 +1,28 @@
+// Unit conversions and road-domain physical constants.
+#pragma once
+
+namespace mts {
+
+inline constexpr double kMetersPerMile = 1609.344;
+inline constexpr double kSecondsPerHour = 3600.0;
+
+/// Miles-per-hour to meters-per-second.
+constexpr double mph_to_mps(double mph) { return mph * kMetersPerMile / kSecondsPerHour; }
+
+/// Kilometers-per-hour to meters-per-second.
+constexpr double kmh_to_mps(double kmh) { return kmh * 1000.0 / kSecondsPerHour; }
+
+/// Feet to meters (OSM `width` values are occasionally imperial).
+constexpr double feet_to_meters(double ft) { return ft * 0.3048; }
+
+/// Width of the average American car, meters.  The paper's WIDTH cost model
+/// divides road width by this ([21], The Zebra 2022: ~5.8 ft).
+inline constexpr double kAverageCarWidthMeters = 1.77;
+
+/// Standard US lane width, meters (used when OSM lacks an explicit width).
+inline constexpr double kLaneWidthMeters = 3.35;
+
+/// Mean Earth radius, meters (spherical model for projections).
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+}  // namespace mts

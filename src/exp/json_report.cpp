@@ -1,0 +1,70 @@
+#include "exp/json_report.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace mts::exp {
+
+namespace {
+
+std::string number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+void append_stats(std::ostringstream& out, const char* name, const RunningStats& stats) {
+  out << '"' << name << "\":{\"mean\":" << number(stats.mean())
+      << ",\"stddev\":" << number(stats.stddev()) << ",\"min\":" << number(stats.min())
+      << ",\"max\":" << number(stats.max()) << ",\"n\":" << stats.count() << '}';
+}
+
+}  // namespace
+
+std::string to_json(const CityTableResult& result) {
+  std::ostringstream out;
+  out << "{\"config\":{\"city\":\"" << citygen::to_string(result.config.city)
+      << "\",\"weight\":\"" << attack::to_string(result.config.weight)
+      << "\",\"scale\":" << number(result.config.scale)
+      << ",\"trials\":" << result.config.trials
+      << ",\"path_rank\":" << result.config.path_rank << ",\"seed\":" << result.config.seed
+      << "},\"network\":{\"nodes\":" << result.metrics.num_nodes
+      << ",\"edges\":" << result.metrics.num_edges
+      << ",\"average_degree\":" << number(result.metrics.average_degree)
+      << ",\"orientation_order\":" << number(result.metrics.orientation_order)
+      << ",\"four_way_share\":" << number(result.metrics.four_way_share)
+      << "},\"scenarios_run\":" << result.scenarios_run << ",\"cells\":[";
+
+  bool first = true;
+  for (attack::Algorithm algorithm : attack::kAllAlgorithms) {
+    for (attack::CostType cost : attack::kAllCostTypes) {
+      if (!first) out << ',';
+      first = false;
+      const auto& cell = result.cell(algorithm, cost);
+      out << "{\"algorithm\":\"" << to_string(algorithm) << "\",\"cost_model\":\""
+          << to_string(cost) << "\",";
+      append_stats(out, "runtime_s", cell.runtime);
+      out << ',';
+      append_stats(out, "edges_removed", cell.edges_removed);
+      out << ',';
+      append_stats(out, "cost", cell.cost);
+      out << ",\"verification_failures\":" << cell.verification_failures << '}';
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
+void save_json(const CityTableResult& result, const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p);
+  require(out.good(), "save_json: cannot open " + path);
+  out << to_json(result);
+}
+
+}  // namespace mts::exp

@@ -1,0 +1,21 @@
+// Machine-readable experiment records.
+//
+// Tables are for humans; downstream analysis (plots, regression tracking
+// of this reproduction itself) wants structured output.  One JSON document
+// per CityTableResult: configuration, network metrics, and per-cell
+// mean/stddev/min/max for every metric.
+#pragma once
+
+#include <string>
+
+#include "exp/table_runner.hpp"
+
+namespace mts::exp {
+
+/// Serializes a full city-table run (config + network metrics + cells).
+std::string to_json(const CityTableResult& result);
+
+/// Writes to_json(result) to `path` (creating parent directories).
+void save_json(const CityTableResult& result, const std::string& path);
+
+}  // namespace mts::exp

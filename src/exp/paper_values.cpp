@@ -1,0 +1,121 @@
+#include "exp/paper_values.hpp"
+
+namespace mts::exp {
+
+namespace {
+
+using attack::Algorithm;
+using attack::CostType;
+using attack::WeightType;
+using citygen::City;
+
+// cells[algorithm][cost] in kAllAlgorithms x kAllCostTypes order:
+// {LP, GreedyPathCover, GreedyEdge, GreedyEig} x {UNIFORM, LANES, WIDTH}.
+struct PaperTable {
+  PaperCell cells[4][3];
+};
+
+// Table II.
+constexpr PaperTable kBostonLength = {{
+    {{6.31, 4.00, 4.00}, {58.31, 3.75, 5.00}, {72.27, 3.53, 7.38}},
+    {{2.83, 4.00, 4.00}, {6.72, 3.78, 5.03}, {6.09, 3.53, 7.38}},
+    {{1.03, 4.50, 4.50}, {3.78, 5.25, 6.50}, {2.64, 4.50, 9.42}},
+    {{1.86, 5.00, 5.00}, {4.99, 4.65, 7.65}, {4.07, 4.75, 9.37}},
+}};
+// Table III.
+constexpr PaperTable kBostonTime = {{
+    {{66.82, 3.78, 3.78}, {21.17, 4.18, 6.60}, {19.56, 3.58, 7.48}},
+    {{5.76, 3.78, 3.78}, {4.25, 4.15, 6.55}, {4.33, 3.58, 7.48}},
+    {{2.02, 4.65, 4.65}, {1.56, 4.48, 6.90}, {1.66, 4.38, 9.16}},
+    {{3.22, 4.65, 4.65}, {2.77, 4.48, 8.33}, {2.92, 4.40, 9.21}},
+}};
+// Table IV.
+constexpr PaperTable kSfLength = {{
+    {{37.40, 3.68, 3.68}, {85.35, 4.18, 5.38}, {48.40, 3.65, 7.64}},
+    {{6.44, 3.68, 3.68}, {5.81, 4.43, 5.68}, {5.74, 3.65, 7.65}},
+    {{2.20, 6.58, 6.58}, {2.14, 7.50, 8.45}, {2.33, 6.28, 13.13}},
+    {{3.60, 5.78, 5.78}, {3.35, 5.93, 8.58}, {3.56, 5.05, 10.57}},
+}};
+// Table V.
+constexpr PaperTable kSfTime = {{
+    {{42.64, 3.93, 3.93}, {56.50, 4.88, 6.10}, {42.56, 3.88, 8.11}},
+    {{4.98, 3.90, 3.90}, {5.57, 4.85, 6.10}, {4.85, 3.88, 8.11}},
+    {{1.36, 4.48, 4.48}, {1.56, 6.18, 7.48}, {1.12, 4.68, 9.78}},
+    {{2.49, 5.43, 5.43}, {2.44, 5.78, 8.33}, {2.00, 4.93, 10.31}},
+}};
+// Table VI.
+constexpr PaperTable kChicagoLength = {{
+    {{125.21, 3.58, 3.58}, {175.51, 3.50, 7.33}, {199.80, 3.85, 5.15}},
+    {{11.33, 3.60, 3.60}, {12.46, 3.53, 7.38}, {9.91, 3.93, 5.20}},
+    {{4.82, 5.08, 5.08}, {5.88, 5.70, 11.93}, {4.90, 6.43, 7.73}},
+    {{5.34, 5.18, 5.18}, {6.40, 4.70, 9.84}, {5.41, 5.23, 8.55}},
+}};
+// Table VII.
+constexpr PaperTable kChicagoTime = {{
+    {{41.38, 3.50, 3.50}, {52.77, 3.73, 7.80}, {41.83, 3.73, 4.55}},
+    {{8.00, 3.50, 3.50}, {8.41, 3.73, 7.80}, {7.30, 3.73, 4.55}},
+    {{1.51, 4.10, 4.10}, {1.53, 4.18, 8.74}, {1.60, 4.58, 5.40}},
+    {{2.12, 4.50, 4.50}, {2.16, 4.60, 9.62}, {2.15, 4.40, 7.03}},
+}};
+// Table VIII.
+constexpr PaperTable kLaTime = {{
+    {{85.77, 3.71, 3.71}, {66.80, 3.80, 7.95}, {34.85, 4.04, 7.14}},
+    {{22.13, 3.73, 3.73}, {22.51, 3.80, 7.95}, {11.09, 4.01, 7.16}},
+    {{5.11, 4.51, 4.51}, {4.98, 4.50, 9.42}, {2.75, 4.51, 9.15}},
+    {{8.73, 4.51, 4.51}, {8.31, 4.48, 9.37}, {3.88, 4.51, 9.15}},
+}};
+
+const PaperTable* table_for(City city, WeightType weight) {
+  switch (city) {
+    case City::Boston: return weight == WeightType::Length ? &kBostonLength : &kBostonTime;
+    case City::SanFrancisco: return weight == WeightType::Length ? &kSfLength : &kSfTime;
+    case City::Chicago: return weight == WeightType::Length ? &kChicagoLength : &kChicagoTime;
+    case City::LosAngeles: return weight == WeightType::Length ? nullptr : &kLaTime;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::optional<PaperCell> paper_cell(City city, WeightType weight, Algorithm algorithm,
+                                    CostType cost) {
+  const PaperTable* table = table_for(city, weight);
+  if (table == nullptr) return std::nullopt;
+  return table->cells[static_cast<std::size_t>(algorithm)][static_cast<std::size_t>(cost)];
+}
+
+PaperCitySummary paper_table1(City city) {
+  switch (city) {
+    case City::Boston: return {11171, 25715, 4.60};
+    case City::SanFrancisco: return {9659, 269002, 5.57};  // edge count: paper typo
+    case City::Chicago: return {29299, 78046, 5.33};
+    case City::LosAngeles: return {51716, 141992, 5.08};
+  }
+  return {};
+}
+
+PaperWeightSummary paper_table9(City city, WeightType weight) {
+  const bool length = weight == WeightType::Length;
+  switch (city) {
+    case City::Boston: return length ? PaperWeightSummary{4.27, 6.27} : PaperWeightSummary{4.17, 6.54};
+    case City::SanFrancisco:
+      return length ? PaperWeightSummary{5.03, 7.23} : PaperWeightSummary{4.73, 6.84};
+    case City::Chicago:
+      return length ? PaperWeightSummary{4.52, 6.71} : PaperWeightSummary{4.02, 5.92};
+    case City::LosAngeles:
+      return length ? PaperWeightSummary{4.35, 7.23} : PaperWeightSummary{4.18, 6.85};
+  }
+  return {};
+}
+
+std::optional<PaperThreshold> paper_table10(City city) {
+  switch (city) {
+    case City::Boston: return PaperThreshold{7.93, 9.54};
+    case City::SanFrancisco: return PaperThreshold{4.23, 5.35};
+    case City::Chicago: return PaperThreshold{1.58, 1.93};
+    case City::LosAngeles: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mts::exp

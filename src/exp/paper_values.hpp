@@ -1,0 +1,50 @@
+// The paper's reported numbers (Tables I-X), embedded for side-by-side
+// "paper vs. measured" output in the benchmark binaries and EXPERIMENTS.md.
+#pragma once
+
+#include <optional>
+
+#include "attack/algorithms.hpp"
+#include "attack/models.hpp"
+#include "citygen/spec.hpp"
+
+namespace mts::exp {
+
+/// One (algorithm, cost) cell of Tables II-VIII.
+struct PaperCell {
+  double runtime = 0.0;  // seconds, on the authors' hardware
+  double aner = 0.0;     // average number of edges removed
+  double acre = 0.0;     // average cost of removed edges
+};
+
+/// Paper value for a cell, or nullopt when the paper omits the table
+/// (Los Angeles was only reported with the TIME weight).
+std::optional<PaperCell> paper_cell(citygen::City city, attack::WeightType weight,
+                                    attack::Algorithm algorithm, attack::CostType cost);
+
+/// Table I: city graph summaries as printed in the paper.  Note: the
+/// paper's San Francisco edge count (269002) is inconsistent with its own
+/// average degree column and is almost certainly a typo (see DESIGN.md).
+struct PaperCitySummary {
+  long nodes = 0;
+  long edges = 0;
+  double avg_degree = 0.0;
+};
+PaperCitySummary paper_table1(citygen::City city);
+
+/// Table IX: ANER/ACRE averaged across cost types and algorithms.
+struct PaperWeightSummary {
+  double aner = 0.0;
+  double acre = 0.0;
+};
+PaperWeightSummary paper_table9(citygen::City city, attack::WeightType weight);
+
+/// Table X: average % increase from shortest to 100th/200th path (TIME).
+/// nullopt for Los Angeles (not reported).
+struct PaperThreshold {
+  double increase_100th = 0.0;  // percent
+  double increase_200th = 0.0;
+};
+std::optional<PaperThreshold> paper_table10(citygen::City city);
+
+}  // namespace mts::exp

@@ -1,0 +1,69 @@
+#include "exp/scenario.hpp"
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+#include "graph/metrics.hpp"
+#include "graph/yen.hpp"
+
+namespace mts::exp {
+
+std::optional<Scenario> sample_scenario(const osm::RoadNetwork& network,
+                                        const std::vector<double>& weights,
+                                        std::size_t hospital_index, Rng& rng,
+                                        const ScenarioOptions& options) {
+  require(!network.pois().empty(), "sample_scenario: network has no POIs");
+  require(hospital_index < network.pois().size(), "sample_scenario: hospital index out of range");
+  require(options.path_rank >= 1, "sample_scenario: path_rank must be >= 1");
+
+  const auto& g = network.graph();
+  const auto& poi = network.pois()[hospital_index];
+  require(poi.node.valid(), "sample_scenario: POI was not snapped to the network");
+
+  const auto intersections = network.intersection_nodes();
+  require(!intersections.empty(), "sample_scenario: no intersections");
+
+  const double mean_segment = compute_network_metrics(g).mean_segment_length;
+  const double min_separation = options.min_separation_segments * mean_segment;
+
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    const NodeId source = intersections[rng.uniform_index(intersections.size())];
+    if (source == poi.node || source == poi.access_node) continue;
+    if (g.node_distance(source, poi.node) < min_separation) continue;
+
+    Stopwatch stopwatch;
+    auto ranked = yen_ksp(g, weights, source, poi.node,
+                          static_cast<std::size_t>(options.path_rank));
+    if (ranked.size() < static_cast<std::size_t>(options.path_rank)) continue;
+
+    Scenario scenario;
+    scenario.source = source;
+    scenario.target = poi.node;
+    scenario.hospital = poi.name;
+    scenario.p_star = std::move(ranked.back());
+    ranked.pop_back();
+    scenario.prefix = std::move(ranked);
+    scenario.shortest_length = scenario.prefix.empty() ? scenario.p_star.length
+                                                       : scenario.prefix.front().length;
+    scenario.p_star_length = scenario.p_star.length;
+    scenario.yen_seconds = stopwatch.seconds();
+    return scenario;
+  }
+  return std::nullopt;
+}
+
+std::vector<Scenario> sample_scenarios(const osm::RoadNetwork& network,
+                                       const std::vector<double>& weights, int count, Rng& rng,
+                                       const ScenarioOptions& options) {
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(static_cast<std::size_t>(count));
+  const std::size_t hospitals = network.pois().size();
+  require(hospitals > 0, "sample_scenarios: network has no POIs");
+  for (int i = 0; i < count; ++i) {
+    auto scenario =
+        sample_scenario(network, weights, static_cast<std::size_t>(i) % hospitals, rng, options);
+    if (scenario) scenarios.push_back(std::move(*scenario));
+  }
+  return scenarios;
+}
+
+}  // namespace mts::exp

@@ -1,0 +1,57 @@
+// Experiment scenario sampling (paper §III-A).
+//
+// "The source is a randomly selected intersection and the destination is a
+// hospital. [...] The alternative path is set to the 100th shortest path
+// between the source and destination."  A scenario bundles the sampled
+// endpoints, the ranked Yen paths, and the chosen p*.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "graph/path.hpp"
+#include "osm/road_network.hpp"
+
+namespace mts::exp {
+
+using mts::NodeId;
+using mts::Path;
+using mts::Rng;
+
+struct Scenario {
+  NodeId source;
+  NodeId target;             // the hospital's POI node
+  std::string hospital;
+  Path p_star;               // the path_rank-th shortest path
+  std::vector<Path> prefix;  // ranks 1 .. path_rank-1 (seed constraints)
+  double shortest_length = 0.0;
+  double p_star_length = 0.0;
+  double yen_seconds = 0.0;  // time spent ranking paths (preprocessing)
+};
+
+struct ScenarioOptions {
+  int path_rank = 100;
+  /// Resampling attempts per scenario before giving up (sources too close
+  /// to the hospital may not have `path_rank` distinct simple paths).
+  int max_attempts = 40;
+  /// Minimum straight-line source-hospital separation, in multiples of the
+  /// network's mean segment length (avoids trivial adjacent sources).
+  double min_separation_segments = 8.0;
+};
+
+/// Samples `count` scenarios, rotating through the network's hospitals
+/// (paper: 10 sources x 4 hospitals).  Returns fewer if sampling fails
+/// repeatedly.  Throws PreconditionViolation if the network has no POIs.
+std::vector<Scenario> sample_scenarios(const osm::RoadNetwork& network,
+                                       const std::vector<double>& weights, int count, Rng& rng,
+                                       const ScenarioOptions& options = {});
+
+/// Samples one scenario targeting the given hospital POI index.
+std::optional<Scenario> sample_scenario(const osm::RoadNetwork& network,
+                                        const std::vector<double>& weights,
+                                        std::size_t hospital_index, Rng& rng,
+                                        const ScenarioOptions& options = {});
+
+}  // namespace mts::exp

@@ -1,0 +1,176 @@
+#include "exp/table_runner.hpp"
+
+#include <iostream>
+
+#include "attack/verify.hpp"
+#include "citygen/generate.hpp"
+#include "core/error.hpp"
+#include "graph/yen.hpp"
+
+namespace mts::exp {
+
+using attack::Algorithm;
+using attack::AttackOptions;
+using attack::AttackResult;
+using attack::AttackStatus;
+using attack::CostType;
+using attack::ForcePathCutProblem;
+using attack::kAllAlgorithms;
+using attack::kAllCostTypes;
+
+CityTableResult run_city_table(const RunConfig& config) {
+  const auto network = citygen::generate_city(config.city, config.scale, config.seed);
+  const auto weights = attack::make_weights(network, config.weight);
+  Rng rng(config.seed ^ 0xa5a5a5a5ULL);
+  ScenarioOptions scenario_options;
+  scenario_options.path_rank = config.path_rank;
+  const auto scenarios =
+      sample_scenarios(network, weights, config.trials, rng, scenario_options);
+  return run_city_table_on(network, scenarios, config);
+}
+
+CityTableResult run_city_table_on(const osm::RoadNetwork& network,
+                                  const std::vector<Scenario>& scenarios,
+                                  const RunConfig& config) {
+  CityTableResult result;
+  result.config = config;
+  result.metrics = compute_network_metrics(network.graph());
+  result.scenarios_run = static_cast<int>(scenarios.size());
+
+  const auto weights = attack::make_weights(network, config.weight);
+  std::vector<std::vector<double>> costs;
+  costs.reserve(kNumCostTypes);
+  for (CostType cost_type : kAllCostTypes) {
+    costs.push_back(attack::make_costs(network, cost_type));
+  }
+
+  for (const Scenario& scenario : scenarios) {
+    for (std::size_t ci = 0; ci < kNumCostTypes; ++ci) {
+      ForcePathCutProblem problem;
+      problem.graph = &network.graph();
+      problem.weights = weights;
+      problem.costs = costs[ci];
+      problem.source = scenario.source;
+      problem.target = scenario.target;
+      problem.p_star = scenario.p_star;
+      problem.seed_paths = scenario.prefix;
+
+      for (Algorithm algorithm : kAllAlgorithms) {
+        AttackOptions options;
+        options.rng_seed = config.seed + ci * 131 + static_cast<std::size_t>(algorithm);
+        const AttackResult attack_result = run_attack(algorithm, problem, options);
+        auto& cell = result.cells[static_cast<std::size_t>(algorithm)][ci];
+        if (attack_result.status == AttackStatus::Success) {
+          const auto verdict = attack::verify_attack(problem, attack_result.removed_edges);
+          if (!verdict.ok) {
+            ++cell.verification_failures;
+            std::cerr << "[verify] " << to_string(algorithm) << " failed: " << verdict.reason
+                      << '\n';
+            continue;
+          }
+          cell.add(attack_result.seconds, static_cast<double>(attack_result.num_removed()),
+                   attack_result.total_cost);
+        } else {
+          ++cell.verification_failures;
+          std::cerr << "[attack] " << to_string(algorithm)
+                    << " status: " << to_string(attack_result.status) << '\n';
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Table render_city_table(const CityTableResult& result) {
+  const std::string title = std::string(citygen::to_string(result.config.city)) +
+                            ", Weight Type: " + attack::to_string(result.config.weight) + " (" +
+                            std::to_string(result.scenarios_run) + " experiments)";
+  std::vector<std::string> headers = {"Algorithm"};
+  for (CostType cost_type : kAllCostTypes) {
+    const std::string prefix = attack::to_string(cost_type);
+    headers.push_back(prefix + " Runtime");
+    headers.push_back(prefix + " ANER");
+    headers.push_back(prefix + " ACRE");
+  }
+  Table table(title, headers);
+  for (Algorithm algorithm : kAllAlgorithms) {
+    std::vector<std::string> row = {to_string(algorithm)};
+    for (CostType cost_type : kAllCostTypes) {
+      const auto& cell = result.cell(algorithm, cost_type);
+      row.push_back(format_fixed(cell.avg_runtime(), 4));
+      row.push_back(format_fixed(cell.aner(), 2));
+      row.push_back(format_fixed(cell.acre(), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+Table render_city_table_detailed(const CityTableResult& result) {
+  const std::string title = std::string(citygen::to_string(result.config.city)) +
+                            ", Weight Type: " + attack::to_string(result.config.weight) +
+                            " (detailed)";
+  Table table(title, {"Algorithm", "Cost", "Runtime Mean", "Runtime Stddev", "ANER Mean",
+                      "ANER Stddev", "ACRE Mean", "ACRE Stddev", "N", "Failures"});
+  for (Algorithm algorithm : kAllAlgorithms) {
+    for (CostType cost_type : kAllCostTypes) {
+      const auto& cell = result.cell(algorithm, cost_type);
+      table.add_row({to_string(algorithm), to_string(cost_type),
+                     format_fixed(cell.runtime.mean(), 5), format_fixed(cell.runtime.stddev(), 5),
+                     format_fixed(cell.edges_removed.mean(), 2),
+                     format_fixed(cell.edges_removed.stddev(), 2),
+                     format_fixed(cell.cost.mean(), 2), format_fixed(cell.cost.stddev(), 2),
+                     std::to_string(cell.n), std::to_string(cell.verification_failures)});
+    }
+  }
+  return table;
+}
+
+WeightSummary summarize(const CityTableResult& result) {
+  WeightSummary summary;
+  int n = 0;
+  for (Algorithm algorithm : kAllAlgorithms) {
+    for (CostType cost_type : kAllCostTypes) {
+      const auto& cell = result.cell(algorithm, cost_type);
+      if (cell.n == 0) continue;
+      summary.aner += cell.aner();
+      summary.acre += cell.acre();
+      ++n;
+    }
+  }
+  if (n > 0) {
+    summary.aner /= n;
+    summary.acre /= n;
+  }
+  return summary;
+}
+
+ThresholdRow run_threshold_experiment(citygen::City city, double scale, int trials,
+                                      std::uint64_t seed) {
+  ThresholdRow row;
+  row.city = city;
+  const auto network = citygen::generate_city(city, scale, seed);
+  const auto weights = attack::make_weights(network, attack::WeightType::Time);
+
+  Rng rng(seed ^ 0x5c5c5c5cULL);
+  ScenarioOptions options;
+  options.path_rank = 200;  // one Yen run yields both the 100th and 200th
+  const auto scenarios = sample_scenarios(network, weights, trials, rng, options);
+
+  for (const Scenario& scenario : scenarios) {
+    const double base = scenario.shortest_length;
+    require(base > 0.0, "threshold: zero-length shortest path");
+    const double len100 = scenario.prefix[99].length;
+    const double len200 = scenario.p_star.length;
+    row.avg_increase_100th += (len100 / base - 1.0) * 100.0;
+    row.avg_increase_200th += (len200 / base - 1.0) * 100.0;
+    ++row.n;
+  }
+  if (row.n > 0) {
+    row.avg_increase_100th /= row.n;
+    row.avg_increase_200th /= row.n;
+  }
+  return row;
+}
+
+}  // namespace mts::exp

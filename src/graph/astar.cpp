@@ -1,0 +1,93 @@
+#include "graph/astar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "core/error.hpp"
+
+namespace mts {
+
+Heuristic euclidean_heuristic(const DiGraph& g, NodeId target, double weight_per_meter) {
+  const double tx = g.x(target);
+  const double ty = g.y(target);
+  return [&g, tx, ty, weight_per_meter](NodeId n) {
+    return weight_per_meter * std::hypot(g.x(n) - tx, g.y(n) - ty);
+  };
+}
+
+double max_admissible_rate(const DiGraph& g, std::span<const double> weights) {
+  require(weights.size() == g.num_edges(), "max_admissible_rate: weights size mismatch");
+  double rate = std::numeric_limits<double>::infinity();
+  for (EdgeId e : g.edges()) {
+    const double euclid = g.node_distance(g.edge_from(e), g.edge_to(e));
+    if (euclid <= 0.0) continue;
+    rate = std::min(rate, weights[e.value()] / euclid);
+  }
+  return std::isfinite(rate) ? rate : 0.0;
+}
+
+namespace {
+
+struct QueueEntry {
+  double f;  // g + h
+  NodeId node;
+  friend bool operator<(const QueueEntry& a, const QueueEntry& b) { return a.f > b.f; }
+};
+
+}  // namespace
+
+AStarResult astar(const DiGraph& g, std::span<const double> weights, NodeId source,
+                  NodeId target, const Heuristic& heuristic, const EdgeFilter* filter) {
+  require(g.finalized(), "astar: graph not finalized");
+  require(weights.size() == g.num_edges(), "astar: weights size mismatch");
+  require(source.value() < g.num_nodes() && target.value() < g.num_nodes(),
+          "astar: endpoint out of range");
+
+  std::vector<double> dist(g.num_nodes(), kInfiniteDistance);
+  std::vector<EdgeId> parent(g.num_nodes(), EdgeId::invalid());
+  std::vector<std::uint8_t> settled(g.num_nodes(), 0);
+
+  std::priority_queue<QueueEntry> queue;
+  dist[source.value()] = 0.0;
+  queue.push({heuristic(source), source});
+
+  AStarResult result;
+  while (!queue.empty()) {
+    const NodeId node = queue.top().node;
+    queue.pop();
+    if (settled[node.value()]) continue;
+    settled[node.value()] = 1;
+    ++result.nodes_settled;
+    if (node == target) break;
+
+    for (EdgeId e : g.out_edges(node)) {
+      if (!edge_alive(filter, e)) continue;
+      const NodeId head = g.edge_to(e);
+      if (settled[head.value()]) continue;
+      const double w = weights[e.value()];
+      require(w >= 0.0, "astar: negative edge weight");
+      const double candidate = dist[node.value()] + w;
+      if (candidate < dist[head.value()]) {
+        dist[head.value()] = candidate;
+        parent[head.value()] = e;
+        queue.push({candidate + heuristic(head), head});
+      }
+    }
+  }
+
+  if (dist[target.value()] == kInfiniteDistance) return result;
+  Path path;
+  path.length = dist[target.value()];
+  NodeId cursor = target;
+  while (cursor != source) {
+    const EdgeId e = parent[cursor.value()];
+    path.edges.push_back(e);
+    cursor = g.edge_from(e);
+  }
+  std::reverse(path.edges.begin(), path.edges.end());
+  result.path = std::move(path);
+  return result;
+}
+
+}  // namespace mts

@@ -1,0 +1,41 @@
+// A* shortest path with admissible geometric heuristics.
+//
+// The victim's routing engine in a deployed navigation stack would use a
+// goal-directed search, not plain Dijkstra.  A* with a Euclidean
+// lower-bound heuristic returns *identical* routes (the heuristics below
+// are admissible and consistent), just faster — the attack layer's
+// conclusions are unchanged, which tests assert explicitly.
+#pragma once
+
+#include <functional>
+
+#include "graph/dijkstra.hpp"
+
+namespace mts {
+
+/// Lower-bound estimate of remaining cost from a node to the target.
+using Heuristic = std::function<double(NodeId)>;
+
+/// Admissible heuristic for LENGTH weights: straight-line distance.
+/// `weight_per_meter` rescales for other metrics (e.g. 1/max_speed for
+/// TIME weights); it must satisfy w(e) >= weight_per_meter * euclid(e)
+/// for every edge or optimality is lost.
+Heuristic euclidean_heuristic(const DiGraph& g, NodeId target, double weight_per_meter = 1.0);
+
+/// The largest admissible weight_per_meter for the given weights: the
+/// minimum over edges of weight / euclidean length (infinite-safe).
+double max_admissible_rate(const DiGraph& g, std::span<const double> weights);
+
+struct AStarResult {
+  std::optional<Path> path;
+  std::size_t nodes_settled = 0;  // search effort (vs Dijkstra's)
+};
+
+/// A* from source to target.  With the zero heuristic this is exactly
+/// early-exit Dijkstra.  Throws PreconditionViolation on negative arc
+/// weights encountered during the search.
+AStarResult astar(const DiGraph& g, std::span<const double> weights, NodeId source,
+                  NodeId target, const Heuristic& heuristic,
+                  const EdgeFilter* filter = nullptr);
+
+}  // namespace mts

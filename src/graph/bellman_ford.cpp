@@ -1,0 +1,37 @@
+#include "graph/bellman_ford.hpp"
+
+#include "core/error.hpp"
+
+namespace mts {
+
+ShortestPathTree bellman_ford(const DiGraph& g, std::span<const double> weights,
+                              NodeId source, const EdgeFilter* filter) {
+  require(g.finalized(), "bellman_ford: graph not finalized");
+  require(weights.size() == g.num_edges(), "bellman_ford: weight vector size mismatch");
+
+  ShortestPathTree tree;
+  tree.dist.assign(g.num_nodes(), kInfiniteDistance);
+  tree.parent_edge.assign(g.num_nodes(), EdgeId::invalid());
+  tree.dist[source.value()] = 0.0;
+
+  bool changed = true;
+  for (std::size_t round = 0; round < g.num_nodes() && changed; ++round) {
+    changed = false;
+    for (EdgeId e : g.edges()) {
+      if (!edge_alive(filter, e)) continue;
+      const NodeId u = g.edge_from(e);
+      const NodeId v = g.edge_to(e);
+      require(weights[e.value()] >= 0.0, "bellman_ford: negative edge weight");
+      if (tree.dist[u.value()] == kInfiniteDistance) continue;
+      const double candidate = tree.dist[u.value()] + weights[e.value()];
+      if (candidate < tree.dist[v.value()]) {
+        tree.dist[v.value()] = candidate;
+        tree.parent_edge[v.value()] = e;
+        changed = true;
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace mts

@@ -1,0 +1,16 @@
+// Bellman-Ford SSSP.  Slower than Dijkstra but independent of it; used as
+// a cross-check oracle in tests and supports zero-weight cycles gracefully.
+#pragma once
+
+#include <span>
+
+#include "graph/dijkstra.hpp"
+
+namespace mts {
+
+/// Runs Bellman-Ford from `source`; weights must be non-negative here as
+/// well (road metrics), which guarantees convergence in <= |V| rounds.
+ShortestPathTree bellman_ford(const DiGraph& g, std::span<const double> weights,
+                              NodeId source, const EdgeFilter* filter = nullptr);
+
+}  // namespace mts

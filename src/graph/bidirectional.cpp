@@ -1,0 +1,123 @@
+#include "graph/bidirectional.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/error.hpp"
+
+namespace mts {
+
+namespace {
+
+struct QueueEntry {
+  double dist;
+  NodeId node;
+  friend bool operator<(const QueueEntry& a, const QueueEntry& b) {
+    return a.dist > b.dist;
+  }
+};
+
+/// One search direction's state.
+struct Frontier {
+  std::vector<double> dist;
+  std::vector<EdgeId> parent;  // tree edge that reached the node
+  std::vector<std::uint8_t> settled;
+  std::priority_queue<QueueEntry> queue;
+
+  explicit Frontier(std::size_t n, NodeId origin)
+      : dist(n, kInfiniteDistance), parent(n, EdgeId::invalid()), settled(n, 0) {
+    dist[origin.value()] = 0.0;
+    queue.push({0.0, origin});
+  }
+
+  [[nodiscard]] double top_key() const {
+    return queue.empty() ? kInfiniteDistance : queue.top().dist;
+  }
+};
+
+}  // namespace
+
+BidirectionalResult bidirectional_shortest_path(const DiGraph& g,
+                                                std::span<const double> weights,
+                                                NodeId source, NodeId target,
+                                                const EdgeFilter* filter) {
+  require(g.finalized(), "bidirectional: graph not finalized");
+  require(weights.size() == g.num_edges(), "bidirectional: weights size mismatch");
+  require(source.value() < g.num_nodes() && target.value() < g.num_nodes(),
+          "bidirectional: endpoint out of range");
+
+  BidirectionalResult result;
+  if (source == target) {
+    result.path = Path{};
+    return result;
+  }
+
+  Frontier fwd(g.num_nodes(), source);
+  Frontier bwd(g.num_nodes(), target);
+
+  double best = kInfiniteDistance;
+  NodeId meet = NodeId::invalid();
+
+  auto try_meet = [&](NodeId n) {
+    if (fwd.dist[n.value()] == kInfiniteDistance || bwd.dist[n.value()] == kInfiniteDistance) {
+      return;
+    }
+    const double through = fwd.dist[n.value()] + bwd.dist[n.value()];
+    if (through < best) {
+      best = through;
+      meet = n;
+    }
+  };
+
+  // Alternate expansions; terminate once the sum of frontier keys can no
+  // longer beat the best meeting point found.
+  while (fwd.top_key() + bwd.top_key() < best) {
+    const bool expand_forward = fwd.top_key() <= bwd.top_key();
+    Frontier& frontier = expand_forward ? fwd : bwd;
+
+    const NodeId node = frontier.queue.top().node;
+    frontier.queue.pop();
+    if (frontier.settled[node.value()]) continue;
+    frontier.settled[node.value()] = 1;
+    ++result.nodes_settled;
+
+    const auto edges = expand_forward ? g.out_edges(node) : g.in_edges(node);
+    for (EdgeId e : edges) {
+      if (!edge_alive(filter, e)) continue;
+      const NodeId next = expand_forward ? g.edge_to(e) : g.edge_from(e);
+      const double w = weights[e.value()];
+      require(w >= 0.0, "bidirectional: negative edge weight");
+      const double candidate = frontier.dist[node.value()] + w;
+      if (candidate < frontier.dist[next.value()]) {
+        frontier.dist[next.value()] = candidate;
+        frontier.parent[next.value()] = e;
+        frontier.queue.push({candidate, next});
+        try_meet(next);
+      }
+    }
+  }
+
+  if (!meet.valid()) return result;  // disconnected
+
+  Path path;
+  path.length = best;
+  // Forward half: meet back to source.
+  std::vector<EdgeId> forward_half;
+  for (NodeId cursor = meet; cursor != source;) {
+    const EdgeId e = fwd.parent[cursor.value()];
+    forward_half.push_back(e);
+    cursor = g.edge_from(e);
+  }
+  std::reverse(forward_half.begin(), forward_half.end());
+  path.edges = std::move(forward_half);
+  // Backward half: meet forward to target (parents point away from target).
+  for (NodeId cursor = meet; cursor != target;) {
+    const EdgeId e = bwd.parent[cursor.value()];
+    path.edges.push_back(e);
+    cursor = g.edge_to(e);
+  }
+  result.path = std::move(path);
+  return result;
+}
+
+}  // namespace mts

@@ -1,0 +1,36 @@
+// Reachability and strongly connected components.
+//
+// City generators keep only the largest SCC so every sampled (source,
+// hospital) pair is mutually routable, matching the OSMnx preprocessing
+// the paper relies on.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/edge_filter.hpp"
+
+namespace mts {
+
+/// Per-node mask of nodes reachable from `source` along alive edges.
+std::vector<std::uint8_t> reachable_from(const DiGraph& g, NodeId source,
+                                         const EdgeFilter* filter = nullptr);
+
+/// True if `target` is reachable from `source`.
+bool is_reachable(const DiGraph& g, NodeId source, NodeId target,
+                  const EdgeFilter* filter = nullptr);
+
+struct SccResult {
+  std::vector<std::uint32_t> component;  // per node, dense component ids
+  std::size_t num_components = 0;
+
+  /// Id of a component with the most nodes.
+  [[nodiscard]] std::uint32_t largest() const;
+  /// Size of each component.
+  [[nodiscard]] std::vector<std::size_t> sizes() const;
+};
+
+/// Tarjan's strongly connected components (iterative).
+SccResult strongly_connected_components(const DiGraph& g, const EdgeFilter* filter = nullptr);
+
+}  // namespace mts

@@ -1,0 +1,341 @@
+#include "graph/contraction_hierarchy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "core/error.hpp"
+
+namespace mts {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Arc in the preprocessing pool.  `via < 0` means an original edge.
+struct PoolArc {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  double weight = 0.0;
+  std::int32_t via = -1;
+  std::uint32_t left = 0;
+  std::uint32_t right = 0;
+  std::uint32_t original_edge = 0;
+};
+
+/// Preprocessing state: dynamic adjacency over pool arcs between
+/// not-yet-contracted nodes.
+struct Builder {
+  std::vector<PoolArc> pool;
+  std::vector<std::vector<std::uint32_t>> out_arcs;  // pool ids by tail
+  std::vector<std::vector<std::uint32_t>> in_arcs;   // pool ids by head
+  std::vector<std::uint8_t> contracted;
+  std::vector<std::uint32_t> depth;  // hierarchy-depth heuristic
+  ChOptions options;
+
+  Builder(const DiGraph& g, std::span<const double> weights, const ChOptions& opt)
+      : out_arcs(g.num_nodes()),
+        in_arcs(g.num_nodes()),
+        contracted(g.num_nodes(), 0),
+        depth(g.num_nodes(), 0),
+        options(opt) {
+    for (EdgeId e : g.edges()) {
+      const auto u = g.edge_from(e).value();
+      const auto v = g.edge_to(e).value();
+      require(weights[e.value()] >= 0.0, "CH: negative edge weight");
+      if (u == v) continue;  // self loops never lie on shortest paths
+      add_arc({u, v, weights[e.value()], -1, 0, 0, e.value()});
+    }
+  }
+
+  /// Adds an arc, keeping only the lightest per (from, to) pair.
+  void add_arc(const PoolArc& arc) {
+    for (std::uint32_t id : out_arcs[arc.from]) {
+      if (pool[id].to == arc.to) {
+        if (arc.weight < pool[id].weight) pool[id] = arc;
+        return;
+      }
+    }
+    const auto id = static_cast<std::uint32_t>(pool.size());
+    pool.push_back(arc);
+    out_arcs[arc.from].push_back(id);
+    in_arcs[arc.to].push_back(id);
+  }
+
+  /// Bounded local search: does a u->w path avoiding `banned` with length
+  /// <= `limit` exist among uncontracted nodes?
+  bool witness_exists(std::uint32_t source, std::uint32_t target, std::uint32_t banned,
+                      double limit) {
+    struct Entry {
+      double dist;
+      std::uint32_t node;
+      std::uint32_t hops;
+      bool operator<(const Entry& other) const { return dist > other.dist; }
+    };
+    // Searches touch a handful of nodes; a linear-scan map beats O(n)
+    // clears and hash overhead.
+    std::vector<std::pair<std::uint32_t, double>> best;
+    auto get = [&](std::uint32_t n) {
+      for (const auto& [node, dist] : best) {
+        if (node == n) return dist;
+      }
+      return kInf;
+    };
+    auto set = [&](std::uint32_t n, double d) {
+      for (auto& [node, dist] : best) {
+        if (node == n) {
+          dist = d;
+          return;
+        }
+      }
+      best.emplace_back(n, d);
+    };
+
+    std::priority_queue<Entry> queue;
+    queue.push({0.0, source, 0});
+    set(source, 0.0);
+    std::size_t settled = 0;
+    while (!queue.empty()) {
+      const auto [dist, node, hops] = queue.top();
+      queue.pop();
+      if (dist > get(node)) continue;  // stale
+      if (node == target) return dist <= limit;
+      if (++settled > options.witness_settle_limit) break;
+      if (hops >= options.witness_hop_limit) continue;
+      for (std::uint32_t id : out_arcs[node]) {
+        const PoolArc& arc = pool[id];
+        if (contracted[arc.to] || arc.to == banned) continue;
+        const double candidate = dist + arc.weight;
+        if (candidate <= limit && candidate < get(arc.to)) {
+          set(arc.to, candidate);
+          queue.push({candidate, arc.to, hops + 1});
+        }
+      }
+    }
+    return get(target) <= limit;
+  }
+
+  /// Shortcuts required to contract `v`; inserts them when `apply`.
+  int simulate_or_contract(std::uint32_t v, bool apply) {
+    int shortcuts = 0;
+    // Snapshot: add_arc may grow in_arcs/out_arcs of other nodes, but not
+    // of v, so iterating v's lists by index is safe; still copy ids for
+    // clarity.
+    const std::vector<std::uint32_t> ins = in_arcs[v];
+    const std::vector<std::uint32_t> outs = out_arcs[v];
+    for (std::uint32_t in_id : ins) {
+      const PoolArc in_arc = pool[in_id];
+      if (contracted[in_arc.from]) continue;
+      for (std::uint32_t out_id : outs) {
+        const PoolArc out_arc = pool[out_id];
+        if (contracted[out_arc.to] || out_arc.to == in_arc.from) continue;
+        const double through = in_arc.weight + out_arc.weight;
+        if (witness_exists(in_arc.from, out_arc.to, v, through)) continue;
+        ++shortcuts;
+        if (apply) {
+          add_arc({in_arc.from, out_arc.to, through, static_cast<std::int32_t>(v), in_id,
+                   out_id, 0});
+        }
+      }
+    }
+    return shortcuts;
+  }
+
+  /// Edge-difference priority (lower contracts earlier).
+  double priority(std::uint32_t v) {
+    int alive = 0;
+    for (std::uint32_t id : in_arcs[v]) alive += contracted[pool[id].from] ? 0 : 1;
+    for (std::uint32_t id : out_arcs[v]) alive += contracted[pool[id].to] ? 0 : 1;
+    const int shortcuts = simulate_or_contract(v, /*apply=*/false);
+    return static_cast<double>(shortcuts) - static_cast<double>(alive) +
+           0.5 * static_cast<double>(depth[v]);
+  }
+};
+
+}  // namespace
+
+ContractionHierarchy ContractionHierarchy::build(const DiGraph& g,
+                                                 std::span<const double> weights,
+                                                 const ChOptions& options) {
+  require(g.finalized(), "CH: graph not finalized");
+  require(weights.size() == g.num_edges(), "CH: weights size mismatch");
+
+  const std::size_t n = g.num_nodes();
+  Builder builder(g, weights, options);
+
+  ContractionHierarchy ch;
+  ch.rank_.assign(n, 0);
+
+  struct QueueEntry {
+    double priority;
+    std::uint32_t node;
+    bool operator<(const QueueEntry& other) const { return priority > other.priority; }
+  };
+  std::priority_queue<QueueEntry> queue;
+  for (std::uint32_t v = 0; v < n; ++v) queue.push({builder.priority(v), v});
+
+  std::uint32_t next_rank = 0;
+  while (!queue.empty()) {
+    const auto [stale_priority, v] = queue.top();
+    queue.pop();
+    if (builder.contracted[v]) continue;
+    // Lazy update: re-evaluate; requeue unless still the minimum.
+    const double fresh = builder.priority(v);
+    if (!queue.empty() && fresh > stale_priority + 1e-9 && fresh > queue.top().priority) {
+      queue.push({fresh, v});
+      continue;
+    }
+
+    builder.simulate_or_contract(v, /*apply=*/true);
+    builder.contracted[v] = 1;
+    ch.rank_[v] = next_rank++;
+    for (std::uint32_t id : builder.in_arcs[v]) {
+      const auto u = builder.pool[id].from;
+      if (!builder.contracted[u]) {
+        builder.depth[u] = std::max(builder.depth[u], builder.depth[v] + 1);
+      }
+    }
+    for (std::uint32_t id : builder.out_arcs[v]) {
+      const auto w = builder.pool[id].to;
+      if (!builder.contracted[w]) {
+        builder.depth[w] = std::max(builder.depth[w], builder.depth[v] + 1);
+      }
+    }
+  }
+
+  // Expansion records, in pool order.
+  ch.pool_.reserve(builder.pool.size());
+  for (const PoolArc& arc : builder.pool) {
+    ch.pool_.push_back({arc.via, arc.left, arc.right, arc.original_edge});
+    if (arc.via >= 0) ++ch.num_shortcuts_;
+  }
+
+  // Partition arcs into the two search graphs.
+  std::vector<std::vector<SearchArc>> up_by_node(n);
+  std::vector<std::vector<SearchArc>> down_by_node(n);
+  for (std::uint32_t id = 0; id < builder.pool.size(); ++id) {
+    const PoolArc& arc = builder.pool[id];
+    if (ch.rank_[arc.from] < ch.rank_[arc.to]) {
+      up_by_node[arc.from].push_back({arc.from, arc.to, arc.weight, id});
+    } else {
+      down_by_node[arc.to].push_back({arc.to, arc.from, arc.weight, id});
+    }
+  }
+  auto freeze = [n](const std::vector<std::vector<SearchArc>>& by_node,
+                    std::vector<SearchArc>& arcs, std::vector<std::uint32_t>& offsets) {
+    offsets.assign(n + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      offsets[i + 1] = offsets[i] + static_cast<std::uint32_t>(by_node[i].size());
+    }
+    arcs.clear();
+    arcs.reserve(offsets[n]);
+    for (const auto& list : by_node) arcs.insert(arcs.end(), list.begin(), list.end());
+  };
+  freeze(up_by_node, ch.up_arcs_, ch.up_offsets_);
+  freeze(down_by_node, ch.down_arcs_, ch.down_offsets_);
+  return ch;
+}
+
+void ContractionHierarchy::unpack(std::uint32_t pool_id, std::vector<EdgeId>& out) const {
+  const PoolRecord& record = pool_[pool_id];
+  if (record.via < 0) {
+    out.push_back(EdgeId(record.original_edge));
+    return;
+  }
+  unpack(record.left, out);
+  unpack(record.right, out);
+}
+
+ContractionHierarchy::QueryResult ContractionHierarchy::query(NodeId source,
+                                                              NodeId target) const {
+  return run_query(source, target, /*need_path=*/true);
+}
+
+double ContractionHierarchy::distance(NodeId source, NodeId target) const {
+  return run_query(source, target, /*need_path=*/false).distance;
+}
+
+ContractionHierarchy::QueryResult ContractionHierarchy::run_query(NodeId source, NodeId target,
+                                                                  bool need_path) const {
+  require(source.value() < num_nodes() && target.value() < num_nodes(),
+          "CH query: endpoint out of range");
+  QueryResult result;
+  result.distance = kInf;
+
+  const std::size_t n = num_nodes();
+  std::vector<double> dist_f(n, kInf);
+  std::vector<double> dist_b(n, kInf);
+  std::vector<std::int64_t> parent_f(n, -1);  // indices into up_arcs_
+  std::vector<std::int64_t> parent_b(n, -1);  // indices into down_arcs_
+
+  struct Entry {
+    double dist;
+    std::uint32_t node;
+    bool forward;
+    bool operator<(const Entry& other) const { return dist > other.dist; }
+  };
+  std::priority_queue<Entry> queue;
+  dist_f[source.value()] = 0.0;
+  dist_b[target.value()] = 0.0;
+  queue.push({0.0, source.value(), true});
+  queue.push({0.0, target.value(), false});
+
+  double best = kInf;
+  std::int64_t meet = -1;
+
+  while (!queue.empty()) {
+    const auto [dist, node, forward] = queue.top();
+    queue.pop();
+    auto& mine = forward ? dist_f : dist_b;
+    if (dist > mine[node]) continue;  // stale
+    if (dist > best) continue;        // cannot contribute a better meet
+    ++result.nodes_settled;
+
+    const auto& theirs = forward ? dist_b : dist_f;
+    if (theirs[node] < kInf && dist + theirs[node] < best) {
+      best = dist + theirs[node];
+      meet = node;
+    }
+
+    const auto& offsets = forward ? up_offsets_ : down_offsets_;
+    const auto& arcs = forward ? up_arcs_ : down_arcs_;
+    auto& parents = forward ? parent_f : parent_b;
+    for (std::uint32_t i = offsets[node]; i < offsets[node + 1]; ++i) {
+      const SearchArc& arc = arcs[i];
+      const double candidate = dist + arc.weight;
+      if (candidate < mine[arc.other]) {
+        mine[arc.other] = candidate;
+        parents[arc.other] = i;
+        queue.push({candidate, arc.other, forward});
+      }
+    }
+  }
+
+  if (meet < 0) return result;
+  result.distance = best;
+  if (!need_path) return result;
+
+  Path path;
+  path.length = best;
+  // Forward half: walk meet -> source via up-arc parents (real direction
+  // base -> other), reverse the arc order, then unpack left-to-right.
+  std::vector<std::uint32_t> chain;
+  for (std::uint32_t cursor = static_cast<std::uint32_t>(meet); parent_f[cursor] >= 0;) {
+    const auto i = static_cast<std::uint32_t>(parent_f[cursor]);
+    chain.push_back(up_arcs_[i].pool_id);
+    cursor = up_arcs_[i].base;
+  }
+  std::reverse(chain.begin(), chain.end());
+  for (std::uint32_t pool_id : chain) unpack(pool_id, path.edges);
+  // Backward half: walk meet -> target via down-arc parents; each arc's
+  // real direction is other -> base, i.e. exactly the travel direction.
+  for (std::uint32_t cursor = static_cast<std::uint32_t>(meet); parent_b[cursor] >= 0;) {
+    const auto i = static_cast<std::uint32_t>(parent_b[cursor]);
+    unpack(down_arcs_[i].pool_id, path.edges);
+    cursor = down_arcs_[i].base;
+  }
+  result.path = std::move(path);
+  return result;
+}
+
+}  // namespace mts

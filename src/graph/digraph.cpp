@@ -1,0 +1,89 @@
+#include "graph/digraph.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace mts {
+
+NodeId DiGraph::add_node(double x, double y) {
+  finalized_ = false;
+  xs_.push_back(x);
+  ys_.push_back(y);
+  return NodeId(static_cast<std::uint32_t>(xs_.size() - 1));
+}
+
+EdgeId DiGraph::add_edge(NodeId u, NodeId v) {
+  require(u.value() < num_nodes() && v.value() < num_nodes(),
+          "add_edge: endpoint out of range");
+  finalized_ = false;
+  tails_.push_back(u);
+  heads_.push_back(v);
+  return EdgeId(static_cast<std::uint32_t>(tails_.size() - 1));
+}
+
+void DiGraph::set_position(NodeId n, double x, double y) {
+  xs_[n.value()] = x;
+  ys_[n.value()] = y;
+}
+
+void DiGraph::finalize() {
+  const std::size_t n = num_nodes();
+  const std::size_t m = num_edges();
+
+  auto build = [&](const std::vector<NodeId>& keys, std::vector<std::uint32_t>& offsets,
+                   std::vector<EdgeId>& ids) {
+    offsets.assign(n + 1, 0);
+    for (NodeId k : keys) ++offsets[k.value() + 1];
+    for (std::size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+    ids.resize(m);
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t e = 0; e < m; ++e) {
+      ids[cursor[keys[e].value()]++] = EdgeId(static_cast<std::uint32_t>(e));
+    }
+  };
+
+  build(tails_, out_offsets_, out_edge_ids_);
+  build(heads_, in_offsets_, in_edge_ids_);
+  finalized_ = true;
+}
+
+std::span<const EdgeId> DiGraph::out_edges(NodeId n) const {
+  require(finalized_, "out_edges: graph not finalized");
+  const auto lo = out_offsets_[n.value()];
+  const auto hi = out_offsets_[n.value() + 1];
+  return {out_edge_ids_.data() + lo, hi - lo};
+}
+
+std::span<const EdgeId> DiGraph::in_edges(NodeId n) const {
+  require(finalized_, "in_edges: graph not finalized");
+  const auto lo = in_offsets_[n.value()];
+  const auto hi = in_offsets_[n.value() + 1];
+  return {in_edge_ids_.data() + lo, hi - lo};
+}
+
+double DiGraph::average_degree() const {
+  if (num_nodes() == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) / static_cast<double>(num_nodes());
+}
+
+EdgeId DiGraph::find_edge(NodeId u, NodeId v) const {
+  if (finalized_) {
+    for (EdgeId e : out_edges(u)) {
+      if (edge_to(e) == v) return e;
+    }
+    return EdgeId::invalid();
+  }
+  for (std::size_t e = 0; e < num_edges(); ++e) {
+    if (tails_[e] == u && heads_[e] == v) return EdgeId(static_cast<std::uint32_t>(e));
+  }
+  return EdgeId::invalid();
+}
+
+double DiGraph::node_distance(NodeId a, NodeId b) const {
+  const double dx = x(a) - x(b);
+  const double dy = y(a) - y(b);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace mts

@@ -1,0 +1,102 @@
+#include "graph/dijkstra.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/error.hpp"
+
+namespace mts {
+
+namespace {
+
+struct QueueEntry {
+  double dist;
+  NodeId node;
+  friend bool operator<(const QueueEntry& a, const QueueEntry& b) {
+    return a.dist > b.dist;  // min-heap via std::priority_queue
+  }
+};
+
+}  // namespace
+
+ShortestPathTree dijkstra(const DiGraph& g, std::span<const double> weights, NodeId source,
+                          const DijkstraOptions& options) {
+  require(g.finalized(), "dijkstra: graph not finalized");
+  require(weights.size() == g.num_edges(), "dijkstra: weight vector size mismatch");
+  require(source.value() < g.num_nodes(), "dijkstra: source out of range");
+
+  ShortestPathTree tree;
+  tree.dist.assign(g.num_nodes(), kInfiniteDistance);
+  tree.parent_edge.assign(g.num_nodes(), EdgeId::invalid());
+
+  const auto* banned = options.banned_nodes;
+  if (banned != nullptr) {
+    require(banned->size() == g.num_nodes(), "dijkstra: ban mask size mismatch");
+    if ((*banned)[source.value()]) return tree;
+  }
+
+  std::priority_queue<QueueEntry> queue;
+  tree.dist[source.value()] = 0.0;
+  queue.push({0.0, source});
+
+  std::vector<std::uint8_t> settled(g.num_nodes(), 0);
+
+  while (!queue.empty()) {
+    const auto [dist, node] = queue.top();
+    queue.pop();
+    if (settled[node.value()]) continue;  // lazy deletion
+    settled[node.value()] = 1;
+    if (node == options.target) break;
+
+    for (EdgeId e : g.out_edges(node)) {
+      if (!edge_alive(options.filter, e)) continue;
+      const NodeId head = g.edge_to(e);
+      if (settled[head.value()]) continue;
+      if (banned != nullptr && (*banned)[head.value()]) continue;
+      const double w = weights[e.value()];
+      require(w >= 0.0, "dijkstra: negative edge weight");
+      const double candidate = dist + w;
+      if (candidate < tree.dist[head.value()]) {
+        tree.dist[head.value()] = candidate;
+        tree.parent_edge[head.value()] = e;
+        queue.push({candidate, head});
+      }
+    }
+  }
+  return tree;
+}
+
+std::optional<Path> extract_path(const DiGraph& g, const ShortestPathTree& tree,
+                                 NodeId source, NodeId target) {
+  if (!tree.reached(target)) return std::nullopt;
+  Path path;
+  path.length = tree.dist[target.value()];
+  NodeId cursor = target;
+  while (cursor != source) {
+    const EdgeId e = tree.parent_edge[cursor.value()];
+    if (!e.valid()) return std::nullopt;  // tree truncated before source
+    path.edges.push_back(e);
+    cursor = g.edge_from(e);
+  }
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+std::optional<Path> shortest_path(const DiGraph& g, std::span<const double> weights,
+                                  NodeId source, NodeId target, const EdgeFilter* filter) {
+  DijkstraOptions options;
+  options.target = target;
+  options.filter = filter;
+  const auto tree = dijkstra(g, weights, source, options);
+  return extract_path(g, tree, source, target);
+}
+
+double shortest_distance(const DiGraph& g, std::span<const double> weights, NodeId source,
+                         NodeId target, const EdgeFilter* filter) {
+  DijkstraOptions options;
+  options.target = target;
+  options.filter = filter;
+  return dijkstra(g, weights, source, options).dist[target.value()];
+}
+
+}  // namespace mts

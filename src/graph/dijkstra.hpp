@@ -1,0 +1,56 @@
+// Dijkstra shortest paths with edge filtering and early exit.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/edge_filter.hpp"
+#include "graph/path.hpp"
+
+namespace mts {
+
+inline constexpr double kInfiniteDistance = std::numeric_limits<double>::infinity();
+
+/// Result of a (possibly truncated) Dijkstra run from one source.
+struct ShortestPathTree {
+  std::vector<double> dist;        // per node; +inf if unreached
+  std::vector<EdgeId> parent_edge; // per node; invalid() at source/unreached
+
+  [[nodiscard]] bool reached(NodeId n) const {
+    return dist[n.value()] < kInfiniteDistance;
+  }
+};
+
+struct DijkstraOptions {
+  /// Stop as soon as this node is settled (invalid() = full SSSP).
+  NodeId target = NodeId::invalid();
+  /// Removed-edge mask (nullptr = none).
+  const EdgeFilter* filter = nullptr;
+  /// Per-node ban mask sized num_nodes (nullptr = none); banned nodes are
+  /// never relaxed.  Used by Yen's spur searches.
+  const std::vector<std::uint8_t>* banned_nodes = nullptr;
+};
+
+/// Runs Dijkstra from `source` under non-negative `weights` (one per edge).
+/// Throws PreconditionViolation on negative weights detected during
+/// traversal or size mismatches.
+ShortestPathTree dijkstra(const DiGraph& g, std::span<const double> weights, NodeId source,
+                          const DijkstraOptions& options = {});
+
+/// Extracts the source->target path from a tree, or nullopt if unreached.
+std::optional<Path> extract_path(const DiGraph& g, const ShortestPathTree& tree,
+                                 NodeId source, NodeId target);
+
+/// One-shot shortest path query (early-exit Dijkstra + extraction).
+std::optional<Path> shortest_path(const DiGraph& g, std::span<const double> weights,
+                                  NodeId source, NodeId target,
+                                  const EdgeFilter* filter = nullptr);
+
+/// Shortest-path distance only (+inf if unreachable).
+double shortest_distance(const DiGraph& g, std::span<const double> weights, NodeId source,
+                         NodeId target, const EdgeFilter* filter = nullptr);
+
+}  // namespace mts

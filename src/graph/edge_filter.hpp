@@ -1,0 +1,65 @@
+// Edge removal mask.
+//
+// Attack algorithms simulate removing road segments.  Rebuilding a graph
+// per candidate removal would dominate runtime, so removals are expressed
+// as a bitmask consulted by every traversal algorithm.  An unset (default)
+// filter removes nothing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/strong_id.hpp"
+
+namespace mts {
+
+class EdgeFilter {
+ public:
+  EdgeFilter() = default;
+  explicit EdgeFilter(std::size_t num_edges) : removed_(num_edges, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return removed_.size(); }
+
+  void remove(EdgeId e) {
+    if (!removed_[e.value()]) {
+      removed_[e.value()] = 1;
+      ++num_removed_;
+    }
+  }
+
+  void restore(EdgeId e) {
+    if (removed_[e.value()]) {
+      removed_[e.value()] = 0;
+      --num_removed_;
+    }
+  }
+
+  [[nodiscard]] bool is_removed(EdgeId e) const { return removed_[e.value()] != 0; }
+  [[nodiscard]] std::size_t num_removed() const { return num_removed_; }
+
+  void clear() {
+    removed_.assign(removed_.size(), 0);
+    num_removed_ = 0;
+  }
+
+  /// Every currently removed edge, ascending by id.
+  [[nodiscard]] std::vector<EdgeId> removed_edges() const {
+    std::vector<EdgeId> out;
+    out.reserve(num_removed_);
+    for (std::size_t e = 0; e < removed_.size(); ++e) {
+      if (removed_[e]) out.push_back(EdgeId(static_cast<std::uint32_t>(e)));
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::uint8_t> removed_;
+  std::size_t num_removed_ = 0;
+};
+
+/// True if `filter` is null or keeps `e`.
+inline bool edge_alive(const EdgeFilter* filter, EdgeId e) {
+  return filter == nullptr || !filter->is_removed(e);
+}
+
+}  // namespace mts

@@ -1,0 +1,137 @@
+#include "graph/maxflow.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "core/error.hpp"
+
+namespace mts {
+
+namespace {
+
+/// Residual arc: graph edges plus their reverse companions.
+struct Arc {
+  std::uint32_t head;
+  std::uint32_t rev;       // index of the reverse arc in arcs_of[head]
+  double capacity;
+  EdgeId origin;           // originating graph edge (invalid for reverse arcs)
+};
+
+class Dinic {
+ public:
+  Dinic(const DiGraph& g, std::span<const double> capacities)
+      : n_(g.num_nodes()), arcs_of_(n_) {
+    for (EdgeId e : g.edges()) {
+      require(capacities[e.value()] >= 0.0, "max_flow: negative capacity");
+      add_arc(g.edge_from(e).value(), g.edge_to(e).value(), capacities[e.value()], e);
+    }
+  }
+
+  double run(std::uint32_t s, std::uint32_t t) {
+    double total = 0.0;
+    while (build_levels(s, t)) {
+      cursor_.assign(n_, 0);
+      double pushed;
+      while ((pushed = augment(s, t, std::numeric_limits<double>::infinity())) > 0.0) {
+        total += pushed;
+      }
+    }
+    return total;
+  }
+
+  /// After run(): nodes still reachable in the residual network.
+  [[nodiscard]] std::vector<std::uint8_t> residual_reachable(std::uint32_t s) const {
+    std::vector<std::uint8_t> seen(n_, 0);
+    std::vector<std::uint32_t> stack = {s};
+    seen[s] = 1;
+    while (!stack.empty()) {
+      const auto u = stack.back();
+      stack.pop_back();
+      for (const Arc& a : arcs_of_[u]) {
+        if (a.capacity > kResidualEps && !seen[a.head]) {
+          seen[a.head] = 1;
+          stack.push_back(a.head);
+        }
+      }
+    }
+    return seen;
+  }
+
+  /// Saturated original edges crossing the cut frontier.
+  [[nodiscard]] std::vector<EdgeId> cut_edges(const std::vector<std::uint8_t>& source_side) const {
+    std::vector<EdgeId> cut;
+    for (std::uint32_t u = 0; u < n_; ++u) {
+      if (!source_side[u]) continue;
+      for (const Arc& a : arcs_of_[u]) {
+        if (a.origin.valid() && !source_side[a.head]) cut.push_back(a.origin);
+      }
+    }
+    return cut;
+  }
+
+ private:
+  static constexpr double kResidualEps = 1e-12;
+
+  void add_arc(std::uint32_t u, std::uint32_t v, double cap, EdgeId origin) {
+    arcs_of_[u].push_back({v, static_cast<std::uint32_t>(arcs_of_[v].size() + (u == v ? 1 : 0)),
+                           cap, origin});
+    arcs_of_[v].push_back({u, static_cast<std::uint32_t>(arcs_of_[u].size() - 1), 0.0,
+                           EdgeId::invalid()});
+  }
+
+  bool build_levels(std::uint32_t s, std::uint32_t t) {
+    level_.assign(n_, -1);
+    std::queue<std::uint32_t> queue;
+    level_[s] = 0;
+    queue.push(s);
+    while (!queue.empty()) {
+      const auto u = queue.front();
+      queue.pop();
+      for (const Arc& a : arcs_of_[u]) {
+        if (a.capacity > kResidualEps && level_[a.head] < 0) {
+          level_[a.head] = level_[u] + 1;
+          queue.push(a.head);
+        }
+      }
+    }
+    return level_[t] >= 0;
+  }
+
+  double augment(std::uint32_t u, std::uint32_t t, double limit) {
+    if (u == t) return limit;
+    for (auto& pos = cursor_[u]; pos < arcs_of_[u].size(); ++pos) {
+      Arc& a = arcs_of_[u][pos];
+      if (a.capacity <= kResidualEps || level_[a.head] != level_[u] + 1) continue;
+      const double pushed = augment(a.head, t, std::min(limit, a.capacity));
+      if (pushed > 0.0) {
+        a.capacity -= pushed;
+        arcs_of_[a.head][a.rev].capacity += pushed;
+        return pushed;
+      }
+    }
+    return 0.0;
+  }
+
+  std::uint32_t n_;
+  std::vector<std::vector<Arc>> arcs_of_;
+  std::vector<int> level_;
+  std::vector<std::size_t> cursor_;
+};
+
+}  // namespace
+
+MaxFlowResult max_flow(const DiGraph& g, std::span<const double> capacities, NodeId source,
+                       NodeId sink) {
+  require(g.finalized(), "max_flow: graph not finalized");
+  require(capacities.size() == g.num_edges(), "max_flow: capacity vector size mismatch");
+  require(source != sink, "max_flow: source == sink");
+
+  Dinic dinic(g, capacities);
+  MaxFlowResult result;
+  result.flow = dinic.run(source.value(), sink.value());
+  result.source_side = dinic.residual_reachable(source.value());
+  result.cut_edges = dinic.cut_edges(result.source_side);
+  return result;
+}
+
+}  // namespace mts

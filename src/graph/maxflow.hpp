@@ -1,0 +1,30 @@
+// Dinic max-flow / min-cut.
+//
+// Supports the paper's §II-A partition objective: isolating a target area
+// (e.g. the blocks around a hospital) with a minimum-cost set of road
+// closures is exactly a min s-t cut with capacities equal to removal costs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace mts {
+
+struct MaxFlowResult {
+  double flow = 0.0;
+  /// Graph edges saturated across the source-side/sink-side frontier:
+  /// a minimum cut whose capacity equals `flow`.
+  std::vector<EdgeId> cut_edges;
+  /// Per-node mask: 1 if on the source side of the cut.
+  std::vector<std::uint8_t> source_side;
+};
+
+/// Max flow from `source` to `sink` with per-edge `capacities` (>= 0).
+/// Multi-source/multi-sink problems are expressed by adding super nodes to
+/// the graph before calling (see attack/area_isolation).
+MaxFlowResult max_flow(const DiGraph& g, std::span<const double> capacities, NodeId source,
+                       NodeId sink);
+
+}  // namespace mts

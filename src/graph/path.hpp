@@ -1,0 +1,42 @@
+// Simple directed paths expressed as edge sequences.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/strong_id.hpp"
+#include "graph/digraph.hpp"
+
+namespace mts {
+
+/// A directed path: consecutive edges where edge_to(edges[i]) ==
+/// edge_from(edges[i+1]).  `length` is the sum of the weights it was found
+/// under.  Equality compares edge sequences only (lengths are derived).
+struct Path {
+  std::vector<EdgeId> edges;
+  double length = 0.0;
+
+  [[nodiscard]] bool empty() const { return edges.empty(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges.size(); }
+
+  friend bool operator==(const Path& a, const Path& b) { return a.edges == b.edges; }
+};
+
+/// Sum of `weights` over `edges`.
+double path_length(std::span<const EdgeId> edges, std::span<const double> weights);
+
+/// The node sequence visited by `path` (size = edges + 1; empty for an
+/// empty path).
+std::vector<NodeId> path_nodes(const DiGraph& g, const Path& path);
+
+/// Validates edge connectivity, endpoints, and node-simplicity.
+bool is_simple_path(const DiGraph& g, const Path& path, NodeId source, NodeId target);
+
+/// Recomputes `path.length` under a different weight vector.
+Path reweight_path(Path path, std::span<const double> weights);
+
+/// Order-independent 64-bit signature of the edge sequence, for candidate
+/// de-duplication in Yen's algorithm.
+std::uint64_t path_signature(const Path& path);
+
+}  // namespace mts

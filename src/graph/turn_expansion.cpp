@@ -1,0 +1,118 @@
+#include "graph/turn_expansion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <queue>
+
+#include "core/error.hpp"
+
+namespace mts {
+
+TurnKind classify_turn(const DiGraph& g, EdgeId in, EdgeId out) {
+  require(g.edge_to(in) == g.edge_from(out), "classify_turn: edges do not meet");
+  const NodeId a = g.edge_from(in);
+  const NodeId b = g.edge_to(in);
+  const NodeId c = g.edge_to(out);
+  const double in_angle = std::atan2(g.y(b) - g.y(a), g.x(b) - g.x(a));
+  const double out_angle = std::atan2(g.y(c) - g.y(b), g.x(c) - g.x(b));
+  double turn = (out_angle - in_angle) * 180.0 / std::numbers::pi;
+  while (turn > 180.0) turn -= 360.0;
+  while (turn <= -180.0) turn += 360.0;
+  if (std::abs(turn) <= 30.0) return TurnKind::Straight;
+  if (std::abs(turn) >= 150.0) return TurnKind::UTurn;
+  return turn > 0.0 ? TurnKind::Left : TurnKind::Right;
+}
+
+TurnPenaltyFn standard_turn_policy(const DiGraph& g, double left_penalty) {
+  return [&g, left_penalty](EdgeId in, EdgeId out) -> std::optional<double> {
+    switch (classify_turn(g, in, out)) {
+      case TurnKind::UTurn: return std::nullopt;
+      case TurnKind::Left: return left_penalty;
+      case TurnKind::Straight:
+      case TurnKind::Right: return 0.0;
+    }
+    return 0.0;
+  };
+}
+
+TurnAwareRouter::TurnAwareRouter(const DiGraph& g, std::span<const double> weights,
+                                 const TurnPenaltyFn& policy)
+    : g_(g), weights_(weights) {
+  require(g.finalized(), "TurnAwareRouter: graph not finalized");
+  require(weights.size() == g.num_edges(), "TurnAwareRouter: weights size mismatch");
+
+  for (EdgeId e : g.edges()) {
+    expanded_.add_node(g.x(g.edge_to(e)), g.y(g.edge_to(e)));
+  }
+  for (EdgeId in : g.edges()) {
+    const NodeId via = g.edge_to(in);
+    for (EdgeId out : g.out_edges(via)) {
+      const auto penalty = policy(in, out);
+      if (!penalty) continue;  // forbidden turn
+      require(*penalty >= 0.0, "TurnAwareRouter: negative turn penalty");
+      expanded_.add_edge(NodeId(in.value()), NodeId(out.value()));
+      arc_weights_.push_back(*penalty + weights[out.value()]);
+    }
+  }
+  expanded_.finalize();
+}
+
+std::optional<Path> TurnAwareRouter::shortest_path(NodeId source, NodeId target) const {
+  require(source.value() < g_.num_nodes() && target.value() < g_.num_nodes(),
+          "TurnAwareRouter: endpoint out of range");
+  if (source == target) return Path{};
+
+  // Multi-source Dijkstra over expanded nodes (= directed edges): seed
+  // with every edge leaving `source`, stop at any edge entering `target`.
+  const std::size_t m = expanded_.num_nodes();
+  std::vector<double> dist(m, kInfiniteDistance);
+  std::vector<std::uint32_t> parent(m, ~0u);  // previous expanded node
+  std::vector<std::uint8_t> settled(m, 0);
+
+  struct Entry {
+    double dist;
+    std::uint32_t node;
+    bool operator<(const Entry& other) const { return dist > other.dist; }
+  };
+  std::priority_queue<Entry> queue;
+  for (EdgeId e : g_.out_edges(source)) {
+    if (weights_[e.value()] < dist[e.value()]) {
+      dist[e.value()] = weights_[e.value()];
+      queue.push({dist[e.value()], e.value()});
+    }
+  }
+
+  std::uint32_t final_edge = ~0u;
+  while (!queue.empty()) {
+    const auto [d, node] = queue.top();
+    queue.pop();
+    if (settled[node]) continue;
+    settled[node] = 1;
+    if (g_.edge_to(EdgeId(node)) == target) {
+      final_edge = node;
+      break;
+    }
+    for (EdgeId arc : expanded_.out_edges(NodeId(node))) {
+      const auto next = expanded_.edge_to(arc).value();
+      if (settled[next]) continue;
+      const double candidate = d + arc_weights_[arc.value()];
+      if (candidate < dist[next]) {
+        dist[next] = candidate;
+        parent[next] = node;
+        queue.push({candidate, next});
+      }
+    }
+  }
+  if (final_edge == ~0u) return std::nullopt;
+
+  Path path;
+  path.length = dist[final_edge];
+  for (std::uint32_t cursor = final_edge; cursor != ~0u; cursor = parent[cursor]) {
+    path.edges.push_back(EdgeId(cursor));
+  }
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+}  // namespace mts

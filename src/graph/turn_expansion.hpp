@@ -1,0 +1,57 @@
+// Turn-aware routing via edge-based graph expansion.
+//
+// Real navigation distinguishes turns: U-turns are usually illegal,
+// left turns across traffic cost extra time.  The standard technique is
+// the edge-based (line) graph: expanded nodes are the original directed
+// edges, expanded arcs are permitted turns, weighted by the head edge's
+// traversal weight plus a turn penalty.  Attacks computed on turn-aware
+// routes block the roads a turn-respecting victim would actually drive.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "graph/dijkstra.hpp"
+
+namespace mts {
+
+/// Classification of the turn from edge `in` to edge `out` at their
+/// shared node, by the signed angle between the segments (degrees in
+/// (-180, 180]; 0 = straight, positive = left in a y-up plane).
+enum class TurnKind { Straight, Left, Right, UTurn };
+
+/// Computes the turn kind from node coordinates (thresholds: |angle| <= 30
+/// straight, >= 150 U-turn, sign decides left/right otherwise).
+TurnKind classify_turn(const DiGraph& g, EdgeId in, EdgeId out);
+
+/// Per-turn cost: return the penalty (same unit as edge weights) or
+/// nullopt to forbid the turn entirely.
+using TurnPenaltyFn = std::function<std::optional<double>(EdgeId in, EdgeId out)>;
+
+/// A ready-made policy: forbid U-turns, charge `left_penalty` for left
+/// turns (seconds make sense with TIME weights), everything else free.
+TurnPenaltyFn standard_turn_policy(const DiGraph& g, double left_penalty = 8.0);
+
+/// Turn-aware router over the expanded graph.
+class TurnAwareRouter {
+ public:
+  /// Builds the expansion of finalized `g` under `weights` and `policy`.
+  TurnAwareRouter(const DiGraph& g, std::span<const double> weights,
+                  const TurnPenaltyFn& policy);
+
+  /// Cheapest source -> target path where consecutive-edge turns respect
+  /// the policy; length includes turn penalties.  nullopt when no
+  /// policy-respecting path exists (even if an unrestricted one does).
+  [[nodiscard]] std::optional<Path> shortest_path(NodeId source, NodeId target) const;
+
+  [[nodiscard]] std::size_t num_expanded_nodes() const { return expanded_.num_nodes(); }
+  [[nodiscard]] std::size_t num_turn_arcs() const { return expanded_.num_edges(); }
+
+ private:
+  const DiGraph& g_;
+  std::span<const double> weights_;
+  DiGraph expanded_;                 // expanded node i = original edge i
+  std::vector<double> arc_weights_;  // per expanded arc: penalty + head edge
+};
+
+}  // namespace mts

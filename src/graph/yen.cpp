@@ -1,0 +1,146 @@
+#include "graph/yen.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "core/error.hpp"
+
+namespace mts {
+
+namespace {
+
+struct Candidate {
+  Path path;
+  friend bool operator<(const Candidate& a, const Candidate& b) {
+    return a.path.length > b.path.length;  // min-heap
+  }
+};
+
+/// Shared state for Yen spur expansions: a scratch edge filter seeded from
+/// the caller's base filter plus a scratch node-ban mask, both restored
+/// after each spur search so allocations happen once per query.
+class SpurSearcher {
+ public:
+  SpurSearcher(const DiGraph& g, std::span<const double> weights, NodeId target,
+               const EdgeFilter* base_filter)
+      : g_(g),
+        weights_(weights),
+        target_(target),
+        scratch_filter_(base_filter != nullptr ? *base_filter : EdgeFilter(g.num_edges())),
+        banned_nodes_(g.num_nodes(), 0) {}
+
+  /// Expands every deviation of `base` (rooted at prefix positions
+  /// [0, base.edges.size())) and pushes new simple-path candidates.
+  /// `accepted` is the list of already-output paths (for edge bans).
+  /// Returns the number of spur searches performed.
+  std::size_t expand(const Path& base, const std::vector<Path>& accepted,
+                     std::priority_queue<Candidate>& candidates,
+                     std::unordered_set<std::uint64_t>& seen) {
+    const std::vector<NodeId> base_nodes = path_nodes(g_, base);
+    std::size_t searches = 0;
+    double root_length = 0.0;
+
+    for (std::size_t i = 0; i < base.edges.size(); ++i) {
+      const NodeId spur_node = base_nodes[i];
+
+      // Ban the next edge of every accepted path sharing this root prefix.
+      std::vector<EdgeId> banned_edges;
+      for (const Path& p : accepted) {
+        if (p.edges.size() > i &&
+            std::equal(base.edges.begin(), base.edges.begin() + static_cast<std::ptrdiff_t>(i),
+                       p.edges.begin())) {
+          if (!scratch_filter_.is_removed(p.edges[i])) {
+            scratch_filter_.remove(p.edges[i]);
+            banned_edges.push_back(p.edges[i]);
+          }
+        }
+      }
+      // Ban root nodes (all prefix nodes strictly before the spur node) so
+      // spur paths cannot revisit them: keeps results simple (loopless).
+      for (std::size_t j = 0; j < i; ++j) banned_nodes_[base_nodes[j].value()] = 1;
+
+      DijkstraOptions options;
+      options.target = target_;
+      options.filter = &scratch_filter_;
+      options.banned_nodes = &banned_nodes_;
+      const auto tree = dijkstra(g_, weights_, spur_node, options);
+      ++searches;
+
+      if (auto spur = extract_path(g_, tree, spur_node, target_)) {
+        Path total;
+        total.edges.reserve(i + spur->edges.size());
+        total.edges.insert(total.edges.end(), base.edges.begin(),
+                           base.edges.begin() + static_cast<std::ptrdiff_t>(i));
+        total.edges.insert(total.edges.end(), spur->edges.begin(), spur->edges.end());
+        total.length = root_length + spur->length;
+        if (seen.insert(path_signature(total)).second) {
+          candidates.push({std::move(total)});
+        }
+      }
+
+      // Restore scratch state.
+      for (std::size_t j = 0; j < i; ++j) banned_nodes_[base_nodes[j].value()] = 0;
+      for (EdgeId e : banned_edges) scratch_filter_.restore(e);
+
+      root_length += weights_[base.edges[i].value()];
+    }
+    return searches;
+  }
+
+ private:
+  const DiGraph& g_;
+  std::span<const double> weights_;
+  NodeId target_;
+  EdgeFilter scratch_filter_;
+  std::vector<std::uint8_t> banned_nodes_;
+};
+
+}  // namespace
+
+std::vector<Path> yen_ksp(const DiGraph& g, std::span<const double> weights, NodeId source,
+                          NodeId target, std::size_t k, const YenOptions& options) {
+  require(g.finalized(), "yen_ksp: graph not finalized");
+  require(source.value() < g.num_nodes() && target.value() < g.num_nodes(),
+          "yen_ksp: endpoint out of range");
+  std::vector<Path> accepted;
+  if (k == 0) return accepted;
+  require(source != target, "yen_ksp: source == target (only the empty path exists)");
+
+  auto first = shortest_path(g, weights, source, target, options.filter);
+  if (!first) return accepted;
+  accepted.push_back(std::move(*first));
+
+  SpurSearcher searcher(g, weights, target, options.filter);
+  std::priority_queue<Candidate> candidates;
+  std::unordered_set<std::uint64_t> seen;
+  seen.insert(path_signature(accepted.front()));
+
+  std::size_t total_searches = 0;
+  while (accepted.size() < k) {
+    total_searches += searcher.expand(accepted.back(), accepted, candidates, seen);
+    if (candidates.empty()) break;
+    accepted.push_back(std::move(const_cast<Candidate&>(candidates.top()).path));
+    candidates.pop();
+    if (options.max_spur_searches != 0 && total_searches >= options.max_spur_searches) break;
+  }
+  return accepted;
+}
+
+std::optional<Path> second_shortest_path(const DiGraph& g, std::span<const double> weights,
+                                         NodeId source, NodeId target, const Path& avoid,
+                                         const EdgeFilter* filter) {
+  require(!avoid.empty(), "second_shortest_path: avoid path is empty");
+  require(g.edge_from(avoid.edges.front()) == source,
+          "second_shortest_path: avoid path does not start at source");
+  SpurSearcher searcher(g, weights, target, filter);
+  std::priority_queue<Candidate> candidates;
+  std::unordered_set<std::uint64_t> seen;
+  seen.insert(path_signature(avoid));
+  const std::vector<Path> accepted = {avoid};
+  searcher.expand(avoid, accepted, candidates, seen);
+  if (candidates.empty()) return std::nullopt;
+  return std::move(const_cast<Candidate&>(candidates.top()).path);
+}
+
+}  // namespace mts

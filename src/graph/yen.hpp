@@ -1,0 +1,40 @@
+// Yen's algorithm for the k shortest loopless (simple) paths.
+//
+// The paper forces the victim onto the 100th-shortest path between source
+// and destination ("path rank"); this module produces that ranked list.
+// The same spur-path machinery yields a "second shortest path different
+// from P" oracle, which the attack layer uses to certify that the forced
+// path p* is the *exclusive* shortest path after edge removals.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+
+namespace mts {
+
+struct YenOptions {
+  /// Removed-edge mask applied to every search (nullptr = none).
+  const EdgeFilter* filter = nullptr;
+  /// Safety cap on total spur searches (0 = unlimited).
+  std::size_t max_spur_searches = 0;
+};
+
+/// Returns up to `k` simple paths from `source` to `target` in nondecreasing
+/// length order (fewer if the graph has fewer distinct simple paths or the
+/// spur-search cap is hit).  k = 0 returns an empty vector.
+std::vector<Path> yen_ksp(const DiGraph& g, std::span<const double> weights, NodeId source,
+                          NodeId target, std::size_t k, const YenOptions& options = {});
+
+/// Shortest simple path from `source` to `target` that differs from `avoid`
+/// (by edge sequence), or nullopt if no other path exists.  Exact: uses the
+/// Yen deviation argument, so it considers every path that branches off
+/// `avoid` at any node.  `avoid` must itself be the (a) shortest path under
+/// the current filter for the deviation argument to be exhaustive.
+std::optional<Path> second_shortest_path(const DiGraph& g, std::span<const double> weights,
+                                         NodeId source, NodeId target, const Path& avoid,
+                                         const EdgeFilter* filter = nullptr);
+
+}  // namespace mts

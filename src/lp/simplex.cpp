@@ -1,0 +1,273 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace mts {
+
+void LpProblem::add_constraint(std::vector<std::size_t> indices, std::vector<double> values,
+                               Relation relation, double rhs) {
+  require(indices.size() == values.size(), "add_constraint: index/value size mismatch");
+  constraints.push_back({std::move(indices), std::move(values), relation, rhs});
+}
+
+std::string to_string(LpStatus status) {
+  switch (status) {
+    case LpStatus::Optimal: return "optimal";
+    case LpStatus::Infeasible: return "infeasible";
+    case LpStatus::Unbounded: return "unbounded";
+    case LpStatus::IterationLimit: return "iteration-limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Dense tableau with an explicit objective row.  Rows 0..m-1 are
+/// constraints; `obj` is the reduced-cost row; `rhs` the right-hand sides.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0), obj_(cols, 0.0), rhs_(rows, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::vector<double>& obj() { return obj_; }
+  std::vector<double>& rhs() { return rhs_; }
+  double& obj_value() { return obj_value_; }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  /// Gauss-Jordan pivot on (pr, pc), including objective row.
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double pivot_value = at(pr, pc);
+    const double inv = 1.0 / pivot_value;
+    for (std::size_t c = 0; c < cols_; ++c) at(pr, c) *= inv;
+    rhs_[pr] *= inv;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double factor = at(r, pc);
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < cols_; ++c) at(r, c) -= factor * at(pr, c);
+      at(r, pc) = 0.0;  // cancel rounding residue exactly
+      rhs_[r] -= factor * rhs_[pr];
+    }
+    const double obj_factor = obj_[pc];
+    if (obj_factor != 0.0) {
+      for (std::size_t c = 0; c < cols_; ++c) obj_[c] -= obj_factor * at(pr, c);
+      obj_[pc] = 0.0;
+      obj_value_ -= obj_factor * rhs_[pr];
+    }
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+  std::vector<double> obj_;
+  std::vector<double> rhs_;
+  double obj_value_ = 0.0;
+};
+
+enum class PhaseOutcome { Optimal, Unbounded, IterationLimit };
+
+/// Runs simplex iterations on `t` until optimality.  `allowed[c]` masks
+/// columns permitted to enter the basis.  `basis[r]` tracks basic columns.
+PhaseOutcome run_phase(Tableau& t, std::vector<std::size_t>& basis,
+                       const std::vector<std::uint8_t>& allowed, const LpOptions& options,
+                       std::size_t& iterations) {
+  std::size_t stalls = 0;
+  while (true) {
+    if (iterations >= options.max_iterations) return PhaseOutcome::IterationLimit;
+
+    const bool use_bland = stalls >= options.bland_after_stalls;
+    std::size_t entering = t.cols();
+    double best = -options.tolerance;
+    for (std::size_t c = 0; c < t.cols(); ++c) {
+      if (!allowed[c]) continue;
+      const double reduced = t.obj()[c];
+      if (use_bland) {
+        if (reduced < -options.tolerance) {
+          entering = c;
+          break;
+        }
+      } else if (reduced < best) {
+        best = reduced;
+        entering = c;
+      }
+    }
+    if (entering == t.cols()) return PhaseOutcome::Optimal;
+
+    std::size_t leaving = t.rows();
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+      const double coeff = t.at(r, entering);
+      if (coeff <= options.tolerance) continue;
+      const double ratio = t.rhs()[r] / coeff;
+      if (ratio < best_ratio - options.tolerance ||
+          (ratio < best_ratio + options.tolerance && leaving < t.rows() &&
+           basis[r] < basis[leaving])) {
+        best_ratio = ratio;
+        leaving = r;
+      }
+    }
+    if (leaving == t.rows()) return PhaseOutcome::Unbounded;
+
+    if (best_ratio < options.tolerance) {
+      ++stalls;
+    } else {
+      stalls = 0;
+    }
+
+    t.pivot(leaving, entering);
+    basis[leaving] = entering;
+    ++iterations;
+  }
+}
+
+}  // namespace
+
+LpResult solve_lp(const LpProblem& problem, const LpOptions& options) {
+  require(problem.objective.size() == problem.num_vars, "solve_lp: objective size mismatch");
+  const std::size_t n = problem.num_vars;
+  const std::size_t m = problem.constraints.size();
+
+  // Column layout: [0, n) structural, then one slack/surplus per inequality
+  // row, then one artificial per >=/== row.
+  std::size_t num_slack = 0;
+  std::size_t num_artificial = 0;
+  for (const auto& con : problem.constraints) {
+    // Normalization below flips rows with negative rhs, which can turn <=
+    // into >= and vice versa; count after normalization.
+    const bool flips = con.rhs < 0.0;
+    Relation rel = con.relation;
+    if (flips) {
+      if (rel == Relation::LessEqual) rel = Relation::GreaterEqual;
+      else if (rel == Relation::GreaterEqual) rel = Relation::LessEqual;
+    }
+    if (rel != Relation::Equal) ++num_slack;
+    if (rel != Relation::LessEqual) ++num_artificial;
+  }
+
+  const std::size_t total_cols = n + num_slack + num_artificial;
+  Tableau tableau(m, total_cols);
+  std::vector<std::size_t> basis(m, total_cols);
+  std::vector<std::uint8_t> is_artificial(total_cols, 0);
+
+  std::size_t next_slack = n;
+  std::size_t next_artificial = n + num_slack;
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto& con = problem.constraints[r];
+    const double sign = con.rhs < 0.0 ? -1.0 : 1.0;
+    Relation rel = con.relation;
+    if (sign < 0.0) {
+      if (rel == Relation::LessEqual) rel = Relation::GreaterEqual;
+      else if (rel == Relation::GreaterEqual) rel = Relation::LessEqual;
+    }
+    for (std::size_t k = 0; k < con.indices.size(); ++k) {
+      require(con.indices[k] < n, "solve_lp: constraint index out of range");
+      tableau.at(r, con.indices[k]) += sign * con.values[k];
+    }
+    tableau.rhs()[r] = sign * con.rhs;
+
+    if (rel == Relation::LessEqual) {
+      tableau.at(r, next_slack) = 1.0;
+      basis[r] = next_slack;
+      ++next_slack;
+    } else if (rel == Relation::GreaterEqual) {
+      tableau.at(r, next_slack) = -1.0;  // surplus
+      ++next_slack;
+      tableau.at(r, next_artificial) = 1.0;
+      is_artificial[next_artificial] = 1;
+      basis[r] = next_artificial;
+      ++next_artificial;
+    } else {
+      tableau.at(r, next_artificial) = 1.0;
+      is_artificial[next_artificial] = 1;
+      basis[r] = next_artificial;
+      ++next_artificial;
+    }
+  }
+
+  LpResult result;
+  std::size_t iterations = 0;
+
+  // ---- Phase 1: minimize sum of artificials.
+  if (num_artificial > 0) {
+    for (std::size_t c = 0; c < total_cols; ++c) {
+      tableau.obj()[c] = is_artificial[c] ? 1.0 : 0.0;
+    }
+    tableau.obj_value() = 0.0;
+    // Price out the initial (artificial) basis.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (!is_artificial[basis[r]]) continue;
+      for (std::size_t c = 0; c < total_cols; ++c) tableau.obj()[c] -= tableau.at(r, c);
+      tableau.obj_value() -= tableau.rhs()[r];
+    }
+    std::vector<std::uint8_t> allowed(total_cols, 1);
+    const auto outcome = run_phase(tableau, basis, allowed, options, iterations);
+    result.iterations = iterations;
+    if (outcome == PhaseOutcome::IterationLimit) {
+      result.status = LpStatus::IterationLimit;
+      return result;
+    }
+    // Phase-1 objective value = -obj_value() (obj_value accumulates -z).
+    const double artificial_sum = -tableau.obj_value();
+    if (artificial_sum > 1e-7) {
+      result.status = LpStatus::Infeasible;
+      return result;
+    }
+    // Drive any basic artificial (at value 0) out of the basis if possible.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (!is_artificial[basis[r]]) continue;
+      for (std::size_t c = 0; c < n + num_slack; ++c) {
+        if (std::abs(tableau.at(r, c)) > options.tolerance) {
+          tableau.pivot(r, c);
+          basis[r] = c;
+          break;
+        }
+      }
+      // A fully zero row is redundant; its artificial stays basic at 0 and
+      // is simply barred from re-entering in phase 2.
+    }
+  }
+
+  // ---- Phase 2: true objective.
+  for (std::size_t c = 0; c < total_cols; ++c) {
+    tableau.obj()[c] = c < n ? problem.objective[c] : 0.0;
+  }
+  tableau.obj_value() = 0.0;
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::size_t b = basis[r];
+    const double cost = b < n ? problem.objective[b] : 0.0;
+    if (cost == 0.0) continue;
+    for (std::size_t c = 0; c < total_cols; ++c) tableau.obj()[c] -= cost * tableau.at(r, c);
+    tableau.obj_value() -= cost * tableau.rhs()[r];
+  }
+  std::vector<std::uint8_t> allowed(total_cols, 1);
+  for (std::size_t c = 0; c < total_cols; ++c) {
+    if (is_artificial[c]) allowed[c] = 0;
+  }
+  const auto outcome = run_phase(tableau, basis, allowed, options, iterations);
+  result.iterations = iterations;
+  switch (outcome) {
+    case PhaseOutcome::IterationLimit: result.status = LpStatus::IterationLimit; return result;
+    case PhaseOutcome::Unbounded: result.status = LpStatus::Unbounded; return result;
+    case PhaseOutcome::Optimal: break;
+  }
+
+  result.status = LpStatus::Optimal;
+  result.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) result.x[basis[r]] = tableau.rhs()[r];
+  }
+  result.objective = -tableau.obj_value();
+  return result;
+}
+
+}  // namespace mts

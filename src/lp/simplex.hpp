@@ -1,0 +1,68 @@
+// Dense two-phase primal simplex.
+//
+// LP-PathCover solves the LP relaxation of a weighted set cover: minimize
+// c^T x subject to "each discovered constraint path contains at least one
+// removed edge".  After constraint generation these LPs are small (tens of
+// rows, hundreds of columns), so an exact dense tableau simplex is the
+// right tool — no external solver dependency.
+//
+// Canonical problem handled here:
+//     minimize   c^T x
+//     subject to a_i^T x  (<= | == | >=)  b_i     for each row i
+//                x >= 0
+// Phase 1 drives artificial variables out of the basis; phase 2 optimizes
+// the true objective.  Dantzig pricing with a Bland's-rule fallback after
+// a stall threshold guarantees termination.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mts {
+
+enum class Relation { LessEqual, Equal, GreaterEqual };
+
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+struct LpConstraint {
+  // Sparse row: parallel index/value arrays.
+  std::vector<std::size_t> indices;
+  std::vector<double> values;
+  Relation relation = Relation::GreaterEqual;
+  double rhs = 0.0;
+};
+
+struct LpProblem {
+  std::size_t num_vars = 0;
+  std::vector<double> objective;  // size num_vars; minimized
+  std::vector<LpConstraint> constraints;
+
+  /// Convenience: appends a constraint built from (index, value) pairs.
+  void add_constraint(std::vector<std::size_t> indices, std::vector<double> values,
+                      Relation relation, double rhs);
+};
+
+struct LpOptions {
+  std::size_t max_iterations = 20000;
+  /// Switch from Dantzig to Bland pricing after this many degenerate pivots.
+  std::size_t bland_after_stalls = 64;
+  double tolerance = 1e-9;
+};
+
+struct LpResult {
+  LpStatus status = LpStatus::Infeasible;
+  double objective = 0.0;
+  std::vector<double> x;  // size num_vars when status == Optimal
+  std::size_t iterations = 0;
+};
+
+/// Solves `problem`; never throws on solvable-but-degenerate input, throws
+/// PreconditionViolation on malformed input (index out of range, size
+/// mismatches).
+LpResult solve_lp(const LpProblem& problem, const LpOptions& options = {});
+
+/// Human-readable status name (for logs and tests).
+std::string to_string(LpStatus status);
+
+}  // namespace mts

@@ -1,0 +1,52 @@
+// In-memory model of the OpenStreetMap subset this library consumes:
+// nodes with coordinates + tags, and ways referencing node sequences.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/strong_id.hpp"
+
+namespace mts::osm {
+
+using TagMap = std::unordered_map<std::string, std::string>;
+
+struct OsmNode {
+  OsmNodeId id;
+  double lat = 0.0;
+  double lon = 0.0;
+  TagMap tags;
+
+  [[nodiscard]] const std::string* tag(const std::string& key) const {
+    const auto it = tags.find(key);
+    return it == tags.end() ? nullptr : &it->second;
+  }
+};
+
+struct OsmWay {
+  OsmWayId id;
+  std::vector<OsmNodeId> node_refs;
+  TagMap tags;
+
+  [[nodiscard]] const std::string* tag(const std::string& key) const {
+    const auto it = tags.find(key);
+    return it == tags.end() ? nullptr : &it->second;
+  }
+};
+
+struct OsmData {
+  std::vector<OsmNode> nodes;
+  std::vector<OsmWay> ways;
+
+  /// Index of each node by OSM id (rebuilt on demand by callers that
+  /// mutate `nodes`).
+  [[nodiscard]] std::unordered_map<OsmNodeId, std::size_t> node_index() const {
+    std::unordered_map<OsmNodeId, std::size_t> index;
+    index.reserve(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) index.emplace(nodes[i].id, i);
+    return index;
+  }
+};
+
+}  // namespace mts::osm

@@ -1,0 +1,58 @@
+#include "osm/projection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "core/units.hpp"
+
+namespace mts::osm {
+
+namespace {
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+}
+
+LocalProjection::LocalProjection(double center_lat, double center_lon)
+    : center_lat_(center_lat),
+      center_lon_(center_lon),
+      meters_per_deg_lat_(kEarthRadiusMeters * kDegToRad),
+      meters_per_deg_lon_(kEarthRadiusMeters * kDegToRad * std::cos(center_lat * kDegToRad)) {}
+
+XY LocalProjection::to_xy(double lat, double lon) const {
+  return {(lon - center_lon_) * meters_per_deg_lon_, (lat - center_lat_) * meters_per_deg_lat_};
+}
+
+LatLon LocalProjection::to_latlon(double x, double y) const {
+  return {center_lat_ + y / meters_per_deg_lat_, center_lon_ + x / meters_per_deg_lon_};
+}
+
+double haversine_m(double lat1, double lon1, double lat2, double lon2) {
+  const double phi1 = lat1 * kDegToRad;
+  const double phi2 = lat2 * kDegToRad;
+  const double dphi = (lat2 - lat1) * kDegToRad;
+  const double dlambda = (lon2 - lon1) * kDegToRad;
+  const double a = std::sin(dphi / 2) * std::sin(dphi / 2) +
+                   std::cos(phi1) * std::cos(phi2) * std::sin(dlambda / 2) * std::sin(dlambda / 2);
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(a)));
+}
+
+SegmentProjection project_point_to_segment(XY p, XY a, XY b) {
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+  const double len2 = abx * abx + aby * aby;
+  SegmentProjection result;
+  if (len2 <= 0.0) {
+    result.t = 0.0;
+    result.closest = a;
+  } else {
+    const double t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len2;
+    result.t = std::clamp(t, 0.0, 1.0);
+    result.closest = {a.x + result.t * abx, a.y + result.t * aby};
+  }
+  const double dx = p.x - result.closest.x;
+  const double dy = p.y - result.closest.y;
+  result.distance = std::sqrt(dx * dx + dy * dy);
+  return result;
+}
+
+}  // namespace mts::osm

@@ -1,0 +1,52 @@
+// Geographic projection utilities.
+//
+// The paper computes "the straight-line distance in the corresponding
+// geographical projection" when snapping hospitals to roads.  We project
+// WGS84 coordinates to a local equirectangular plane (meters) centered on
+// the city, which is accurate to well under 0.1% across a metro area.
+#pragma once
+
+namespace mts::osm {
+
+struct XY {
+  double x = 0.0;  // meters east of center
+  double y = 0.0;  // meters north of center
+};
+
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Local equirectangular projection around a center point.
+class LocalProjection {
+ public:
+  LocalProjection() = default;
+  LocalProjection(double center_lat, double center_lon);
+
+  [[nodiscard]] XY to_xy(double lat, double lon) const;
+  [[nodiscard]] LatLon to_latlon(double x, double y) const;
+
+  [[nodiscard]] double center_lat() const { return center_lat_; }
+  [[nodiscard]] double center_lon() const { return center_lon_; }
+
+ private:
+  double center_lat_ = 0.0;
+  double center_lon_ = 0.0;
+  double meters_per_deg_lat_ = 0.0;
+  double meters_per_deg_lon_ = 0.0;
+};
+
+/// Great-circle distance in meters (haversine, spherical Earth).
+double haversine_m(double lat1, double lon1, double lat2, double lon2);
+
+/// Distance from point p to segment [a, b] and the parameter t in [0, 1]
+/// of the closest point a + t*(b-a).  Planar.
+struct SegmentProjection {
+  double distance = 0.0;
+  double t = 0.0;
+  XY closest;
+};
+SegmentProjection project_point_to_segment(XY p, XY a, XY b);
+
+}  // namespace mts::osm

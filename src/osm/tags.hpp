@@ -1,0 +1,56 @@
+// OSM tag semantics for road attributes.
+//
+// The attack cost models need per-segment speed limits (TIME weight),
+// lane counts (LANES cost) and widths (WIDTH cost).  Real OSM data tags
+// these inconsistently ("30 mph", "50", "3.5 m", missing entirely), so
+// this module provides tolerant parsers plus per-highway-class defaults in
+// the spirit of OSMnx's imputation.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace mts::osm {
+
+enum class HighwayClass {
+  Motorway,
+  Trunk,
+  Primary,
+  Secondary,
+  Tertiary,
+  Residential,
+  Service,
+  Unclassified,
+};
+
+/// Maps an OSM `highway=` value ("primary", "motorway_link", ...) to a
+/// class; unknown values resolve to Unclassified, nullopt means the way is
+/// not routable road (e.g. "footway").
+std::optional<HighwayClass> parse_highway(const std::string& value);
+
+const char* to_string(HighwayClass hw);
+
+/// Per-class fallback attributes (US-calibrated).
+struct HighwayDefaults {
+  double speed_mps;   // speed limit
+  int lanes_per_dir;  // lanes in one direction
+};
+HighwayDefaults highway_defaults(HighwayClass hw);
+
+/// Parses `maxspeed=` values: "25 mph", "40", "50 km/h", "30mph".  Bare
+/// numbers are km/h per the OSM convention.  Returns meters/second;
+/// nullopt on unparsable input.
+std::optional<double> parse_maxspeed(const std::string& value);
+
+/// Parses `lanes=` (total across both directions unless oneway).
+std::optional<int> parse_lanes(const std::string& value);
+
+/// Parses `width=` values: "7.5", "7.5 m", "24'", "24 ft".  Returns meters.
+std::optional<double> parse_width(const std::string& value);
+
+enum class OnewayDirection { No, Forward, Backward };
+
+/// Parses `oneway=` ("yes", "no", "true", "1", "-1", "reverse").
+OnewayDirection parse_oneway(const std::string& value);
+
+}  // namespace mts::osm

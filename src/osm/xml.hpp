@@ -1,0 +1,30 @@
+// OSM XML reading and writing.
+//
+// The paper ingests city street networks from OpenStreetMap.  This is a
+// self-contained reader/writer for the OSM XML subset road networks use
+// (<node>, <way>, <nd>, <tag>), with entity escaping.  It is not a general
+// XML parser; unknown elements (<relation>, <bounds>, ...) are skipped.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "osm/model.hpp"
+
+namespace mts::osm {
+
+/// Serializes `data` as OSM XML v0.6.
+void write_osm_xml(const OsmData& data, std::ostream& out);
+void save_osm_xml(const OsmData& data, const std::string& path);
+
+/// Parses OSM XML.  Throws InvalidInput on malformed documents (unclosed
+/// elements, bad attributes, way referencing nothing).
+OsmData parse_osm_xml(std::istream& in);
+OsmData load_osm_xml(const std::string& path);
+
+/// Escapes &, <, >, ", ' for attribute values.
+std::string xml_escape(const std::string& raw);
+/// Reverses xml_escape (also handles decimal/hex character references).
+std::string xml_unescape(const std::string& escaped);
+
+}  // namespace mts::osm

@@ -1,0 +1,42 @@
+// GeoJSON export of networks and attacks.
+//
+// SVG figures match the paper; GeoJSON makes the same data loadable in
+// real GIS tooling (QGIS, kepler.gl, geojson.io) with WGS84 coordinates
+// recovered through the network's projection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/path.hpp"
+#include "osm/road_network.hpp"
+
+namespace mts::viz {
+
+using mts::EdgeId;
+using mts::NodeId;
+using mts::Path;
+
+struct GeoJsonOptions {
+  /// Skip plain (non-highlighted) road segments to keep files small.
+  bool roads = true;
+  /// Include per-segment attributes (highway class, name, lanes).
+  bool attributes = true;
+};
+
+/// FeatureCollection with one LineString per road segment (property
+/// "role": "road" | "p_star" | "removed") and Point features for the
+/// source ("role": "source") and target ("role": "target").
+std::string render_attack_geojson(const osm::RoadNetwork& network, const Path& p_star,
+                                  const std::vector<EdgeId>& removed_edges, NodeId source,
+                                  NodeId target, const GeoJsonOptions& options = {});
+
+/// Writes the GeoJSON to `path` (creating parent directories).
+void save_attack_geojson(const std::string& path, const osm::RoadNetwork& network,
+                         const Path& p_star, const std::vector<EdgeId>& removed_edges,
+                         NodeId source, NodeId target, const GeoJsonOptions& options = {});
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string json_escape(const std::string& raw);
+
+}  // namespace mts::viz

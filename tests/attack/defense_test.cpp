@@ -1,0 +1,122 @@
+#include "attack/defense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/verify.hpp"
+#include "core/error.hpp"
+#include "graph/yen.hpp"
+#include "test_util.hpp"
+
+namespace mts::attack {
+namespace {
+
+using test::Diamond;
+
+ForcePathCutProblem diamond_problem(const Diamond& d) {
+  ForcePathCutProblem problem;
+  problem.graph = &d.wg.g;
+  problem.weights = d.wg.weights;
+  static const std::vector<double> costs(5, 1.0);
+  problem.costs = costs;
+  problem.source = d.s;
+  problem.target = d.t;
+  problem.p_star = Path{{d.st}, 4.0};
+  return problem;
+}
+
+TEST(ProtectedEdges, AttackAvoidsProtectedEdges) {
+  Diamond d;
+  auto problem = diamond_problem(d);
+  problem.protected_edges.assign(d.wg.g.num_edges(), 0);
+  problem.protected_edges[d.sa.value()] = 1;  // the a-arm entrance is hardened
+
+  for (Algorithm algorithm : kAllAlgorithms) {
+    const auto result = run_attack(algorithm, problem);
+    ASSERT_EQ(result.status, AttackStatus::Success) << to_string(algorithm);
+    for (EdgeId e : result.removed_edges) EXPECT_NE(e, d.sa);
+    EXPECT_TRUE(verify_attack(problem, result.removed_edges).ok);
+  }
+}
+
+TEST(ProtectedEdges, FullyProtectedPathMakesAttackInfeasible) {
+  Diamond d;
+  auto problem = diamond_problem(d);
+  problem.protected_edges.assign(d.wg.g.num_edges(), 0);
+  // Protect both edges of both cheap arms: p* (the direct edge) can never
+  // become exclusively shortest.
+  problem.protected_edges[d.sa.value()] = 1;
+  problem.protected_edges[d.at.value()] = 1;
+  problem.protected_edges[d.sb.value()] = 1;
+  problem.protected_edges[d.bt.value()] = 1;
+
+  for (Algorithm algorithm : kAllAlgorithms) {
+    const auto result = run_attack(algorithm, problem);
+    EXPECT_EQ(result.status, AttackStatus::Infeasible) << to_string(algorithm);
+  }
+}
+
+TEST(ProtectedEdges, SizeMismatchRejected) {
+  Diamond d;
+  auto problem = diamond_problem(d);
+  problem.protected_edges.assign(2, 0);
+  EXPECT_THROW(run_attack(Algorithm::GreedyEdge, problem), PreconditionViolation);
+}
+
+TEST(Defense, HardeningDiamondBlocksAttack) {
+  Diamond d;
+  const auto problem = diamond_problem(d);
+  const auto defense = harden_against_force_path_cut(problem, 4);
+  EXPECT_DOUBLE_EQ(defense.initial_attack_cost, 2.0);  // one edge per arm
+  // Protecting one edge of each arm makes forcing the slow direct road
+  // impossible.
+  EXPECT_TRUE(defense.attack_blocked);
+  EXPECT_LE(defense.protected_edges.size(), 2u);
+  EXPECT_TRUE(std::isinf(defense.final_attack_cost));
+}
+
+TEST(Defense, RoundsAreMonotoneNonDecreasing) {
+  auto wg = test::make_grid(4, 4, 1.0, 1.31);
+  const NodeId s(0);
+  const NodeId t(15);
+  const auto ranked = yen_ksp(wg.g, wg.weights, s, t, 8);
+  ASSERT_GE(ranked.size(), 8u);
+  const std::vector<double> costs(wg.g.num_edges(), 1.0);
+
+  ForcePathCutProblem problem;
+  problem.graph = &wg.g;
+  problem.weights = wg.weights;
+  problem.costs = costs;
+  problem.source = s;
+  problem.target = t;
+  problem.p_star = ranked[7];
+  problem.seed_paths.assign(ranked.begin(), ranked.begin() + 7);
+
+  const auto defense = harden_against_force_path_cut(problem, 3);
+  EXPECT_GT(defense.initial_attack_cost, 0.0);
+  double previous = defense.initial_attack_cost;
+  for (const auto& round : defense.rounds) {
+    EXPECT_GE(round.attack_cost_after, round.attack_cost_before - 1e-9);
+    EXPECT_NEAR(round.attack_cost_before, previous, 1e-9);
+    previous = round.attack_cost_after;
+  }
+  EXPECT_GE(defense.final_attack_cost, defense.initial_attack_cost);
+}
+
+TEST(Defense, ZeroRoundsIsBaselineOnly) {
+  Diamond d;
+  const auto defense = harden_against_force_path_cut(diamond_problem(d), 0);
+  EXPECT_TRUE(defense.protected_edges.empty());
+  EXPECT_DOUBLE_EQ(defense.final_attack_cost, defense.initial_attack_cost);
+}
+
+TEST(Defense, RejectsPreProtectedProblem) {
+  Diamond d;
+  auto problem = diamond_problem(d);
+  problem.protected_edges.assign(d.wg.g.num_edges(), 0);
+  EXPECT_THROW(harden_against_force_path_cut(problem, 1), PreconditionViolation);
+}
+
+}  // namespace
+}  // namespace mts::attack

@@ -1,0 +1,84 @@
+#include "attack/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace mts::attack {
+namespace {
+
+using test::Diamond;
+
+ForcePathCutProblem diamond_problem(const Diamond& d, Path p_star) {
+  ForcePathCutProblem problem;
+  problem.graph = &d.wg.g;
+  problem.weights = d.wg.weights;
+  problem.costs = d.wg.weights;
+  problem.source = d.s;
+  problem.target = d.t;
+  problem.p_star = std::move(p_star);
+  return problem;
+}
+
+TEST(Verify, AcceptsCorrectCut) {
+  Diamond d;
+  const auto problem = diamond_problem(d, Path{{d.st}, 4.0});
+  const auto report = verify_attack(problem, {d.sa, d.sb});
+  EXPECT_TRUE(report.ok) << report.reason;
+}
+
+TEST(Verify, RejectsIncompleteCut) {
+  Diamond d;
+  const auto problem = diamond_problem(d, Path{{d.st}, 4.0});
+  const auto report = verify_attack(problem, {d.sa});  // b-arm still beats p*
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(Verify, RejectsEmptyCutWhenPStarNotShortest) {
+  Diamond d;
+  const auto problem = diamond_problem(d, Path{{d.st}, 4.0});
+  EXPECT_FALSE(verify_attack(problem, {}).ok);
+}
+
+TEST(Verify, RejectsCutTouchingPStar) {
+  Diamond d;
+  const auto problem = diamond_problem(d, Path{{d.st}, 4.0});
+  const auto report = verify_attack(problem, {d.st, d.sa, d.sb});
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.reason.find("lies on p*"), std::string::npos);
+}
+
+TEST(Verify, RejectsTiedAlternative) {
+  Diamond d;
+  // Tie both arms at 2, force the a-arm, cut nothing relevant.
+  std::vector<double> weights = d.wg.weights;
+  weights[d.sb.value()] = 1.0;
+  weights[d.bt.value()] = 1.0;
+  ForcePathCutProblem problem;
+  problem.graph = &d.wg.g;
+  problem.weights = weights;
+  problem.costs = weights;
+  problem.source = d.s;
+  problem.target = d.t;
+  problem.p_star = Path{{d.sa, d.at}, 2.0};
+  EXPECT_FALSE(verify_attack(problem, {}).ok);       // tied twin exists
+  EXPECT_TRUE(verify_attack(problem, {d.sb}).ok);    // tie broken
+  EXPECT_TRUE(verify_attack(problem, {d.bt}).ok);
+}
+
+TEST(Verify, RejectsNonPathPStar) {
+  Diamond d;
+  const auto problem = diamond_problem(d, Path{{d.at, d.sa}, 2.0});
+  const auto report = verify_attack(problem, {});
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.reason.find("not a simple"), std::string::npos);
+}
+
+TEST(Verify, AcceptsShortestPathAsPStarWithNoCut) {
+  Diamond d;
+  const auto problem = diamond_problem(d, Path{{d.sa, d.at}, 2.0});
+  EXPECT_TRUE(verify_attack(problem, {}).ok);
+}
+
+}  // namespace
+}  // namespace mts::attack

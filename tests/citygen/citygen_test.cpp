@@ -1,0 +1,173 @@
+#include "citygen/generate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/metrics.hpp"
+#include "osm/xml.hpp"
+
+namespace mts::citygen {
+namespace {
+
+constexpr double kTestScale = 0.25;  // keep unit tests fast
+
+TEST(CitySpec, AllCitiesHaveFourHospitals) {
+  for (City city : kAllCities) {
+    const auto spec = city_spec(city);
+    EXPECT_EQ(spec.hospitals.size(), 4u) << to_string(city);
+    EXPECT_FALSE(spec.districts.empty());
+    EXPECT_GT(spec.anchor_lat, 0.0);  // all four cities are northern hemisphere
+    EXPECT_LT(spec.anchor_lon, 0.0);  // ... and west of Greenwich
+  }
+}
+
+TEST(CitySpec, ScaleGrowsNodeCount) {
+  const auto small = city_spec(City::Chicago, 0.25);
+  const auto large = city_spec(City::Chicago, 1.0);
+  EXPECT_GT(large.districts[0].rows, small.districts[0].rows);
+}
+
+TEST(CitySpec, RejectsNonPositiveScale) {
+  EXPECT_THROW(city_spec(City::Boston, 0.0), PreconditionViolation);
+}
+
+TEST(Generate, Deterministic) {
+  const auto spec = city_spec(City::Boston, kTestScale);
+  const auto a = generate_city_osm(spec, 42);
+  const auto b = generate_city_osm(spec, 42);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  ASSERT_EQ(a.ways.size(), b.ways.size());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.nodes[i].lat, b.nodes[i].lat);
+    EXPECT_DOUBLE_EQ(a.nodes[i].lon, b.nodes[i].lon);
+  }
+}
+
+TEST(Generate, DifferentSeedsDiffer) {
+  const auto spec = city_spec(City::Boston, kTestScale);
+  const auto a = generate_city_osm(spec, 1);
+  const auto b = generate_city_osm(spec, 2);
+  bool any_diff = a.nodes.size() != b.nodes.size();
+  for (std::size_t i = 0; !any_diff && i < a.nodes.size(); ++i) {
+    any_diff = a.nodes[i].lat != b.nodes[i].lat;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generate, HospitalsPresentAsPoiNodes) {
+  const auto spec = city_spec(City::SanFrancisco, kTestScale);
+  const auto data = generate_city_osm(spec, 3);
+  int hospitals = 0;
+  for (const auto& node : data.nodes) {
+    if (const auto* amenity = node.tag("amenity"); amenity && *amenity == "hospital") {
+      ++hospitals;
+      EXPECT_NE(node.tag("name"), nullptr);
+    }
+  }
+  EXPECT_EQ(hospitals, 4);
+}
+
+TEST(Generate, WaysCarryRoadTags) {
+  const auto spec = city_spec(City::Chicago, kTestScale);
+  const auto data = generate_city_osm(spec, 3);
+  ASSERT_FALSE(data.ways.empty());
+  for (const auto& way : data.ways) {
+    EXPECT_NE(way.tag("highway"), nullptr);
+    EXPECT_NE(way.tag("maxspeed"), nullptr);
+    EXPECT_NE(way.tag("lanes"), nullptr);
+    EXPECT_NE(way.tag("width"), nullptr);
+    EXPECT_GE(way.node_refs.size(), 2u);
+  }
+}
+
+TEST(Network, StronglyConnectedWithSnappedHospitals) {
+  for (City city : kAllCities) {
+    const auto network = generate_city(city, kTestScale, 7);
+    EXPECT_EQ(network.pois().size(), 4u) << to_string(city);
+    for (const auto& poi : network.pois()) {
+      EXPECT_TRUE(poi.node.valid()) << to_string(city) << ": " << poi.name;
+    }
+    // POI connectors are bidirectional and the road core is one SCC, so
+    // the whole graph must be strongly connected.
+    const auto scc = mts::strongly_connected_components(network.graph());
+    EXPECT_EQ(scc.num_components, 1u) << to_string(city);
+  }
+}
+
+TEST(Network, AverageDegreeInPaperRange) {
+  for (City city : kAllCities) {
+    const auto network = generate_city(city, kTestScale, 11);
+    const double degree = network.graph().average_degree();
+    EXPECT_GT(degree, 3.5) << to_string(city);
+    EXPECT_LT(degree, 7.0) << to_string(city);
+  }
+}
+
+TEST(Network, ChicagoMoreLatticeThanBoston) {
+  const auto chicago = generate_city(City::Chicago, kTestScale, 5);
+  const auto boston = generate_city(City::Boston, kTestScale, 5);
+  const auto m_chicago = mts::compute_network_metrics(chicago.graph());
+  const auto m_boston = mts::compute_network_metrics(boston.graph());
+  EXPECT_GT(m_chicago.orientation_order, m_boston.orientation_order + 0.15);
+}
+
+TEST(Network, RelativeCitySizesMatchPaperOrder) {
+  // Paper Table I: LA > Chicago > Boston ~ SF in node count.
+  const auto boston = generate_city(City::Boston, kTestScale, 5);
+  const auto chicago = generate_city(City::Chicago, kTestScale, 5);
+  const auto la = generate_city(City::LosAngeles, kTestScale, 5);
+  EXPECT_GT(chicago.graph().num_nodes(), boston.graph().num_nodes());
+  EXPECT_GT(la.graph().num_nodes(), chicago.graph().num_nodes());
+}
+
+TEST(Network, XmlRoundTripPreservesNetwork) {
+  const auto spec = city_spec(City::Boston, kTestScale);
+  const auto data = generate_city_osm(spec, 9);
+
+  std::stringstream stream;
+  osm::write_osm_xml(data, stream);
+  const auto reparsed = osm::parse_osm_xml(stream);
+
+  osm::BuildOptions options;
+  options.center = osm::LatLon{spec.anchor_lat, spec.anchor_lon};
+  const auto direct = osm::RoadNetwork::build(data, options);
+  const auto via_xml = osm::RoadNetwork::build(reparsed, options);
+
+  ASSERT_EQ(via_xml.graph().num_nodes(), direct.graph().num_nodes());
+  ASSERT_EQ(via_xml.graph().num_edges(), direct.graph().num_edges());
+  for (EdgeId e : direct.graph().edges()) {
+    EXPECT_EQ(via_xml.graph().edge_from(e), direct.graph().edge_from(e));
+    EXPECT_NEAR(via_xml.segment(e).length_m, direct.segment(e).length_m, 1e-6);
+    EXPECT_EQ(via_xml.segment(e).lanes, direct.segment(e).lanes);
+  }
+  EXPECT_EQ(via_xml.pois().size(), direct.pois().size());
+}
+
+TEST(LatticenessSpec, DialMovesOrientationOrder) {
+  const auto ordered = generate_network(latticeness_spec(0.0, kTestScale), 13);
+  const auto organic = generate_network(latticeness_spec(1.0, kTestScale), 13);
+  const double order0 = mts::compute_network_metrics(ordered.graph()).orientation_order;
+  const double order1 = mts::compute_network_metrics(organic.graph()).orientation_order;
+  EXPECT_GT(order0, order1 + 0.1);
+}
+
+TEST(LatticenessSpec, RejectsOutOfRange) {
+  EXPECT_THROW(latticeness_spec(1.5), mts::PreconditionViolation);
+  EXPECT_THROW(latticeness_spec(-0.1), mts::PreconditionViolation);
+}
+
+TEST(Generate, FreewaysProduceMotorwayWays) {
+  const auto spec = city_spec(City::LosAngeles, kTestScale);
+  const auto data = generate_city_osm(spec, 3);
+  int motorway_segments = 0;
+  for (const auto& way : data.ways) {
+    if (*way.tag("highway") == std::string("motorway")) ++motorway_segments;
+  }
+  EXPECT_GT(motorway_segments, 0);
+}
+
+}  // namespace
+}  // namespace mts::citygen

@@ -1,0 +1,137 @@
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+namespace mts::cli {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "mts_cli_test";
+    std::filesystem::create_directories(dir_);
+    osm_path_ = (dir_ / "city.osm").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  int run(std::initializer_list<std::string> args) {
+    out_.str("");
+    err_.str("");
+    return run_cli(std::vector<std::string>(args), out_, err_);
+  }
+
+  /// Generates a small city once for the commands that need one.
+  void generate() {
+    ASSERT_EQ(run({"generate", "--city", "chicago", "--scale", "0.15", "--seed", "5", "--out",
+                   osm_path_}),
+              0)
+        << err_.str();
+  }
+
+  std::filesystem::path dir_;
+  std::string osm_path_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CliTest, NoArgsPrintsUsageAndFails) {
+  EXPECT_EQ(run({}), 1);
+  EXPECT_NE(out_.str().find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, HelpSucceeds) {
+  EXPECT_EQ(run({"help"}), 0);
+  EXPECT_NE(out_.str().find("generate"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  EXPECT_EQ(run({"frobnicate"}), 1);
+  EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateWritesOsmFile) {
+  generate();
+  EXPECT_TRUE(std::filesystem::exists(osm_path_));
+  EXPECT_NE(out_.str().find("wrote"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateRejectsBadCity) {
+  EXPECT_EQ(run({"generate", "--city", "atlantis", "--out", osm_path_}), 1);
+  EXPECT_NE(err_.str().find("unknown city"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateRequiresOut) {
+  EXPECT_EQ(run({"generate", "--city", "boston"}), 1);
+  EXPECT_NE(err_.str().find("--out"), std::string::npos);
+}
+
+TEST_F(CliTest, InfoReportsMetricsAndPois) {
+  generate();
+  EXPECT_EQ(run({"info", "--osm", osm_path_}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("Average node degree"), std::string::npos);
+  EXPECT_NE(out_.str().find("Northwestern Memorial Hospital"), std::string::npos);
+}
+
+TEST_F(CliTest, InfoFailsOnMissingFile) {
+  EXPECT_EQ(run({"info", "--osm", (dir_ / "nope.osm").string()}), 1);
+}
+
+TEST_F(CliTest, AttackEndToEndWithArtifacts) {
+  generate();
+  const std::string svg = (dir_ / "plan.svg").string();
+  const std::string geojson = (dir_ / "plan.geojson").string();
+  EXPECT_EQ(run({"attack", "--osm", osm_path_, "--rank", "12", "--seed", "3", "--algorithm",
+                 "greedy-pathcover", "--weight", "time", "--cost", "width", "--svg", svg,
+                 "--geojson", geojson}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("status: success"), std::string::npos);
+  EXPECT_NE(out_.str().find("verified exclusive shortest: yes"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(svg));
+  EXPECT_TRUE(std::filesystem::exists(geojson));
+}
+
+TEST_F(CliTest, AttackByHospitalName) {
+  generate();
+  EXPECT_EQ(run({"attack", "--osm", osm_path_, "--rank", "10", "--hospital",
+                 "Rush University Medical Center"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("Rush University Medical Center"), std::string::npos);
+}
+
+TEST_F(CliTest, AttackUnknownHospitalFails) {
+  generate();
+  EXPECT_EQ(run({"attack", "--osm", osm_path_, "--hospital", "St. Nowhere"}), 1);
+  EXPECT_NE(err_.str().find("not found"), std::string::npos);
+}
+
+TEST_F(CliTest, AttackRejectsBadAlgorithm) {
+  generate();
+  EXPECT_EQ(run({"attack", "--osm", osm_path_, "--algorithm", "magic"}), 1);
+  EXPECT_NE(err_.str().find("unknown algorithm"), std::string::npos);
+}
+
+TEST_F(CliTest, IsolateReportsCut) {
+  generate();
+  EXPECT_EQ(run({"isolate", "--osm", osm_path_, "--radius", "250"}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("block"), std::string::npos);
+  EXPECT_NE(out_.str().find("cost"), std::string::npos);
+}
+
+TEST_F(CliTest, InterdictReportsDelayFactor) {
+  generate();
+  EXPECT_EQ(run({"interdict", "--osm", osm_path_, "--budget", "6"}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("delay factor"), std::string::npos);
+}
+
+TEST_F(CliTest, DanglingFlagRejected) {
+  EXPECT_EQ(run({"generate", "--city"}), 1);
+  EXPECT_NE(err_.str().find("--flag value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mts::cli

@@ -1,0 +1,62 @@
+#include "core/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace mts {
+namespace {
+
+TEST(Env, IntFallbackWhenUnset) {
+  unsetenv("MTS_TEST_UNSET");
+  EXPECT_EQ(env_int("MTS_TEST_UNSET", 42), 42);
+}
+
+TEST(Env, IntParsesValue) {
+  setenv("MTS_TEST_INT", "17", 1);
+  EXPECT_EQ(env_int("MTS_TEST_INT", 0), 17);
+  unsetenv("MTS_TEST_INT");
+}
+
+TEST(Env, IntFallbackOnGarbage) {
+  setenv("MTS_TEST_INT", "not-a-number", 1);
+  EXPECT_EQ(env_int("MTS_TEST_INT", 5), 5);
+  unsetenv("MTS_TEST_INT");
+}
+
+TEST(Env, DoubleParsesValue) {
+  setenv("MTS_TEST_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("MTS_TEST_DBL", 0.0), 2.5);
+  unsetenv("MTS_TEST_DBL");
+}
+
+TEST(Env, BenchEnvDefaults) {
+  unsetenv("MTS_SCALE");
+  unsetenv("MTS_TRIALS");
+  unsetenv("MTS_SEED");
+  unsetenv("MTS_PATH_RANK");
+  const auto env = BenchEnv::from_environment();
+  EXPECT_DOUBLE_EQ(env.scale, 1.0);
+  EXPECT_EQ(env.trials, 24);
+  EXPECT_EQ(env.seed, 7u);
+  EXPECT_EQ(env.path_rank, 100);
+}
+
+TEST(Env, BenchEnvOverrides) {
+  setenv("MTS_SCALE", "2.5", 1);
+  setenv("MTS_TRIALS", "40", 1);
+  setenv("MTS_SEED", "99", 1);
+  setenv("MTS_PATH_RANK", "200", 1);
+  const auto env = BenchEnv::from_environment();
+  EXPECT_DOUBLE_EQ(env.scale, 2.5);
+  EXPECT_EQ(env.trials, 40);
+  EXPECT_EQ(env.seed, 99u);
+  EXPECT_EQ(env.path_rank, 200);
+  unsetenv("MTS_SCALE");
+  unsetenv("MTS_TRIALS");
+  unsetenv("MTS_SEED");
+  unsetenv("MTS_PATH_RANK");
+}
+
+}  // namespace
+}  // namespace mts

@@ -1,0 +1,66 @@
+#include "core/strong_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace mts {
+namespace {
+
+TEST(StrongId, DefaultConstructedIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, NodeId::invalid());
+}
+
+TEST(StrongId, ValueRoundTrip) {
+  NodeId id(42);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(StrongId, Comparisons) {
+  EXPECT_EQ(NodeId(3), NodeId(3));
+  EXPECT_NE(NodeId(3), NodeId(4));
+  EXPECT_LT(NodeId(3), NodeId(4));
+  EXPECT_GT(NodeId(5), NodeId(4));
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<NodeId, EdgeId>);
+  static_assert(!std::is_convertible_v<NodeId, EdgeId>);
+  static_assert(!std::is_convertible_v<std::uint32_t, NodeId>);  // explicit only
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<NodeId> set;
+  set.insert(NodeId(1));
+  set.insert(NodeId(2));
+  set.insert(NodeId(1));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(NodeId(2)));
+  EXPECT_FALSE(set.contains(NodeId(3)));
+}
+
+TEST(StrongId, SixtyFourBitRep) {
+  OsmNodeId big(1'000'000'000'000LL);
+  EXPECT_EQ(big.value(), 1'000'000'000'000LL);
+  EXPECT_TRUE(big.valid());
+}
+
+TEST(IdRange, IteratesDenseRange) {
+  IdRange<NodeId> range(2, 5);
+  std::vector<std::uint32_t> seen;
+  for (NodeId id : range) seen.push_back(id.value());
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{2, 3, 4}));
+  EXPECT_EQ(range.size(), 3u);
+}
+
+TEST(IdRange, EmptyRange) {
+  IdRange<EdgeId> range(7, 7);
+  EXPECT_EQ(range.size(), 0u);
+  EXPECT_TRUE(range.begin() == range.end());
+}
+
+}  // namespace
+}  // namespace mts

@@ -1,0 +1,106 @@
+#include "graph/astar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "citygen/generate.hpp"
+#include "attack/models.hpp"
+#include "test_util.hpp"
+
+namespace mts {
+namespace {
+
+TEST(AStar, ZeroHeuristicMatchesDijkstra) {
+  Rng rng(5);
+  auto wg = test::make_random_graph(60, 240, rng);
+  const Heuristic zero = [](NodeId) { return 0.0; };
+  for (int trial = 0; trial < 10; ++trial) {
+    const NodeId s(static_cast<std::uint32_t>(rng.uniform_index(60)));
+    const NodeId t(static_cast<std::uint32_t>(rng.uniform_index(60)));
+    const auto expected = shortest_path(wg.g, wg.weights, s, t);
+    const auto actual = astar(wg.g, wg.weights, s, t, zero);
+    ASSERT_EQ(actual.path.has_value(), expected.has_value());
+    if (expected) {
+      EXPECT_NEAR(actual.path->length, expected->length, 1e-9);
+    }
+  }
+}
+
+TEST(AStar, EuclideanHeuristicIsExactOnCityNetworks) {
+  const auto network = citygen::generate_city(citygen::City::Chicago, 0.2, 9);
+  const auto& g = network.graph();
+  const auto lengths = attack::make_weights(network, attack::WeightType::Length);
+  const auto times = attack::make_weights(network, attack::WeightType::Time);
+
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const NodeId s(static_cast<std::uint32_t>(rng.uniform_index(g.num_nodes())));
+    const NodeId t(static_cast<std::uint32_t>(rng.uniform_index(g.num_nodes())));
+
+    // LENGTH: straight-line distance is admissible up to the (tiny)
+    // haversine-vs-planar discrepancy; use the certified rate.
+    for (const auto* weights : {&lengths, &times}) {
+      const double rate = max_admissible_rate(g, *weights);
+      const auto result =
+          astar(g, *weights, s, t, euclidean_heuristic(g, t, rate));
+      const auto expected = shortest_path(g, *weights, s, t);
+      ASSERT_EQ(result.path.has_value(), expected.has_value());
+      if (expected) {
+        EXPECT_NEAR(result.path->length, expected->length, 1e-6 * (1 + expected->length));
+      }
+    }
+  }
+}
+
+TEST(AStar, GoalDirectionReducesSettledNodes) {
+  const auto network = citygen::generate_city(citygen::City::Chicago, 0.3, 9);
+  const auto& g = network.graph();
+  const auto lengths = attack::make_weights(network, attack::WeightType::Length);
+  const double rate = max_admissible_rate(g, lengths);
+
+  Rng rng(7);
+  std::size_t informed_total = 0;
+  std::size_t blind_total = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    const NodeId s(static_cast<std::uint32_t>(rng.uniform_index(g.num_nodes())));
+    const NodeId t(static_cast<std::uint32_t>(rng.uniform_index(g.num_nodes())));
+    const auto informed = astar(g, lengths, s, t, euclidean_heuristic(g, t, rate));
+    const auto blind = astar(g, lengths, s, t, [](NodeId) { return 0.0; });
+    informed_total += informed.nodes_settled;
+    blind_total += blind.nodes_settled;
+  }
+  EXPECT_LT(informed_total, blind_total);
+}
+
+TEST(AStar, RespectsFilter) {
+  test::Diamond d;
+  EdgeFilter filter(d.wg.g.num_edges());
+  filter.remove(d.sa);
+  const auto result =
+      astar(d.wg.g, d.wg.weights, d.s, d.t, [](NodeId) { return 0.0; }, &filter);
+  ASSERT_TRUE(result.path.has_value());
+  EXPECT_DOUBLE_EQ(result.path->length, 3.0);
+}
+
+TEST(AStar, UnreachableReturnsNoPath) {
+  DiGraph g;
+  const NodeId a = g.add_node(0, 0);
+  const NodeId b = g.add_node(1, 0);
+  g.finalize();
+  const std::vector<double> w;
+  const auto result = astar(g, w, a, b, [](NodeId) { return 0.0; });
+  EXPECT_FALSE(result.path.has_value());
+}
+
+TEST(AStar, MaxAdmissibleRateProperties) {
+  test::Diamond d;
+  const double rate = max_admissible_rate(d.wg.g, d.wg.weights);
+  // Every edge satisfies w >= rate * euclid.
+  for (EdgeId e : d.wg.g.edges()) {
+    const double euclid = d.wg.g.node_distance(d.wg.g.edge_from(e), d.wg.g.edge_to(e));
+    EXPECT_GE(d.wg.weights[e.value()] + 1e-12, rate * euclid);
+  }
+  EXPECT_GT(rate, 0.0);
+}
+
+}  // namespace
+}  // namespace mts

@@ -1,0 +1,100 @@
+#include "graph/bidirectional.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attack/models.hpp"
+#include "citygen/generate.hpp"
+#include "test_util.hpp"
+
+namespace mts {
+namespace {
+
+TEST(Bidirectional, MatchesDijkstraOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    auto wg = test::make_random_graph(50, 200, rng);
+    for (int trial = 0; trial < 5; ++trial) {
+      const NodeId s(static_cast<std::uint32_t>(rng.uniform_index(50)));
+      const NodeId t(static_cast<std::uint32_t>(rng.uniform_index(50)));
+      const auto expected = shortest_path(wg.g, wg.weights, s, t);
+      const auto actual = bidirectional_shortest_path(wg.g, wg.weights, s, t);
+      ASSERT_EQ(actual.path.has_value(), expected.has_value())
+          << "seed " << seed << " trial " << trial;
+      if (expected) {
+        EXPECT_NEAR(actual.path->length, expected->length, 1e-9);
+        EXPECT_TRUE(is_simple_path(wg.g, *actual.path, s, t));
+        EXPECT_NEAR(path_length(actual.path->edges, wg.weights), actual.path->length, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Bidirectional, SourceEqualsTarget) {
+  test::Diamond d;
+  const auto result = bidirectional_shortest_path(d.wg.g, d.wg.weights, d.s, d.s);
+  ASSERT_TRUE(result.path.has_value());
+  EXPECT_TRUE(result.path->empty());
+}
+
+TEST(Bidirectional, DisconnectedReturnsNoPath) {
+  DiGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  g.add_edge(b, a);  // wrong direction only
+  g.finalize();
+  const std::vector<double> w = {1.0};
+  EXPECT_FALSE(bidirectional_shortest_path(g, w, a, b).path.has_value());
+}
+
+TEST(Bidirectional, RespectsFilter) {
+  test::Diamond d;
+  EdgeFilter filter(d.wg.g.num_edges());
+  filter.remove(d.sa);
+  const auto result = bidirectional_shortest_path(d.wg.g, d.wg.weights, d.s, d.t, &filter);
+  ASSERT_TRUE(result.path.has_value());
+  EXPECT_DOUBLE_EQ(result.path->length, 3.0);
+  EXPECT_EQ(result.path->edges, (std::vector<EdgeId>{d.sb, d.bt}));
+}
+
+TEST(Bidirectional, SettlesFewerNodesThanDijkstraOnCities) {
+  const auto network = citygen::generate_city(citygen::City::LosAngeles, 0.3, 5);
+  const auto& g = network.graph();
+  const auto times = attack::make_weights(network, attack::WeightType::Time);
+
+  Rng rng(11);
+  std::size_t bidi_total = 0;
+  std::size_t uni_total = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    const NodeId s(static_cast<std::uint32_t>(rng.uniform_index(g.num_nodes())));
+    const NodeId t(static_cast<std::uint32_t>(rng.uniform_index(g.num_nodes())));
+    const auto bidi = bidirectional_shortest_path(g, times, s, t);
+    DijkstraOptions options;
+    options.target = t;
+    const auto tree = dijkstra(g, times, s, options);
+    std::size_t settled = 0;
+    for (NodeId n : g.nodes()) {
+      // Upper bound on settled: nodes with final distance <= dist(t).
+      if (tree.reached(n) && tree.dist[n.value()] <= tree.dist[t.value()]) ++settled;
+    }
+    bidi_total += bidi.nodes_settled;
+    uni_total += settled;
+  }
+  EXPECT_LT(bidi_total, uni_total);
+}
+
+TEST(Bidirectional, HandlesParallelEdges) {
+  DiGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  g.add_edge(a, b);
+  const EdgeId cheap = g.add_edge(a, b);
+  g.finalize();
+  const std::vector<double> w = {5.0, 1.0};
+  const auto result = bidirectional_shortest_path(g, w, a, b);
+  ASSERT_TRUE(result.path.has_value());
+  EXPECT_DOUBLE_EQ(result.path->length, 1.0);
+  EXPECT_EQ(result.path->edges, (std::vector<EdgeId>{cheap}));
+}
+
+}  // namespace
+}  // namespace mts

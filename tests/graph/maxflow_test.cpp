@@ -1,0 +1,132 @@
+#include "graph/maxflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/error.hpp"
+#include "test_util.hpp"
+
+namespace mts {
+namespace {
+
+double cut_capacity(const MaxFlowResult& result, const std::vector<double>& capacities) {
+  double total = 0.0;
+  for (EdgeId e : result.cut_edges) total += capacities[e.value()];
+  return total;
+}
+
+TEST(MaxFlow, SingleEdge) {
+  DiGraph g;
+  const NodeId s = g.add_node();
+  const NodeId t = g.add_node();
+  g.add_edge(s, t);
+  g.finalize();
+  const std::vector<double> cap = {3.5};
+  const auto result = max_flow(g, cap, s, t);
+  EXPECT_DOUBLE_EQ(result.flow, 3.5);
+  ASSERT_EQ(result.cut_edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(cut_capacity(result, cap), 3.5);
+}
+
+TEST(MaxFlow, ClassicTwoPathNetwork) {
+  // s -> a -> t (caps 3, 2) and s -> b -> t (caps 2, 3), a -> b cap 1.
+  DiGraph g;
+  const NodeId s = g.add_node();
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId t = g.add_node();
+  g.add_edge(s, a);
+  g.add_edge(a, t);
+  g.add_edge(s, b);
+  g.add_edge(b, t);
+  g.add_edge(a, b);
+  g.finalize();
+  const std::vector<double> cap = {3, 2, 2, 3, 1};
+  const auto result = max_flow(g, cap, s, t);
+  EXPECT_DOUBLE_EQ(result.flow, 5.0);
+  EXPECT_DOUBLE_EQ(cut_capacity(result, cap), 5.0);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  DiGraph g;
+  const NodeId s = g.add_node();
+  const NodeId t = g.add_node();
+  g.add_node();
+  g.finalize();
+  const std::vector<double> cap;
+  const auto result = max_flow(g, cap, s, t);
+  EXPECT_DOUBLE_EQ(result.flow, 0.0);
+  EXPECT_TRUE(result.cut_edges.empty());
+  EXPECT_TRUE(result.source_side[s.value()]);
+  EXPECT_FALSE(result.source_side[t.value()]);
+}
+
+TEST(MaxFlow, ParallelEdgesAdd) {
+  DiGraph g;
+  const NodeId s = g.add_node();
+  const NodeId t = g.add_node();
+  g.add_edge(s, t);
+  g.add_edge(s, t);
+  g.finalize();
+  const std::vector<double> cap = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(max_flow(g, cap, s, t).flow, 3.0);
+}
+
+TEST(MaxFlow, RejectsNegativeCapacityAndBadArgs) {
+  DiGraph g;
+  const NodeId s = g.add_node();
+  const NodeId t = g.add_node();
+  g.add_edge(s, t);
+  g.finalize();
+  const std::vector<double> bad = {-1.0};
+  EXPECT_THROW(max_flow(g, bad, s, t), PreconditionViolation);
+  const std::vector<double> cap = {1.0};
+  EXPECT_THROW(max_flow(g, cap, s, s), PreconditionViolation);
+}
+
+TEST(MaxFlow, MinCutDisconnectsOnGrid) {
+  auto wg = test::make_grid(5, 5);
+  std::vector<double> cap(wg.g.num_edges(), 1.0);
+  const NodeId s(0);
+  const NodeId t(24);
+  const auto result = max_flow(wg.g, cap, s, t);
+  // Corner degree is 2, so the min cut is the 2 outgoing edges.
+  EXPECT_DOUBLE_EQ(result.flow, 2.0);
+  EXPECT_DOUBLE_EQ(cut_capacity(result, cap), 2.0);
+
+  // Removing the cut edges must disconnect s from t.
+  EdgeFilter filter(wg.g.num_edges());
+  for (EdgeId e : result.cut_edges) filter.remove(e);
+  std::vector<std::uint8_t> seen(wg.g.num_nodes(), 0);
+  std::vector<NodeId> stack = {s};
+  seen[s.value()] = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (EdgeId e : wg.g.out_edges(u)) {
+      if (filter.is_removed(e)) continue;
+      const NodeId v = wg.g.edge_to(e);
+      if (!seen[v.value()]) {
+        seen[v.value()] = 1;
+        stack.push_back(v);
+      }
+    }
+  }
+  EXPECT_FALSE(seen[t.value()]);
+}
+
+TEST(MaxFlow, FlowEqualsMinCutOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    auto wg = test::make_random_graph(20, 60, rng);
+    std::vector<double> cap;
+    cap.reserve(wg.g.num_edges());
+    for (std::size_t i = 0; i < wg.g.num_edges(); ++i) cap.push_back(rng.uniform(0.5, 4.0));
+    const auto result = max_flow(wg.g, cap, NodeId(0), NodeId(19));
+    EXPECT_NEAR(result.flow, cut_capacity(result, cap), 1e-9) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mts

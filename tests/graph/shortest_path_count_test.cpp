@@ -1,0 +1,77 @@
+#include "graph/shortest_path_count.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace mts {
+namespace {
+
+TEST(CountShortestPaths, UniquePath) {
+  test::Diamond d;
+  EXPECT_EQ(count_shortest_paths(d.wg.g, d.wg.weights, d.s, d.t), 1u);
+}
+
+TEST(CountShortestPaths, TiedDiamond) {
+  test::Diamond d;
+  auto w = d.wg.weights;
+  w[d.sb.value()] = 1.0;
+  w[d.bt.value()] = 1.0;  // both arms now cost 2
+  EXPECT_EQ(count_shortest_paths(d.wg.g, w, d.s, d.t), 2u);
+}
+
+TEST(CountShortestPaths, GridBinomial) {
+  auto wg = test::make_grid(4, 4);
+  // Monotone lattice paths from corner to corner: C(6, 3) = 20.
+  EXPECT_EQ(count_shortest_paths(wg.g, wg.weights, NodeId(0), NodeId(15)), 20u);
+}
+
+TEST(CountShortestPaths, UnreachableIsZero) {
+  DiGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  g.finalize();
+  const std::vector<double> w;
+  EXPECT_EQ(count_shortest_paths(g, w, a, b), 0u);
+}
+
+TEST(CountShortestPaths, FilterBreaksTie) {
+  test::Diamond d;
+  auto w = d.wg.weights;
+  w[d.sb.value()] = 1.0;
+  w[d.bt.value()] = 1.0;
+  EdgeFilter filter(d.wg.g.num_edges());
+  filter.remove(d.sb);
+  EXPECT_EQ(count_shortest_paths(d.wg.g, w, d.s, d.t, &filter), 1u);
+}
+
+TEST(CountShortestPaths, SourceEqualsTarget) {
+  test::Diamond d;
+  EXPECT_EQ(count_shortest_paths(d.wg.g, d.wg.weights, d.s, d.s), 1u);
+}
+
+TEST(CountShortestPaths, CapLimitsGrowth) {
+  auto wg = test::make_grid(8, 8);
+  // C(14, 7) = 3432 tied monotone paths; cap at 100.
+  EXPECT_EQ(count_shortest_paths(wg.g, wg.weights, NodeId(0), NodeId(63), nullptr, 100), 100u);
+}
+
+TEST(CountShortestPaths, MatchesBruteForceOnRandomGraphs) {
+  for (std::uint64_t seed = 21; seed <= 26; ++seed) {
+    Rng rng(seed);
+    auto wg = test::make_random_graph(9, 18, rng);
+    const NodeId s(0);
+    const NodeId t(8);
+    const auto all = test::enumerate_simple_paths(wg.g, wg.weights, s, t);
+    ASSERT_FALSE(all.empty());
+    const double best = all.front().length;
+    std::uint64_t expected = 0;
+    for (const auto& p : all) {
+      if (p.length <= best + 1e-9 * (1.0 + best)) ++expected;
+    }
+    EXPECT_EQ(count_shortest_paths(wg.g, wg.weights, s, t), expected) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mts

@@ -1,0 +1,142 @@
+#include "graph/spatial_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace mts {
+namespace {
+
+std::vector<IndexedPoint> random_points(std::size_t n, Rng& rng, double extent = 1000.0) {
+  std::vector<IndexedPoint> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({rng.uniform(0, extent), rng.uniform(0, extent),
+                      static_cast<std::uint32_t>(i)});
+  }
+  return points;
+}
+
+TEST(PointGrid, NearestMatchesBruteForce) {
+  Rng rng(7);
+  const auto points = random_points(400, rng);
+  PointGrid grid(points, 50.0);
+  for (int q = 0; q < 200; ++q) {
+    const double x = rng.uniform(-100, 1100);
+    const double y = rng.uniform(-100, 1100);
+    double best = std::numeric_limits<double>::infinity();
+    std::uint32_t best_id = 0;
+    for (const auto& p : points) {
+      const double d = std::hypot(p.x - x, p.y - y);
+      if (d < best) {
+        best = d;
+        best_id = p.id;
+      }
+    }
+    const auto hit = grid.nearest(x, y);
+    ASSERT_TRUE(hit.has_value());
+    // Compare by distance (ids may differ on exact ties).
+    const auto& chosen = points[*hit];
+    EXPECT_NEAR(std::hypot(chosen.x - x, chosen.y - y), best, 1e-9)
+        << "query " << q << " id " << *hit << " vs " << best_id;
+  }
+}
+
+TEST(PointGrid, WithinMatchesBruteForce) {
+  Rng rng(9);
+  const auto points = random_points(300, rng);
+  PointGrid grid(points, 80.0);
+  for (int q = 0; q < 50; ++q) {
+    const double x = rng.uniform(0, 1000);
+    const double y = rng.uniform(0, 1000);
+    const double radius = rng.uniform(10, 200);
+    auto result = grid.within(x, y, radius);
+    std::sort(result.begin(), result.end());
+    std::vector<std::uint32_t> expected;
+    for (const auto& p : points) {
+      if (std::hypot(p.x - x, p.y - y) <= radius) expected.push_back(p.id);
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(result, expected) << "query " << q;
+  }
+}
+
+TEST(PointGrid, EmptyIndex) {
+  PointGrid grid({}, 10.0);
+  EXPECT_FALSE(grid.nearest(0, 0).has_value());
+  EXPECT_TRUE(grid.within(0, 0, 100).empty());
+}
+
+TEST(PointGrid, SinglePoint) {
+  PointGrid grid({{5.0, 5.0, 42}}, 10.0);
+  const auto hit = grid.nearest(-1000, -1000);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 42u);
+}
+
+TEST(PointGrid, RejectsBadCellSize) {
+  EXPECT_THROW(PointGrid({}, 0.0), PreconditionViolation);
+}
+
+TEST(SegmentGrid, NearestMatchesBruteForce) {
+  Rng rng(13);
+  std::vector<IndexedSegment> segments;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    const double x = rng.uniform(0, 1000);
+    const double y = rng.uniform(0, 1000);
+    segments.push_back({x, y, x + rng.uniform(-120, 120), y + rng.uniform(-120, 120), i});
+  }
+  SegmentGrid grid(segments, 60.0);
+
+  auto brute = [&](double px, double py) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& s : segments) {
+      const double dx = s.x2 - s.x1;
+      const double dy = s.y2 - s.y1;
+      const double len2 = dx * dx + dy * dy;
+      double t = 0.0;
+      if (len2 > 0) t = std::clamp(((px - s.x1) * dx + (py - s.y1) * dy) / len2, 0.0, 1.0);
+      best = std::min(best, std::hypot(px - (s.x1 + t * dx), py - (s.y1 + t * dy)));
+    }
+    return best;
+  };
+
+  for (int q = 0; q < 100; ++q) {
+    const double x = rng.uniform(-50, 1050);
+    const double y = rng.uniform(-50, 1050);
+    const auto hit = grid.nearest(x, y);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_NEAR(hit->distance, brute(x, y), 1e-9) << "query " << q;
+  }
+}
+
+TEST(SegmentGrid, HitReportsProjection) {
+  SegmentGrid grid({{0, 0, 10, 0, 7}}, 5.0);
+  const auto hit = grid.nearest(5, 3);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->id, 7u);
+  EXPECT_NEAR(hit->t, 0.5, 1e-12);
+  EXPECT_NEAR(hit->distance, 3.0, 1e-12);
+  EXPECT_NEAR(hit->x, 5.0, 1e-12);
+  EXPECT_NEAR(hit->y, 0.0, 1e-12);
+}
+
+TEST(SegmentGrid, DegenerateSegment) {
+  SegmentGrid grid({{3, 4, 3, 4, 1}}, 5.0);
+  const auto hit = grid.nearest(0, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->distance, 5.0, 1e-12);
+}
+
+TEST(SegmentGrid, EmptyIndex) {
+  SegmentGrid grid({}, 5.0);
+  EXPECT_FALSE(grid.nearest(0, 0).has_value());
+}
+
+}  // namespace
+}  // namespace mts

@@ -1,0 +1,151 @@
+#include "graph/yen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/error.hpp"
+#include "test_util.hpp"
+
+namespace mts {
+namespace {
+
+TEST(Yen, DiamondRanksAllThreePaths) {
+  test::Diamond d;
+  const auto paths = yen_ksp(d.wg.g, d.wg.weights, d.s, d.t, 10);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_DOUBLE_EQ(paths[0].length, 2.0);
+  EXPECT_DOUBLE_EQ(paths[1].length, 3.0);
+  EXPECT_DOUBLE_EQ(paths[2].length, 4.0);
+  EXPECT_EQ(paths[2].edges, (std::vector<EdgeId>{d.st}));
+}
+
+TEST(Yen, KZeroAndKOne) {
+  test::Diamond d;
+  EXPECT_TRUE(yen_ksp(d.wg.g, d.wg.weights, d.s, d.t, 0).empty());
+  const auto one = yen_ksp(d.wg.g, d.wg.weights, d.s, d.t, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0].length, 2.0);
+}
+
+TEST(Yen, UnreachableTargetReturnsEmpty) {
+  DiGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  g.add_edge(a, b);
+  g.finalize();
+  const std::vector<double> w = {1.0};
+  EXPECT_TRUE(yen_ksp(g, w, a, c, 5).empty());
+}
+
+TEST(Yen, RejectsSourceEqualsTarget) {
+  test::Diamond d;
+  EXPECT_THROW(yen_ksp(d.wg.g, d.wg.weights, d.s, d.s, 3), PreconditionViolation);
+}
+
+TEST(Yen, PathsAreSimpleSortedAndDistinct) {
+  Rng rng(42);
+  auto wg = test::make_random_graph(25, 90, rng);
+  const NodeId s(0);
+  const NodeId t(24);
+  const auto paths = yen_ksp(wg.g, wg.weights, s, t, 30);
+  ASSERT_GE(paths.size(), 5u);
+  std::set<std::vector<EdgeId>> seen;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    EXPECT_TRUE(is_simple_path(wg.g, paths[i], s, t)) << "path " << i;
+    EXPECT_NEAR(path_length(paths[i].edges, wg.weights), paths[i].length, 1e-9);
+    EXPECT_TRUE(seen.insert(paths[i].edges).second) << "duplicate path " << i;
+    if (i > 0) {
+      EXPECT_GE(paths[i].length, paths[i - 1].length - 1e-12);
+    }
+  }
+}
+
+TEST(Yen, MatchesBruteForceEnumeration) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    auto wg = test::make_random_graph(9, 20, rng);
+    const NodeId s(0);
+    const NodeId t(8);
+    const auto expected = test::enumerate_simple_paths(wg.g, wg.weights, s, t);
+    const auto actual = yen_ksp(wg.g, wg.weights, s, t, expected.size() + 5);
+    ASSERT_EQ(actual.size(), expected.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      // Lengths must agree rank by rank (edge sequences may differ on ties).
+      EXPECT_NEAR(actual[i].length, expected[i].length, 1e-9)
+          << "seed " << seed << " rank " << i;
+    }
+  }
+}
+
+TEST(Yen, GridHasManyEqualLengthPaths) {
+  auto wg = test::make_grid(4, 4);
+  const NodeId s(0);
+  const NodeId t(15);
+  // Shortest path on a 4x4 grid takes 6 unit steps; C(6,3) = 20 monotone
+  // routes all have length 6.
+  const auto paths = yen_ksp(wg.g, wg.weights, s, t, 20);
+  ASSERT_EQ(paths.size(), 20u);
+  for (const auto& path : paths) EXPECT_DOUBLE_EQ(path.length, 6.0);
+}
+
+TEST(Yen, RespectsBaseFilter) {
+  test::Diamond d;
+  EdgeFilter filter(d.wg.g.num_edges());
+  filter.remove(d.sa);
+  YenOptions options;
+  options.filter = &filter;
+  const auto paths = yen_ksp(d.wg.g, d.wg.weights, d.s, d.t, 10, options);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_DOUBLE_EQ(paths[0].length, 3.0);
+  EXPECT_DOUBLE_EQ(paths[1].length, 4.0);
+}
+
+TEST(Yen, SpurSearchCapTruncates) {
+  Rng rng(3);
+  auto wg = test::make_random_graph(30, 120, rng);
+  YenOptions options;
+  options.max_spur_searches = 1;
+  const auto paths = yen_ksp(wg.g, wg.weights, NodeId(0), NodeId(29), 50, options);
+  EXPECT_LE(paths.size(), 2u);
+  EXPECT_GE(paths.size(), 1u);
+}
+
+TEST(SecondShortestPath, FindsRunnerUp) {
+  test::Diamond d;
+  const auto first = shortest_path(d.wg.g, d.wg.weights, d.s, d.t);
+  ASSERT_TRUE(first.has_value());
+  const auto second = second_shortest_path(d.wg.g, d.wg.weights, d.s, d.t, *first);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_DOUBLE_EQ(second->length, 3.0);
+  EXPECT_NE(second->edges, first->edges);
+}
+
+TEST(SecondShortestPath, NoneWhenUnique) {
+  DiGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const EdgeId e = g.add_edge(a, b);
+  g.finalize();
+  const std::vector<double> w = {1.0};
+  Path only{{e}, 1.0};
+  EXPECT_FALSE(second_shortest_path(g, w, a, b, only).has_value());
+}
+
+TEST(SecondShortestPath, AgreesWithYenRankTwo) {
+  for (std::uint64_t seed = 11; seed <= 16; ++seed) {
+    Rng rng(seed);
+    auto wg = test::make_random_graph(20, 70, rng);
+    const NodeId s(0);
+    const NodeId t(19);
+    const auto top2 = yen_ksp(wg.g, wg.weights, s, t, 2);
+    if (top2.size() < 2) continue;
+    const auto second = second_shortest_path(wg.g, wg.weights, s, t, top2[0]);
+    ASSERT_TRUE(second.has_value()) << "seed " << seed;
+    EXPECT_NEAR(second->length, top2[1].length, 1e-9) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mts

@@ -1,0 +1,162 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace mts {
+namespace {
+
+TEST(Simplex, TrivialLowerBoundedMin) {
+  // min x0 + x1 s.t. x0 + x1 >= 2, x >= 0  ->  objective 2.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  lp.add_constraint({0, 1}, {1.0, 1.0}, Relation::GreaterEqual, 2.0);
+  const auto result = solve_lp(lp);
+  ASSERT_EQ(result.status, LpStatus::Optimal);
+  EXPECT_NEAR(result.objective, 2.0, 1e-9);
+  EXPECT_NEAR(result.x[0] + result.x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, ClassicMaximizationAsMinimization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (objective 36 at (2,6)).
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-3.0, -5.0};
+  lp.add_constraint({0}, {1.0}, Relation::LessEqual, 4.0);
+  lp.add_constraint({1}, {2.0}, Relation::LessEqual, 12.0);
+  lp.add_constraint({0, 1}, {3.0, 2.0}, Relation::LessEqual, 18.0);
+  const auto result = solve_lp(lp);
+  ASSERT_EQ(result.status, LpStatus::Optimal);
+  EXPECT_NEAR(result.objective, -36.0, 1e-9);
+  EXPECT_NEAR(result.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(result.x[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min 2x + 3y s.t. x + y == 4, x - y == 2  ->  x=3, y=1, objective 9.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {2.0, 3.0};
+  lp.add_constraint({0, 1}, {1.0, 1.0}, Relation::Equal, 4.0);
+  lp.add_constraint({0, 1}, {1.0, -1.0}, Relation::Equal, 2.0);
+  const auto result = solve_lp(lp);
+  ASSERT_EQ(result.status, LpStatus::Optimal);
+  EXPECT_NEAR(result.objective, 9.0, 1e-9);
+  EXPECT_NEAR(result.x[0], 3.0, 1e-9);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-9);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  // x >= 3 and x <= 1 simultaneously.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.add_constraint({0}, {1.0}, Relation::GreaterEqual, 3.0);
+  lp.add_constraint({0}, {1.0}, Relation::LessEqual, 1.0);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  // min -x with only x >= 1.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {-1.0};
+  lp.add_constraint({0}, {1.0}, Relation::GreaterEqual, 1.0);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalized) {
+  // min x s.t. -x <= -5  (i.e. x >= 5).
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.add_constraint({0}, {-1.0}, Relation::LessEqual, -5.0);
+  const auto result = solve_lp(lp);
+  ASSERT_EQ(result.status, LpStatus::Optimal);
+  EXPECT_NEAR(result.x[0], 5.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Redundant constraints stacked on the same vertex (classic degeneracy).
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  lp.add_constraint({0, 1}, {1.0, 1.0}, Relation::GreaterEqual, 1.0);
+  lp.add_constraint({0, 1}, {2.0, 2.0}, Relation::GreaterEqual, 2.0);
+  lp.add_constraint({0, 1}, {3.0, 3.0}, Relation::GreaterEqual, 3.0);
+  const auto result = solve_lp(lp);
+  ASSERT_EQ(result.status, LpStatus::Optimal);
+  EXPECT_NEAR(result.objective, 1.0, 1e-9);
+}
+
+TEST(Simplex, RejectsBadIndices) {
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.add_constraint({3}, {1.0}, Relation::GreaterEqual, 1.0);
+  EXPECT_THROW(solve_lp(lp), PreconditionViolation);
+}
+
+TEST(Simplex, RejectsObjectiveSizeMismatch) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0};
+  EXPECT_THROW(solve_lp(lp), PreconditionViolation);
+}
+
+TEST(Simplex, EmptyConstraintsOptimalAtZero) {
+  LpProblem lp;
+  lp.num_vars = 3;
+  lp.objective = {1.0, 2.0, 3.0};
+  const auto result = solve_lp(lp);
+  ASSERT_EQ(result.status, LpStatus::Optimal);
+  EXPECT_NEAR(result.objective, 0.0, 1e-12);
+}
+
+TEST(Simplex, SolutionSatisfiesAllConstraintsOnRandomCoveringLps) {
+  // Random set-cover LPs: verify feasibility and that the objective is a
+  // valid lower bound for the all-ones solution.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const std::size_t n = 12;
+    LpProblem lp;
+    lp.num_vars = n;
+    for (std::size_t j = 0; j < n; ++j) lp.objective.push_back(rng.uniform(0.5, 3.0));
+    const std::size_t rows = 6;
+    for (std::size_t i = 0; i < rows; ++i) {
+      std::vector<std::size_t> indices;
+      std::vector<double> values;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (rng.chance(0.4)) {
+          indices.push_back(j);
+          values.push_back(1.0);
+        }
+      }
+      if (indices.empty()) {
+        indices.push_back(rng.uniform_index(n));
+        values.push_back(1.0);
+      }
+      lp.add_constraint(std::move(indices), std::move(values), Relation::GreaterEqual, 1.0);
+    }
+    const auto result = solve_lp(lp);
+    ASSERT_EQ(result.status, LpStatus::Optimal) << "seed " << seed;
+
+    double all_ones = 0.0;
+    for (double c : lp.objective) all_ones += c;
+    EXPECT_LE(result.objective, all_ones + 1e-9);
+    for (const auto& con : lp.constraints) {
+      double lhs = 0.0;
+      for (std::size_t k = 0; k < con.indices.size(); ++k) {
+        lhs += con.values[k] * result.x[con.indices[k]];
+      }
+      EXPECT_GE(lhs, con.rhs - 1e-7) << "seed " << seed;
+    }
+    for (double x : result.x) EXPECT_GE(x, -1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mts

@@ -1,0 +1,86 @@
+#include "osm/projection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace mts::osm {
+namespace {
+
+TEST(Projection, CenterMapsToOrigin) {
+  LocalProjection proj(42.36, -71.06);
+  const auto xy = proj.to_xy(42.36, -71.06);
+  EXPECT_NEAR(xy.x, 0.0, 1e-9);
+  EXPECT_NEAR(xy.y, 0.0, 1e-9);
+}
+
+TEST(Projection, RoundTrip) {
+  LocalProjection proj(41.8781, -87.6298);
+  const auto xy = proj.to_xy(41.90, -87.60);
+  const auto ll = proj.to_latlon(xy.x, xy.y);
+  EXPECT_NEAR(ll.lat, 41.90, 1e-12);
+  EXPECT_NEAR(ll.lon, -87.60, 1e-12);
+}
+
+TEST(Projection, OneDegreeLatitudeIsAbout111Km) {
+  LocalProjection proj(37.0, -122.0);
+  const auto xy = proj.to_xy(38.0, -122.0);
+  EXPECT_NEAR(xy.y, 111195.0, 200.0);
+  EXPECT_NEAR(xy.x, 0.0, 1e-9);
+}
+
+TEST(Projection, LongitudeShrinksWithLatitude) {
+  LocalProjection equator(0.0, 0.0);
+  LocalProjection boston(42.36, 0.0);
+  const double at_equator = equator.to_xy(0.0, 1.0).x;
+  const double at_boston = boston.to_xy(42.36, 1.0).x;
+  EXPECT_NEAR(at_boston / at_equator, std::cos(42.36 * std::numbers::pi / 180.0), 1e-9);
+}
+
+TEST(Projection, AgreesWithHaversineLocally) {
+  LocalProjection proj(34.05, -118.24);
+  // ~2 km east and ~1.5 km north.
+  const double lat2 = 34.0635;
+  const double lon2 = -118.2185;
+  const auto xy = proj.to_xy(lat2, lon2);
+  const double planar = std::hypot(xy.x, xy.y);
+  const double sphere = haversine_m(34.05, -118.24, lat2, lon2);
+  EXPECT_NEAR(planar, sphere, sphere * 1e-3);  // < 0.1% over metro scales
+}
+
+TEST(Haversine, ZeroDistance) {
+  EXPECT_DOUBLE_EQ(haversine_m(10.0, 20.0, 10.0, 20.0), 0.0);
+}
+
+TEST(Haversine, KnownCityPair) {
+  // Boston -> Chicago is about 1366 km great-circle.
+  const double d = haversine_m(42.3601, -71.0589, 41.8781, -87.6298);
+  EXPECT_NEAR(d, 1.366e6, 2e4);
+}
+
+TEST(PointToSegment, ProjectsOntoInterior) {
+  const auto proj = project_point_to_segment({1.0, 1.0}, {0.0, 0.0}, {2.0, 0.0});
+  EXPECT_NEAR(proj.t, 0.5, 1e-12);
+  EXPECT_NEAR(proj.distance, 1.0, 1e-12);
+  EXPECT_NEAR(proj.closest.x, 1.0, 1e-12);
+  EXPECT_NEAR(proj.closest.y, 0.0, 1e-12);
+}
+
+TEST(PointToSegment, ClampsToEndpoints) {
+  const auto before = project_point_to_segment({-1.0, 1.0}, {0.0, 0.0}, {2.0, 0.0});
+  EXPECT_DOUBLE_EQ(before.t, 0.0);
+  EXPECT_NEAR(before.distance, std::sqrt(2.0), 1e-12);
+  const auto after = project_point_to_segment({3.0, 0.0}, {0.0, 0.0}, {2.0, 0.0});
+  EXPECT_DOUBLE_EQ(after.t, 1.0);
+  EXPECT_NEAR(after.distance, 1.0, 1e-12);
+}
+
+TEST(PointToSegment, DegenerateSegment) {
+  const auto proj = project_point_to_segment({3.0, 4.0}, {0.0, 0.0}, {0.0, 0.0});
+  EXPECT_DOUBLE_EQ(proj.t, 0.0);
+  EXPECT_NEAR(proj.distance, 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mts::osm

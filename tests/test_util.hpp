@@ -1,0 +1,127 @@
+// Shared helpers for the test suite: tiny canonical graphs, random graph
+// generation, and brute-force oracles to cross-check fast algorithms.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "graph/digraph.hpp"
+#include "graph/edge_filter.hpp"
+#include "graph/path.hpp"
+
+namespace mts::test {
+
+/// A graph plus its parallel weight vector.
+struct WeightedGraph {
+  DiGraph g;
+  std::vector<double> weights;
+
+  EdgeId edge(NodeId u, NodeId v, double w) {
+    const EdgeId e = g.add_edge(u, v);
+    weights.push_back(w);
+    return e;
+  }
+};
+
+/// The classic diamond:  s -> a -> t  (cost 2) and s -> b -> t (cost 3),
+/// plus a direct s -> t (cost 4).
+struct Diamond {
+  WeightedGraph wg;
+  NodeId s, a, b, t;
+  EdgeId sa, at, sb, bt, st;
+
+  Diamond() {
+    s = wg.g.add_node(0, 0);
+    a = wg.g.add_node(1, 1);
+    b = wg.g.add_node(1, -1);
+    t = wg.g.add_node(2, 0);
+    sa = wg.edge(s, a, 1.0);
+    at = wg.edge(a, t, 1.0);
+    sb = wg.edge(s, b, 1.5);
+    bt = wg.edge(b, t, 1.5);
+    st = wg.edge(s, t, 4.0);
+    wg.g.finalize();
+  }
+};
+
+/// r x c grid with unit-ish weights; two-way edges.  Node (i, j) has id
+/// i*c + j.  Horizontal weight `hw`, vertical weight `vw`.
+inline WeightedGraph make_grid(int rows, int cols, double hw = 1.0, double vw = 1.0) {
+  WeightedGraph wg;
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) wg.g.add_node(j, i);
+  }
+  auto id = [cols](int i, int j) { return NodeId(static_cast<std::uint32_t>(i * cols + j)); };
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      if (j + 1 < cols) {
+        wg.edge(id(i, j), id(i, j + 1), hw);
+        wg.edge(id(i, j + 1), id(i, j), hw);
+      }
+      if (i + 1 < rows) {
+        wg.edge(id(i, j), id(i + 1, j), vw);
+        wg.edge(id(i + 1, j), id(i, j), vw);
+      }
+    }
+  }
+  wg.g.finalize();
+  return wg;
+}
+
+/// Random sparse digraph with positive weights; guaranteed s=0 -> t=n-1
+/// backbone so the pair is connected.
+inline WeightedGraph make_random_graph(int n, int extra_edges, Rng& rng) {
+  WeightedGraph wg;
+  for (int i = 0; i < n; ++i) {
+    wg.g.add_node(rng.uniform(0, 100), rng.uniform(0, 100));
+  }
+  for (int i = 0; i + 1 < n; ++i) {  // backbone
+    wg.edge(NodeId(static_cast<std::uint32_t>(i)), NodeId(static_cast<std::uint32_t>(i + 1)),
+            rng.uniform(1.0, 5.0));
+  }
+  for (int k = 0; k < extra_edges; ++k) {
+    const auto u = static_cast<std::uint32_t>(rng.uniform_index(static_cast<std::size_t>(n)));
+    const auto v = static_cast<std::uint32_t>(rng.uniform_index(static_cast<std::size_t>(n)));
+    if (u == v) continue;
+    wg.edge(NodeId(u), NodeId(v), rng.uniform(1.0, 5.0));
+  }
+  wg.g.finalize();
+  return wg;
+}
+
+/// Brute-force enumeration of all simple s->t paths (for small graphs),
+/// sorted by length then lexicographically by edge ids.
+inline std::vector<Path> enumerate_simple_paths(const DiGraph& g,
+                                                const std::vector<double>& weights, NodeId s,
+                                                NodeId t, const EdgeFilter* filter = nullptr) {
+  std::vector<Path> result;
+  std::vector<std::uint8_t> visited(g.num_nodes(), 0);
+  std::vector<EdgeId> stack;
+
+  auto dfs = [&](auto&& self, NodeId u, double length) -> void {
+    if (u == t) {
+      result.push_back({stack, length});
+      return;
+    }
+    visited[u.value()] = 1;
+    for (EdgeId e : g.out_edges(u)) {
+      if (!edge_alive(filter, e)) continue;
+      const NodeId v = g.edge_to(e);
+      if (visited[v.value()]) continue;
+      stack.push_back(e);
+      self(self, v, length + weights[e.value()]);
+      stack.pop_back();
+    }
+    visited[u.value()] = 0;
+  };
+  dfs(dfs, s, 0.0);
+
+  std::sort(result.begin(), result.end(), [](const Path& x, const Path& y) {
+    if (x.length != y.length) return x.length < y.length;
+    return x.edges < y.edges;
+  });
+  return result;
+}
+
+}  // namespace mts::test
