@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interdiction.dir/ablation_interdiction.cpp.o"
+  "CMakeFiles/ablation_interdiction.dir/ablation_interdiction.cpp.o.d"
+  "ablation_interdiction"
+  "ablation_interdiction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interdiction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

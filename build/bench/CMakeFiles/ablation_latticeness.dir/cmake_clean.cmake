@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_latticeness.dir/ablation_latticeness.cpp.o"
+  "CMakeFiles/ablation_latticeness.dir/ablation_latticeness.cpp.o.d"
+  "ablation_latticeness"
+  "ablation_latticeness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_latticeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_path_rank.dir/ablation_path_rank.cpp.o"
+  "CMakeFiles/ablation_path_rank.dir/ablation_path_rank.cpp.o.d"
+  "ablation_path_rank"
+  "ablation_path_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_path_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

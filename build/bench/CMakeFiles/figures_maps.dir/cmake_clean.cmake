@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figures_maps.dir/figures_maps.cpp.o"
+  "CMakeFiles/figures_maps.dir/figures_maps.cpp.o.d"
+  "figures_maps"
+  "figures_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figures_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

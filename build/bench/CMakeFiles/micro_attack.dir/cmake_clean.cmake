@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_attack.dir/micro_attack.cpp.o"
+  "CMakeFiles/micro_attack.dir/micro_attack.cpp.o.d"
+  "micro_attack"
+  "micro_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_victim_coordination.dir/multi_victim_coordination.cpp.o"
+  "CMakeFiles/multi_victim_coordination.dir/multi_victim_coordination.cpp.o.d"
+  "multi_victim_coordination"
+  "multi_victim_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_victim_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

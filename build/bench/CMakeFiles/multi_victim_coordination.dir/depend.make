@@ -1,0 +1,2 @@
+# Empty dependencies file for multi_victim_coordination.
+# This may be replaced when dependencies are built.

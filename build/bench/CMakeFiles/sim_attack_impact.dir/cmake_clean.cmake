@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_attack_impact.dir/sim_attack_impact.cpp.o"
+  "CMakeFiles/sim_attack_impact.dir/sim_attack_impact.cpp.o.d"
+  "sim_attack_impact"
+  "sim_attack_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_attack_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_city_summaries.dir/table01_city_summaries.cpp.o"
+  "CMakeFiles/table01_city_summaries.dir/table01_city_summaries.cpp.o.d"
+  "table01_city_summaries"
+  "table01_city_summaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_city_summaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

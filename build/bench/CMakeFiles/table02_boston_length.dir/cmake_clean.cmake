@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_boston_length.dir/table_city.cpp.o"
+  "CMakeFiles/table02_boston_length.dir/table_city.cpp.o.d"
+  "table02_boston_length"
+  "table02_boston_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_boston_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

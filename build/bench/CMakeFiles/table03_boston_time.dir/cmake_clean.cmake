@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_boston_time.dir/table_city.cpp.o"
+  "CMakeFiles/table03_boston_time.dir/table_city.cpp.o.d"
+  "table03_boston_time"
+  "table03_boston_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_boston_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_sf_length.dir/table_city.cpp.o"
+  "CMakeFiles/table04_sf_length.dir/table_city.cpp.o.d"
+  "table04_sf_length"
+  "table04_sf_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_sf_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

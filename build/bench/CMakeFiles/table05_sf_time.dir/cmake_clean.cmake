@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_sf_time.dir/table_city.cpp.o"
+  "CMakeFiles/table05_sf_time.dir/table_city.cpp.o.d"
+  "table05_sf_time"
+  "table05_sf_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_sf_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_chicago_length.dir/table_city.cpp.o"
+  "CMakeFiles/table06_chicago_length.dir/table_city.cpp.o.d"
+  "table06_chicago_length"
+  "table06_chicago_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_chicago_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

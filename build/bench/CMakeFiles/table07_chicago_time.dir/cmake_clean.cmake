@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_chicago_time.dir/table_city.cpp.o"
+  "CMakeFiles/table07_chicago_time.dir/table_city.cpp.o.d"
+  "table07_chicago_time"
+  "table07_chicago_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_chicago_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

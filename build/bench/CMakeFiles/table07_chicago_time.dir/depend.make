@@ -1,0 +1,2 @@
+# Empty dependencies file for table07_chicago_time.
+# This may be replaced when dependencies are built.

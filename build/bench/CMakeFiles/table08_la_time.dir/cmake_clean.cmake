@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table08_la_time.dir/table_city.cpp.o"
+  "CMakeFiles/table08_la_time.dir/table_city.cpp.o.d"
+  "table08_la_time"
+  "table08_la_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08_la_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table09_weight_summary.dir/table09_weight_summary.cpp.o"
+  "CMakeFiles/table09_weight_summary.dir/table09_weight_summary.cpp.o.d"
+  "table09_weight_summary"
+  "table09_weight_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table09_weight_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

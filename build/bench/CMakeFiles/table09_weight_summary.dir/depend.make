@@ -1,0 +1,2 @@
+# Empty dependencies file for table09_weight_summary.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_path_rank_threshold.dir/table10_path_rank_threshold.cpp.o"
+  "CMakeFiles/table10_path_rank_threshold.dir/table10_path_rank_threshold.cpp.o.d"
+  "table10_path_rank_threshold"
+  "table10_path_rank_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_path_rank_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

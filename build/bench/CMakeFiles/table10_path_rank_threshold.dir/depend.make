@@ -1,0 +1,2 @@
+# Empty dependencies file for table10_path_rank_threshold.
+# This may be replaced when dependencies are built.

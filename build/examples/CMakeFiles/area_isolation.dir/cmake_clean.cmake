@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/area_isolation.dir/area_isolation.cpp.o"
+  "CMakeFiles/area_isolation.dir/area_isolation.cpp.o.d"
+  "area_isolation"
+  "area_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/area_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coordinated_blockade.dir/coordinated_blockade.cpp.o"
+  "CMakeFiles/coordinated_blockade.dir/coordinated_blockade.cpp.o.d"
+  "coordinated_blockade"
+  "coordinated_blockade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coordinated_blockade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/defense_hardening.cpp" "examples/CMakeFiles/defense_hardening.dir/defense_hardening.cpp.o" "gcc" "examples/CMakeFiles/defense_hardening.dir/defense_hardening.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mts_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mts_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/osm/CMakeFiles/mts_osm.dir/DependInfo.cmake"
+  "/root/repo/build/src/citygen/CMakeFiles/mts_citygen.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/mts_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mts_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/mts_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/mts_viz.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_hardening.dir/defense_hardening.cpp.o"
+  "CMakeFiles/defense_hardening.dir/defense_hardening.cpp.o.d"
+  "defense_hardening"
+  "defense_hardening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

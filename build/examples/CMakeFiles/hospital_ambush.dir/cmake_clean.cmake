@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_ambush.dir/hospital_ambush.cpp.o"
+  "CMakeFiles/hospital_ambush.dir/hospital_ambush.cpp.o.d"
+  "hospital_ambush"
+  "hospital_ambush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_ambush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hospital_ambush.
+# This may be replaced when dependencies are built.

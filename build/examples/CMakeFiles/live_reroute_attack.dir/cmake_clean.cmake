@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_reroute_attack.dir/live_reroute_attack.cpp.o"
+  "CMakeFiles/live_reroute_attack.dir/live_reroute_attack.cpp.o.d"
+  "live_reroute_attack"
+  "live_reroute_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_reroute_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toll_road_forcing.dir/toll_road_forcing.cpp.o"
+  "CMakeFiles/toll_road_forcing.dir/toll_road_forcing.cpp.o.d"
+  "toll_road_forcing"
+  "toll_road_forcing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toll_road_forcing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/algorithms.cpp" "src/attack/CMakeFiles/mts_attack.dir/algorithms.cpp.o" "gcc" "src/attack/CMakeFiles/mts_attack.dir/algorithms.cpp.o.d"
+  "/root/repo/src/attack/area_isolation.cpp" "src/attack/CMakeFiles/mts_attack.dir/area_isolation.cpp.o" "gcc" "src/attack/CMakeFiles/mts_attack.dir/area_isolation.cpp.o.d"
+  "/root/repo/src/attack/defense.cpp" "src/attack/CMakeFiles/mts_attack.dir/defense.cpp.o" "gcc" "src/attack/CMakeFiles/mts_attack.dir/defense.cpp.o.d"
+  "/root/repo/src/attack/exact.cpp" "src/attack/CMakeFiles/mts_attack.dir/exact.cpp.o" "gcc" "src/attack/CMakeFiles/mts_attack.dir/exact.cpp.o.d"
+  "/root/repo/src/attack/interdiction.cpp" "src/attack/CMakeFiles/mts_attack.dir/interdiction.cpp.o" "gcc" "src/attack/CMakeFiles/mts_attack.dir/interdiction.cpp.o.d"
+  "/root/repo/src/attack/models.cpp" "src/attack/CMakeFiles/mts_attack.dir/models.cpp.o" "gcc" "src/attack/CMakeFiles/mts_attack.dir/models.cpp.o.d"
+  "/root/repo/src/attack/multi_victim.cpp" "src/attack/CMakeFiles/mts_attack.dir/multi_victim.cpp.o" "gcc" "src/attack/CMakeFiles/mts_attack.dir/multi_victim.cpp.o.d"
+  "/root/repo/src/attack/oracle.cpp" "src/attack/CMakeFiles/mts_attack.dir/oracle.cpp.o" "gcc" "src/attack/CMakeFiles/mts_attack.dir/oracle.cpp.o.d"
+  "/root/repo/src/attack/verify.cpp" "src/attack/CMakeFiles/mts_attack.dir/verify.cpp.o" "gcc" "src/attack/CMakeFiles/mts_attack.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mts_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mts_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/osm/CMakeFiles/mts_osm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_attack.dir/algorithms.cpp.o"
+  "CMakeFiles/mts_attack.dir/algorithms.cpp.o.d"
+  "CMakeFiles/mts_attack.dir/area_isolation.cpp.o"
+  "CMakeFiles/mts_attack.dir/area_isolation.cpp.o.d"
+  "CMakeFiles/mts_attack.dir/defense.cpp.o"
+  "CMakeFiles/mts_attack.dir/defense.cpp.o.d"
+  "CMakeFiles/mts_attack.dir/exact.cpp.o"
+  "CMakeFiles/mts_attack.dir/exact.cpp.o.d"
+  "CMakeFiles/mts_attack.dir/interdiction.cpp.o"
+  "CMakeFiles/mts_attack.dir/interdiction.cpp.o.d"
+  "CMakeFiles/mts_attack.dir/models.cpp.o"
+  "CMakeFiles/mts_attack.dir/models.cpp.o.d"
+  "CMakeFiles/mts_attack.dir/multi_victim.cpp.o"
+  "CMakeFiles/mts_attack.dir/multi_victim.cpp.o.d"
+  "CMakeFiles/mts_attack.dir/oracle.cpp.o"
+  "CMakeFiles/mts_attack.dir/oracle.cpp.o.d"
+  "CMakeFiles/mts_attack.dir/verify.cpp.o"
+  "CMakeFiles/mts_attack.dir/verify.cpp.o.d"
+  "libmts_attack.a"
+  "libmts_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

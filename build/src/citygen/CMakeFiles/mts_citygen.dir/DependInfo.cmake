@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/citygen/generate.cpp" "src/citygen/CMakeFiles/mts_citygen.dir/generate.cpp.o" "gcc" "src/citygen/CMakeFiles/mts_citygen.dir/generate.cpp.o.d"
+  "/root/repo/src/citygen/spec.cpp" "src/citygen/CMakeFiles/mts_citygen.dir/spec.cpp.o" "gcc" "src/citygen/CMakeFiles/mts_citygen.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mts_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/osm/CMakeFiles/mts_osm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

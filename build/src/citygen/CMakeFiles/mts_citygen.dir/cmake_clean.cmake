@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_citygen.dir/generate.cpp.o"
+  "CMakeFiles/mts_citygen.dir/generate.cpp.o.d"
+  "CMakeFiles/mts_citygen.dir/spec.cpp.o"
+  "CMakeFiles/mts_citygen.dir/spec.cpp.o.d"
+  "libmts_citygen.a"
+  "libmts_citygen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_citygen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts.dir/main.cpp.o"
+  "CMakeFiles/mts.dir/main.cpp.o.d"
+  "mts"
+  "mts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

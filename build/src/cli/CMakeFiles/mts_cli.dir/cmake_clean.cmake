@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_cli.dir/cli.cpp.o"
+  "CMakeFiles/mts_cli.dir/cli.cpp.o.d"
+  "libmts_cli.a"
+  "libmts_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_core.dir/env.cpp.o"
+  "CMakeFiles/mts_core.dir/env.cpp.o.d"
+  "CMakeFiles/mts_core.dir/rng.cpp.o"
+  "CMakeFiles/mts_core.dir/rng.cpp.o.d"
+  "CMakeFiles/mts_core.dir/stats.cpp.o"
+  "CMakeFiles/mts_core.dir/stats.cpp.o.d"
+  "CMakeFiles/mts_core.dir/table.cpp.o"
+  "CMakeFiles/mts_core.dir/table.cpp.o.d"
+  "libmts_core.a"
+  "libmts_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_exp.dir/json_report.cpp.o"
+  "CMakeFiles/mts_exp.dir/json_report.cpp.o.d"
+  "CMakeFiles/mts_exp.dir/paper_values.cpp.o"
+  "CMakeFiles/mts_exp.dir/paper_values.cpp.o.d"
+  "CMakeFiles/mts_exp.dir/scenario.cpp.o"
+  "CMakeFiles/mts_exp.dir/scenario.cpp.o.d"
+  "CMakeFiles/mts_exp.dir/table_runner.cpp.o"
+  "CMakeFiles/mts_exp.dir/table_runner.cpp.o.d"
+  "libmts_exp.a"
+  "libmts_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

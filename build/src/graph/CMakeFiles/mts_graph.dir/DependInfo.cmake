@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/astar.cpp" "src/graph/CMakeFiles/mts_graph.dir/astar.cpp.o" "gcc" "src/graph/CMakeFiles/mts_graph.dir/astar.cpp.o.d"
+  "/root/repo/src/graph/bellman_ford.cpp" "src/graph/CMakeFiles/mts_graph.dir/bellman_ford.cpp.o" "gcc" "src/graph/CMakeFiles/mts_graph.dir/bellman_ford.cpp.o.d"
+  "/root/repo/src/graph/betweenness.cpp" "src/graph/CMakeFiles/mts_graph.dir/betweenness.cpp.o" "gcc" "src/graph/CMakeFiles/mts_graph.dir/betweenness.cpp.o.d"
+  "/root/repo/src/graph/bidirectional.cpp" "src/graph/CMakeFiles/mts_graph.dir/bidirectional.cpp.o" "gcc" "src/graph/CMakeFiles/mts_graph.dir/bidirectional.cpp.o.d"
+  "/root/repo/src/graph/connectivity.cpp" "src/graph/CMakeFiles/mts_graph.dir/connectivity.cpp.o" "gcc" "src/graph/CMakeFiles/mts_graph.dir/connectivity.cpp.o.d"
+  "/root/repo/src/graph/contraction_hierarchy.cpp" "src/graph/CMakeFiles/mts_graph.dir/contraction_hierarchy.cpp.o" "gcc" "src/graph/CMakeFiles/mts_graph.dir/contraction_hierarchy.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/mts_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/mts_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/dijkstra.cpp" "src/graph/CMakeFiles/mts_graph.dir/dijkstra.cpp.o" "gcc" "src/graph/CMakeFiles/mts_graph.dir/dijkstra.cpp.o.d"
+  "/root/repo/src/graph/eigen.cpp" "src/graph/CMakeFiles/mts_graph.dir/eigen.cpp.o" "gcc" "src/graph/CMakeFiles/mts_graph.dir/eigen.cpp.o.d"
+  "/root/repo/src/graph/maxflow.cpp" "src/graph/CMakeFiles/mts_graph.dir/maxflow.cpp.o" "gcc" "src/graph/CMakeFiles/mts_graph.dir/maxflow.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/graph/CMakeFiles/mts_graph.dir/metrics.cpp.o" "gcc" "src/graph/CMakeFiles/mts_graph.dir/metrics.cpp.o.d"
+  "/root/repo/src/graph/path.cpp" "src/graph/CMakeFiles/mts_graph.dir/path.cpp.o" "gcc" "src/graph/CMakeFiles/mts_graph.dir/path.cpp.o.d"
+  "/root/repo/src/graph/shortest_path_count.cpp" "src/graph/CMakeFiles/mts_graph.dir/shortest_path_count.cpp.o" "gcc" "src/graph/CMakeFiles/mts_graph.dir/shortest_path_count.cpp.o.d"
+  "/root/repo/src/graph/spatial_index.cpp" "src/graph/CMakeFiles/mts_graph.dir/spatial_index.cpp.o" "gcc" "src/graph/CMakeFiles/mts_graph.dir/spatial_index.cpp.o.d"
+  "/root/repo/src/graph/turn_expansion.cpp" "src/graph/CMakeFiles/mts_graph.dir/turn_expansion.cpp.o" "gcc" "src/graph/CMakeFiles/mts_graph.dir/turn_expansion.cpp.o.d"
+  "/root/repo/src/graph/yen.cpp" "src/graph/CMakeFiles/mts_graph.dir/yen.cpp.o" "gcc" "src/graph/CMakeFiles/mts_graph.dir/yen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mts_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_lp.dir/covering.cpp.o"
+  "CMakeFiles/mts_lp.dir/covering.cpp.o.d"
+  "CMakeFiles/mts_lp.dir/simplex.cpp.o"
+  "CMakeFiles/mts_lp.dir/simplex.cpp.o.d"
+  "libmts_lp.a"
+  "libmts_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

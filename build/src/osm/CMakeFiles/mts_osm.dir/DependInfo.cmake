@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osm/projection.cpp" "src/osm/CMakeFiles/mts_osm.dir/projection.cpp.o" "gcc" "src/osm/CMakeFiles/mts_osm.dir/projection.cpp.o.d"
+  "/root/repo/src/osm/road_network.cpp" "src/osm/CMakeFiles/mts_osm.dir/road_network.cpp.o" "gcc" "src/osm/CMakeFiles/mts_osm.dir/road_network.cpp.o.d"
+  "/root/repo/src/osm/tags.cpp" "src/osm/CMakeFiles/mts_osm.dir/tags.cpp.o" "gcc" "src/osm/CMakeFiles/mts_osm.dir/tags.cpp.o.d"
+  "/root/repo/src/osm/xml.cpp" "src/osm/CMakeFiles/mts_osm.dir/xml.cpp.o" "gcc" "src/osm/CMakeFiles/mts_osm.dir/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mts_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_osm.dir/projection.cpp.o"
+  "CMakeFiles/mts_osm.dir/projection.cpp.o.d"
+  "CMakeFiles/mts_osm.dir/road_network.cpp.o"
+  "CMakeFiles/mts_osm.dir/road_network.cpp.o.d"
+  "CMakeFiles/mts_osm.dir/tags.cpp.o"
+  "CMakeFiles/mts_osm.dir/tags.cpp.o.d"
+  "CMakeFiles/mts_osm.dir/xml.cpp.o"
+  "CMakeFiles/mts_osm.dir/xml.cpp.o.d"
+  "libmts_osm.a"
+  "libmts_osm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_osm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_viz.dir/geojson.cpp.o"
+  "CMakeFiles/mts_viz.dir/geojson.cpp.o.d"
+  "CMakeFiles/mts_viz.dir/svg.cpp.o"
+  "CMakeFiles/mts_viz.dir/svg.cpp.o.d"
+  "libmts_viz.a"
+  "libmts_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

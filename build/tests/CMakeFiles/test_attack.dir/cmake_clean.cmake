@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack.dir/attack/algorithms_test.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/algorithms_test.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/area_isolation_test.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/area_isolation_test.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/defense_test.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/defense_test.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/exact_test.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/exact_test.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/interdiction_test.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/interdiction_test.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/models_test.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/models_test.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/multi_victim_test.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/multi_victim_test.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/oracle_test.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/oracle_test.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/verify_test.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/verify_test.cpp.o.d"
+  "test_attack"
+  "test_attack.pdb"
+  "test_attack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_citygen.dir/citygen/citygen_test.cpp.o"
+  "CMakeFiles/test_citygen.dir/citygen/citygen_test.cpp.o.d"
+  "test_citygen"
+  "test_citygen.pdb"
+  "test_citygen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_citygen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/astar_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/astar_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/astar_test.cpp.o.d"
+  "/root/repo/tests/graph/betweenness_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/betweenness_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/betweenness_test.cpp.o.d"
+  "/root/repo/tests/graph/bidirectional_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/bidirectional_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/bidirectional_test.cpp.o.d"
+  "/root/repo/tests/graph/connectivity_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/connectivity_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/connectivity_test.cpp.o.d"
+  "/root/repo/tests/graph/contraction_hierarchy_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/contraction_hierarchy_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/contraction_hierarchy_test.cpp.o.d"
+  "/root/repo/tests/graph/digraph_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/digraph_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/digraph_test.cpp.o.d"
+  "/root/repo/tests/graph/dijkstra_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/dijkstra_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/dijkstra_test.cpp.o.d"
+  "/root/repo/tests/graph/eigen_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/eigen_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/eigen_test.cpp.o.d"
+  "/root/repo/tests/graph/maxflow_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/maxflow_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/maxflow_test.cpp.o.d"
+  "/root/repo/tests/graph/metrics_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/metrics_test.cpp.o.d"
+  "/root/repo/tests/graph/path_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/path_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/path_test.cpp.o.d"
+  "/root/repo/tests/graph/shortest_path_count_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/shortest_path_count_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/shortest_path_count_test.cpp.o.d"
+  "/root/repo/tests/graph/spatial_index_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/spatial_index_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/spatial_index_test.cpp.o.d"
+  "/root/repo/tests/graph/turn_expansion_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/turn_expansion_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/turn_expansion_test.cpp.o.d"
+  "/root/repo/tests/graph/yen_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/yen_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/yen_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mts_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mts_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/osm/CMakeFiles/mts_osm.dir/DependInfo.cmake"
+  "/root/repo/build/src/citygen/CMakeFiles/mts_citygen.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/mts_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mts_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/mts_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/mts_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/mts_cli.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_osm.dir/osm/projection_test.cpp.o"
+  "CMakeFiles/test_osm.dir/osm/projection_test.cpp.o.d"
+  "CMakeFiles/test_osm.dir/osm/road_network_test.cpp.o"
+  "CMakeFiles/test_osm.dir/osm/road_network_test.cpp.o.d"
+  "CMakeFiles/test_osm.dir/osm/tags_test.cpp.o"
+  "CMakeFiles/test_osm.dir/osm/tags_test.cpp.o.d"
+  "CMakeFiles/test_osm.dir/osm/xml_test.cpp.o"
+  "CMakeFiles/test_osm.dir/osm/xml_test.cpp.o.d"
+  "test_osm"
+  "test_osm.pdb"
+  "test_osm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_osm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_viz.dir/viz/geojson_test.cpp.o"
+  "CMakeFiles/test_viz.dir/viz/geojson_test.cpp.o.d"
+  "CMakeFiles/test_viz.dir/viz/svg_test.cpp.o"
+  "CMakeFiles/test_viz.dir/viz/svg_test.cpp.o.d"
+  "test_viz"
+  "test_viz.pdb"
+  "test_viz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
