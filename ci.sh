@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Pre-merge gate: build + test the matrix {RelWithDebInfo, ASan+UBSan}.
+#
+# Each configuration:
+#   1. configures via its CMake preset (build-<preset>/ tree),
+#   2. builds everything plus the lint_headers self-containment target,
+#   3. runs the full ctest suite, which includes the `lint` entry
+#      (tools/lint.py) and, under asan, the sanitizer-instrumented tests.
+#
+# Usage: ./ci.sh [preset ...]     (default: dev asan)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+PRESETS=("$@")
+if [ ${#PRESETS[@]} -eq 0 ]; then
+  PRESETS=(dev asan)
+fi
+
+JOBS="${JOBS:-$(nproc)}"
+
+for preset in "${PRESETS[@]}"; do
+  echo "==== [$preset] configure ===="
+  cmake --preset "$preset"
+
+  echo "==== [$preset] build ===="
+  cmake --build --preset "$preset" -j "$JOBS"
+
+  echo "==== [$preset] lint_headers ===="
+  cmake --build --preset "$preset" -j "$JOBS" --target lint_headers
+
+  echo "==== [$preset] ctest ===="
+  ctest --preset "$preset" -j "$JOBS"
+done
+
+echo "ci: all presets green (${PRESETS[*]})"

@@ -1,0 +1,31 @@
+# Header self-containment check.
+#
+# Every public header under src/ must compile on its own (a header that
+# only builds after its includer happens to pull in <vector> is a latent
+# break for every new consumer).  At configure time this generates one TU
+# per header that does nothing but include it, and compiles the whole set
+# as the `lint_headers` object library under the same warning floor as the
+# real libraries.  configure_file() only rewrites TUs whose content changed,
+# so incremental builds stay incremental; CONFIGURE_DEPENDS re-globs when
+# headers are added or removed.
+file(GLOB_RECURSE MTS_PUBLIC_HEADERS
+  RELATIVE ${CMAKE_SOURCE_DIR}/src
+  CONFIGURE_DEPENDS
+  ${CMAKE_SOURCE_DIR}/src/*.hpp)
+
+set(MTS_LINT_TUS)
+foreach(MTS_LINT_HEADER IN LISTS MTS_PUBLIC_HEADERS)
+  string(REPLACE "/" "__" tu_name "${MTS_LINT_HEADER}")
+  string(REGEX REPLACE "\\.hpp$" ".cpp" tu_name "${tu_name}")
+  set(tu_path ${CMAKE_BINARY_DIR}/lint_headers/${tu_name})
+  configure_file(${CMAKE_SOURCE_DIR}/cmake/header_tu.cpp.in ${tu_path} @ONLY)
+  list(APPEND MTS_LINT_TUS ${tu_path})
+endforeach()
+
+add_library(lint_headers OBJECT ${MTS_LINT_TUS})
+target_include_directories(lint_headers PRIVATE ${CMAKE_SOURCE_DIR}/src)
+mts_library_warnings(lint_headers)
+
+list(LENGTH MTS_PUBLIC_HEADERS MTS_NUM_PUBLIC_HEADERS)
+message(STATUS
+  "lint_headers: ${MTS_NUM_PUBLIC_HEADERS} public headers checked for self-containment")

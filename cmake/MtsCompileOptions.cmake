@@ -1,0 +1,7 @@
+# Warning floor for the library targets (src/*).  Tests and benches stay on
+# the global -Wall -Wextra: gtest/benchmark macros are not -Wconversion
+# clean, and the library is where silent narrowing corrupts results.
+function(mts_library_warnings target)
+  target_compile_options(${target} PRIVATE
+    -Wall -Wextra -Wshadow -Wconversion -Wpedantic)
+endfunction()

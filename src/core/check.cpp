@@ -1,0 +1,16 @@
+#include "core/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mts::detail {
+
+void dcheck_fail(const char* expression, const char* file, int line,
+                 const std::string& operands) {
+  std::fprintf(stderr, "MTS_DCHECK failed at %s:%d: %s%s\n", file, line, expression,
+               operands.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace mts::detail

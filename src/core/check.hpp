@@ -1,0 +1,113 @@
+// Debug invariant framework.
+//
+// Two tiers of checking, by audience:
+//
+//   * mts::require()  (core/error.hpp) — caller-facing preconditions at
+//     public API boundaries.  Always on; throws PreconditionViolation.
+//   * MTS_DCHECK*     (this header) — internal invariants ("this cannot
+//     happen unless the library itself is wrong").  Compiled away unless
+//     MTS_ENABLE_DCHECKS is defined (Debug and MTS_SANITIZE builds define
+//     it); failure prints expression + operands and aborts, which gives a
+//     clean stack under ASan/UBSan and in core dumps.
+//
+// Structural validators (`DiGraph::check_invariants()`, Path and simplex
+// tableau checks) are ordinary always-available functions that throw
+// InvariantViolation, so tests can exercise them in any build type; the
+// *automatic* call sites inside hot paths go through MTS_DCHECK_INVARIANTS
+// and vanish in release builds.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace mts {
+
+/// Used inside check_invariants() implementations: throws InvariantViolation
+/// with file:line context.  Always on — call sites decide (via
+/// MTS_DCHECK_INVARIANTS or an explicit call) whether checking happens.
+inline void enforce_invariant(bool condition, const std::string& message,
+                              std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw InvariantViolation(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
+                             ": invariant violated: " + message);
+  }
+}
+
+namespace detail {
+
+/// Prints the failed expression and aborts.  Out-of-line so the macro
+/// expansion stays small at every call site.
+[[noreturn]] void dcheck_fail(const char* expression, const char* file, int line,
+                              const std::string& operands);
+
+template <typename T>
+concept Streamable = requires(std::ostream& os, const T& value) { os << value; };
+
+/// "  (lhs=3, rhs=7)" when both sides are streamable; ids and other opaque
+/// types fall back to their integral value() if they have one.
+template <typename L, typename R>
+std::string format_operands(const L& lhs, const R& rhs) {
+  const auto put = [](std::ostringstream& os, const auto& value) {
+    using V = std::decay_t<decltype(value)>;
+    if constexpr (Streamable<V>) {
+      os << value;
+    } else if constexpr (requires { value.value(); }) {
+      os << value.value();
+    } else {
+      os << "<unprintable>";
+    }
+  };
+  std::ostringstream os;
+  os << " (lhs=";
+  put(os, lhs);
+  os << ", rhs=";
+  put(os, rhs);
+  os << ")";
+  return os.str();
+}
+
+}  // namespace detail
+}  // namespace mts
+
+#if defined(MTS_ENABLE_DCHECKS)
+
+#define MTS_DCHECK(condition)                                                      \
+  do {                                                                             \
+    if (!(condition)) {                                                            \
+      ::mts::detail::dcheck_fail(#condition, __FILE__, __LINE__, std::string()); \
+    }                                                                              \
+  } while (false)
+
+#define MTS_DCHECK_OP_(op, lhs, rhs)                                             \
+  do {                                                                           \
+    const auto& mts_dcheck_lhs_ = (lhs);                                         \
+    const auto& mts_dcheck_rhs_ = (rhs);                                         \
+    if (!(mts_dcheck_lhs_ op mts_dcheck_rhs_)) {                                 \
+      ::mts::detail::dcheck_fail(                                                \
+          #lhs " " #op " " #rhs, __FILE__, __LINE__,                             \
+          ::mts::detail::format_operands(mts_dcheck_lhs_, mts_dcheck_rhs_));     \
+    }                                                                            \
+  } while (false)
+
+/// Calls obj.check_invariants() in checked builds only.
+#define MTS_DCHECK_INVARIANTS(obj) (obj).check_invariants()
+
+#else  // !MTS_ENABLE_DCHECKS: syntax-checked but never evaluated.
+
+#define MTS_DCHECK(condition) static_cast<void>(sizeof(static_cast<bool>(condition)))
+
+#define MTS_DCHECK_OP_(op, lhs, rhs) static_cast<void>(sizeof((lhs) op (rhs)))
+
+#define MTS_DCHECK_INVARIANTS(obj) static_cast<void>(sizeof(&(obj)))
+
+#endif  // MTS_ENABLE_DCHECKS
+
+#define MTS_DCHECK_EQ(lhs, rhs) MTS_DCHECK_OP_(==, lhs, rhs)
+#define MTS_DCHECK_NE(lhs, rhs) MTS_DCHECK_OP_(!=, lhs, rhs)
+#define MTS_DCHECK_LT(lhs, rhs) MTS_DCHECK_OP_(<, lhs, rhs)
+#define MTS_DCHECK_LE(lhs, rhs) MTS_DCHECK_OP_(<=, lhs, rhs)
+#define MTS_DCHECK_GT(lhs, rhs) MTS_DCHECK_OP_(>, lhs, rhs)
+#define MTS_DCHECK_GE(lhs, rhs) MTS_DCHECK_OP_(>=, lhs, rhs)

@@ -25,9 +25,17 @@ class PreconditionViolation : public Error {
   using Error::Error;
 };
 
+/// Thrown by check_invariants() validators when an internal data structure
+/// is corrupt (broken CSR, discontiguous path, invalid simplex basis).
+/// Reaching this is a library bug, never a caller error.
+class InvariantViolation : public Error {
+ public:
+  using Error::Error;
+};
+
 /// Checks a caller-facing precondition; throws PreconditionViolation with
 /// file/line context on failure.  Used at public API boundaries (internal
-/// invariants use assert).
+/// invariants use MTS_DCHECK from core/check.hpp).
 inline void require(bool condition, const std::string& message,
                     std::source_location loc = std::source_location::current()) {
   if (!condition) {

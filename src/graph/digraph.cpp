@@ -1,7 +1,9 @@
 #include "graph/digraph.hpp"
 
 #include <cmath>
+#include <string>
 
+#include "core/check.hpp"
 #include "core/error.hpp"
 
 namespace mts {
@@ -46,6 +48,55 @@ void DiGraph::finalize() {
   build(tails_, out_offsets_, out_edge_ids_);
   build(heads_, in_offsets_, in_edge_ids_);
   finalized_ = true;
+  MTS_DCHECK_INVARIANTS(*this);
+}
+
+void DiGraph::check_invariants() const {
+  const std::size_t n = num_nodes();
+  const std::size_t m = num_edges();
+
+  enforce_invariant(xs_.size() == ys_.size(), "coordinate arrays disagree in size");
+  enforce_invariant(tails_.size() == heads_.size(), "endpoint arrays disagree in size");
+  for (std::size_t i = 0; i < n; ++i) {
+    enforce_invariant(std::isfinite(xs_[i]) && std::isfinite(ys_[i]),
+                      "node " + std::to_string(i) + " has non-finite coordinates");
+  }
+  for (std::size_t e = 0; e < m; ++e) {
+    enforce_invariant(tails_[e].value() < n && heads_[e].value() < n,
+                      "edge " + std::to_string(e) + " endpoint out of range");
+  }
+  if (!finalized_) return;
+
+  // One CSR side: offsets monotone and exhaustive, bucket members keyed by
+  // the right node, every edge present exactly once.
+  auto check_side = [&](const char* side, const std::vector<std::uint32_t>& offsets,
+                        const std::vector<EdgeId>& ids, const std::vector<NodeId>& keys) {
+    const std::string tag(side);
+    enforce_invariant(offsets.size() == n + 1, tag + " offsets size != num_nodes + 1");
+    enforce_invariant(offsets.empty() || offsets.front() == 0, tag + " offsets do not start at 0");
+    for (std::size_t i = 0; i < n; ++i) {
+      enforce_invariant(offsets[i] <= offsets[i + 1], tag + " offsets not monotone at node " +
+                                                          std::to_string(i));
+    }
+    enforce_invariant(offsets.empty() || offsets.back() == m,
+                      tag + " offsets do not cover all edges");
+    enforce_invariant(ids.size() == m, tag + " edge-id array size != num_edges");
+    std::vector<std::uint8_t> seen(m, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::uint32_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+        const EdgeId e = ids[k];
+        enforce_invariant(e.value() < m, tag + " bucket holds out-of-range edge id");
+        enforce_invariant(keys[e.value()].value() == i,
+                          tag + " bucket of node " + std::to_string(i) +
+                              " holds edge keyed elsewhere");
+        enforce_invariant(!seen[e.value()],
+                          tag + " lists edge " + std::to_string(e.value()) + " twice");
+        seen[e.value()] = 1;
+      }
+    }
+  };
+  check_side("out-CSR", out_offsets_, out_edge_ids_, tails_);
+  check_side("in-CSR", in_offsets_, in_edge_ids_, heads_);
 }
 
 std::span<const EdgeId> DiGraph::out_edges(NodeId n) const {

@@ -68,6 +68,14 @@ class DiGraph {
   /// Euclidean distance between two nodes' positions, meters.
   [[nodiscard]] double node_distance(NodeId a, NodeId b) const;
 
+  /// Validates structural invariants: parallel arrays sized consistently,
+  /// endpoints in range, coordinates finite, and (when finalized) CSR
+  /// offsets monotone with every edge appearing exactly once in its tail's
+  /// out-bucket and its head's in-bucket.  Throws InvariantViolation on the
+  /// first violation.  Cheap enough for tests; hot paths invoke it through
+  /// MTS_DCHECK_INVARIANTS so release builds pay nothing.
+  void check_invariants() const;
+
  private:
   std::vector<double> xs_;
   std::vector<double> ys_;

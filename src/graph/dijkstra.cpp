@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "core/check.hpp"
 #include "core/error.hpp"
 
 namespace mts {
@@ -56,6 +57,7 @@ ShortestPathTree dijkstra(const DiGraph& g, std::span<const double> weights, Nod
       const double w = weights[e.value()];
       require(w >= 0.0, "dijkstra: negative edge weight");
       const double candidate = dist + w;
+      MTS_DCHECK_GE(candidate, dist);  // settled labels only ever grow
       if (candidate < tree.dist[head.value()]) {
         tree.dist[head.value()] = candidate;
         tree.parent_edge[head.value()] = e;
@@ -79,6 +81,7 @@ std::optional<Path> extract_path(const DiGraph& g, const ShortestPathTree& tree,
     cursor = g.edge_from(e);
   }
   std::reverse(path.edges.begin(), path.edges.end());
+  MTS_DCHECK(path.edges.empty() || g.edge_from(path.edges.front()) == source);
   return path;
 }
 

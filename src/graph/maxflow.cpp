@@ -20,7 +20,7 @@ struct Arc {
 class Dinic {
  public:
   Dinic(const DiGraph& g, std::span<const double> capacities)
-      : n_(g.num_nodes()), arcs_of_(n_) {
+      : n_(static_cast<std::uint32_t>(g.num_nodes())), arcs_of_(n_) {
     for (EdgeId e : g.edges()) {
       require(capacities[e.value()] >= 0.0, "max_flow: negative capacity");
       add_arc(g.edge_from(e).value(), g.edge_to(e).value(), capacities[e.value()], e);

@@ -15,7 +15,8 @@ double orientation_order(const std::vector<double>& bearings_deg, std::size_t bi
   for (double bearing : bearings_deg) {
     double folded = std::fmod(bearing, 90.0);
     if (folded < 0.0) folded += 90.0;
-    const auto bin = std::min(bins - 1, static_cast<std::size_t>(folded / 90.0 * bins));
+    const auto bin =
+        std::min(bins - 1, static_cast<std::size_t>(folded / 90.0 * static_cast<double>(bins)));
     histogram[bin] += 1.0;
   }
 

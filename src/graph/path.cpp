@@ -1,8 +1,33 @@
 #include "graph/path.hpp"
 
+#include <cmath>
+#include <string>
 #include <unordered_set>
 
+#include "core/check.hpp"
+
 namespace mts {
+
+void Path::check_invariants(const DiGraph& g, std::span<const double> weights) const {
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    enforce_invariant(edges[i].valid() && edges[i].value() < g.num_edges(),
+                      "path edge " + std::to_string(i) + " out of range");
+    if (i + 1 < edges.size()) {
+      enforce_invariant(g.edge_to(edges[i]) == g.edge_from(edges[i + 1]),
+                        "path discontiguous between edges " + std::to_string(i) + " and " +
+                            std::to_string(i + 1));
+    }
+  }
+  enforce_invariant(std::isfinite(length), "path length is not finite");
+  if (!weights.empty()) {
+    enforce_invariant(weights.size() == g.num_edges(),
+                      "weight vector size != num_edges");
+    const double recomputed = path_length(edges, weights);
+    enforce_invariant(std::abs(recomputed - length) <= 1e-6 * (1.0 + std::abs(length)),
+                      "path length " + std::to_string(length) +
+                          " disagrees with recomputed " + std::to_string(recomputed));
+  }
+}
 
 double path_length(std::span<const EdgeId> edges, std::span<const double> weights) {
   double total = 0.0;

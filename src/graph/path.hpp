@@ -19,6 +19,12 @@ struct Path {
   [[nodiscard]] bool empty() const { return edges.empty(); }
   [[nodiscard]] std::size_t num_edges() const { return edges.size(); }
 
+  /// Validates that every edge id is in range for `g` and consecutive edges
+  /// are contiguous (edge_to(edges[i]) == edge_from(edges[i+1])).  With a
+  /// non-empty `weights` vector additionally checks that `length` matches
+  /// the recomputed sum to relative tolerance.  Throws InvariantViolation.
+  void check_invariants(const DiGraph& g, std::span<const double> weights = {}) const;
+
   friend bool operator==(const Path& a, const Path& b) { return a.edges == b.edges; }
 };
 

@@ -4,6 +4,7 @@
 #include <queue>
 #include <unordered_set>
 
+#include "core/check.hpp"
 #include "core/error.hpp"
 
 namespace mts {
@@ -122,6 +123,9 @@ std::vector<Path> yen_ksp(const DiGraph& g, std::span<const double> weights, Nod
     if (candidates.empty()) break;
     accepted.push_back(std::move(const_cast<Candidate&>(candidates.top()).path));
     candidates.pop();
+#if defined(MTS_ENABLE_DCHECKS)
+    accepted.back().check_invariants(g, weights);
+#endif
     if (options.max_spur_searches != 0 && total_searches >= options.max_spur_searches) break;
   }
   return accepted;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
+#include "core/check.hpp"
 #include "core/error.hpp"
 
 namespace mts {
@@ -43,6 +45,33 @@ class Tableau {
   [[nodiscard]] std::size_t rows() const { return rows_; }
   [[nodiscard]] std::size_t cols() const { return cols_; }
 
+  /// Validates that `basis` names a legal basis for this tableau: indices
+  /// in range and distinct, each basic column a unit column (1 in its own
+  /// row, 0 elsewhere), basic reduced costs zero, and all RHS entries
+  /// non-negative.  Throws InvariantViolation on the first failure.
+  void check_invariants(const std::vector<std::size_t>& basis) const {
+    constexpr double kTol = 1e-6;
+    enforce_invariant(basis.size() == rows_, "simplex basis size != row count");
+    std::vector<std::uint8_t> used(cols_, 0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const std::size_t b = basis[r];
+      enforce_invariant(b < cols_, "simplex basis column out of range");
+      enforce_invariant(!used[b], "simplex basis repeats column " + std::to_string(b));
+      used[b] = 1;
+      for (std::size_t r2 = 0; r2 < rows_; ++r2) {
+        const double expected = r2 == r ? 1.0 : 0.0;
+        enforce_invariant(std::abs(at(r2, b) - expected) <= kTol,
+                          "simplex basic column " + std::to_string(b) +
+                              " is not a unit column at row " + std::to_string(r2));
+      }
+      enforce_invariant(std::abs(obj_[b]) <= kTol,
+                        "simplex basic column " + std::to_string(b) +
+                            " has nonzero reduced cost");
+      enforce_invariant(rhs_[r] >= -kTol * (1.0 + std::abs(rhs_[r])),
+                        "simplex RHS negative at row " + std::to_string(r));
+    }
+  }
+
   /// Gauss-Jordan pivot on (pr, pc), including objective row.
   void pivot(std::size_t pr, std::size_t pc) {
     const double pivot_value = at(pr, pc);
@@ -76,11 +105,23 @@ class Tableau {
 
 enum class PhaseOutcome { Optimal, Unbounded, IterationLimit };
 
+/// Tableau validation runs when the caller opts in, and unconditionally in
+/// MTS_ENABLE_DCHECKS builds.
+bool invariant_checks_enabled(const LpOptions& options) {
+#if defined(MTS_ENABLE_DCHECKS)
+  static_cast<void>(options);
+  return true;
+#else
+  return options.check_invariants;
+#endif
+}
+
 /// Runs simplex iterations on `t` until optimality.  `allowed[c]` masks
 /// columns permitted to enter the basis.  `basis[r]` tracks basic columns.
 PhaseOutcome run_phase(Tableau& t, std::vector<std::size_t>& basis,
                        const std::vector<std::uint8_t>& allowed, const LpOptions& options,
                        std::size_t& iterations) {
+  const bool validate = invariant_checks_enabled(options);
   std::size_t stalls = 0;
   while (true) {
     if (iterations >= options.max_iterations) return PhaseOutcome::IterationLimit;
@@ -126,6 +167,7 @@ PhaseOutcome run_phase(Tableau& t, std::vector<std::size_t>& basis,
 
     t.pivot(leaving, entering);
     basis[leaving] = entering;
+    if (validate) t.check_invariants(basis);
     ++iterations;
   }
 }
@@ -196,6 +238,7 @@ LpResult solve_lp(const LpProblem& problem, const LpOptions& options) {
 
   LpResult result;
   std::size_t iterations = 0;
+  if (invariant_checks_enabled(options)) tableau.check_invariants(basis);
 
   // ---- Phase 1: minimize sum of artificials.
   if (num_artificial > 0) {

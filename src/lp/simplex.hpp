@@ -48,6 +48,11 @@ struct LpOptions {
   /// Switch from Dantzig to Bland pricing after this many degenerate pivots.
   std::size_t bland_after_stalls = 64;
   double tolerance = 1e-9;
+  /// Validate the tableau (basis is a unit sub-matrix, RHS non-negative,
+  /// basic reduced costs zero) after every pivot, throwing
+  /// InvariantViolation on corruption.  Always treated as true in
+  /// MTS_ENABLE_DCHECKS builds (Debug / MTS_SANITIZE); opt-in elsewhere.
+  bool check_invariants = false;
 };
 
 struct LpResult {

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <iterator>
 #include <optional>
 #include <filesystem>
@@ -230,8 +231,18 @@ double parse_double_attr(const ElementTag& tag, const std::string& key) {
   if (it == tag.attributes.end()) {
     throw InvalidInput("OSM XML: <" + tag.name + "> missing attribute " + key);
   }
+  // std::stod alone is too lax: it prefix-parses ("1.0abc") and accepts
+  // "nan"/"inf", either of which would smuggle garbage coordinates into
+  // the graph.  Demand full consumption and a finite value.
   try {
-    return std::stod(it->second);
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    if (consumed != it->second.size() || !std::isfinite(value)) {
+      throw InvalidInput("OSM XML: bad numeric attribute " + key + "=\"" + it->second + "\"");
+    }
+    return value;
+  } catch (const InvalidInput&) {
+    throw;
   } catch (const std::exception&) {
     throw InvalidInput("OSM XML: bad numeric attribute " + key + "=\"" + it->second + "\"");
   }
@@ -243,7 +254,14 @@ std::int64_t parse_int_attr(const ElementTag& tag, const std::string& key) {
     throw InvalidInput("OSM XML: <" + tag.name + "> missing attribute " + key);
   }
   try {
-    return std::stoll(it->second);
+    std::size_t consumed = 0;
+    const std::int64_t value = std::stoll(it->second, &consumed);
+    if (consumed != it->second.size()) {
+      throw InvalidInput("OSM XML: bad integer attribute " + key + "=\"" + it->second + "\"");
+    }
+    return value;
+  } catch (const InvalidInput&) {
+    throw;
   } catch (const std::exception&) {
     throw InvalidInput("OSM XML: bad integer attribute " + key + "=\"" + it->second + "\"");
   }

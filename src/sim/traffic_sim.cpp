@@ -190,7 +190,9 @@ SimResult TrafficSimulation::run() {
       ++result.stranded;
     }
   }
-  if (result.arrived > 0) result.mean_travel_time_s = total / result.arrived;
+  if (result.arrived > 0) {
+    result.mean_travel_time_s = total / static_cast<double>(result.arrived);
+  }
   return result;
 }
 

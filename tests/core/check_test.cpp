@@ -1,0 +1,65 @@
+#include "core/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/error.hpp"
+
+namespace mts {
+namespace {
+
+TEST(Check, EnforceInvariantPassesOnTrue) {
+  EXPECT_NO_THROW(enforce_invariant(true, "never reported"));
+}
+
+TEST(Check, EnforceInvariantThrowsWithContext) {
+  try {
+    enforce_invariant(false, "tableau basis corrupt");
+    FAIL() << "expected InvariantViolation";
+  } catch (const InvariantViolation& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("invariant violated"), std::string::npos) << what;
+    EXPECT_NE(what.find("tableau basis corrupt"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, InvariantViolationIsAnMtsError) {
+  // Callers that already catch mts::Error (CLI, experiment harness) keep
+  // working when an invariant check fires.
+  EXPECT_THROW(enforce_invariant(false, "x"), Error);
+}
+
+#if defined(MTS_ENABLE_DCHECKS)
+
+TEST(Check, DchecksPassOnTrueConditions) {
+  MTS_DCHECK(2 + 2 == 4);
+  MTS_DCHECK_EQ(1, 1);
+  MTS_DCHECK_NE(1, 2);
+  MTS_DCHECK_LT(1, 2);
+  MTS_DCHECK_LE(2, 2);
+  MTS_DCHECK_GT(3, 2);
+  MTS_DCHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, DcheckFailureAbortsWithMessage) {
+  EXPECT_DEATH_IF_SUPPORTED(MTS_DCHECK_LT(7, 3), "MTS_DCHECK failed");
+}
+
+#else  // release: the macros must not evaluate their arguments at all
+
+TEST(Check, DchecksCompileToNoOpsInRelease) {
+  int evaluations = 0;
+  MTS_DCHECK(++evaluations > 0);
+  MTS_DCHECK_EQ(++evaluations, 123);
+  MTS_DCHECK_NE(++evaluations, 0);
+  MTS_DCHECK_LT(999, ++evaluations);
+  MTS_DCHECK_GE(++evaluations, 999);
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif  // MTS_ENABLE_DCHECKS
+
+}  // namespace
+}  // namespace mts

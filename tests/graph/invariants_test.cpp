@@ -1,0 +1,133 @@
+// check_invariants() validators: structurally sound objects pass, every
+// corruption category is named in the thrown InvariantViolation.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "citygen/generate.hpp"
+#include "core/error.hpp"
+#include "graph/digraph.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/path.hpp"
+#include "graph/yen.hpp"
+#include "test_util.hpp"
+
+namespace mts {
+namespace {
+
+/// Asserts `fn` throws InvariantViolation mentioning `fragment`.
+template <typename Fn>
+void expect_violation(Fn&& fn, const std::string& fragment) {
+  try {
+    fn();
+    ADD_FAILURE() << "expected InvariantViolation containing \"" << fragment << "\"";
+  } catch (const InvariantViolation& error) {
+    EXPECT_NE(std::string(error.what()).find(fragment), std::string::npos) << error.what();
+  }
+}
+
+TEST(DiGraphInvariants, EmptyAndUnfinalizedGraphsPass) {
+  DiGraph empty;
+  EXPECT_NO_THROW(empty.check_invariants());
+
+  DiGraph unfinalized;
+  unfinalized.add_node(0, 0);
+  unfinalized.add_node(1, 1);
+  unfinalized.add_edge(NodeId(0), NodeId(1));
+  EXPECT_NO_THROW(unfinalized.check_invariants());
+}
+
+TEST(DiGraphInvariants, CanonicalGraphsPass) {
+  test::Diamond diamond;
+  EXPECT_NO_THROW(diamond.wg.g.check_invariants());
+
+  const auto grid = test::make_grid(5, 7);
+  EXPECT_NO_THROW(grid.g.check_invariants());
+
+  Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto random = test::make_random_graph(30, 90, rng);
+    EXPECT_NO_THROW(random.g.check_invariants());
+  }
+}
+
+TEST(DiGraphInvariants, GeneratedCityPasses) {
+  const auto network = citygen::generate_city(citygen::City::Boston, 0.15, 3);
+  EXPECT_NO_THROW(network.graph().check_invariants());
+}
+
+TEST(DiGraphInvariants, SelfLoopsAndParallelEdgesPass) {
+  DiGraph g;
+  g.add_node(0, 0);
+  g.add_node(1, 0);
+  g.add_edge(NodeId(0), NodeId(0));  // self-loop
+  g.add_edge(NodeId(0), NodeId(1));
+  g.add_edge(NodeId(0), NodeId(1));  // parallel
+  g.finalize();
+  EXPECT_NO_THROW(g.check_invariants());
+}
+
+TEST(DiGraphInvariants, NonFiniteCoordinatesAreRejected) {
+  DiGraph g;
+  g.add_node(0, 0);
+  g.set_position(NodeId(0), std::numeric_limits<double>::quiet_NaN(), 0.0);
+  expect_violation([&] { g.check_invariants(); }, "non-finite coordinates");
+}
+
+TEST(PathInvariants, ValidPathsPassWithAndWithoutWeights) {
+  test::Diamond d;
+  const auto path = shortest_path(d.wg.g, d.wg.weights, d.s, d.t);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_NO_THROW(path->check_invariants(d.wg.g));
+  EXPECT_NO_THROW(path->check_invariants(d.wg.g, d.wg.weights));
+
+  const Path empty;
+  EXPECT_NO_THROW(empty.check_invariants(d.wg.g));
+}
+
+TEST(PathInvariants, YenOutputPassesAcrossRandomGraphs) {
+  Rng rng(29);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto wg = test::make_random_graph(20, 60, rng);
+    const auto ranked =
+        yen_ksp(wg.g, wg.weights, NodeId(0),
+                NodeId(static_cast<std::uint32_t>(wg.g.num_nodes() - 1)), 8);
+    for (const auto& p : ranked) EXPECT_NO_THROW(p.check_invariants(wg.g, wg.weights));
+  }
+}
+
+TEST(PathInvariants, DiscontiguousEdgesAreRejected) {
+  test::Diamond d;
+  Path broken;
+  broken.edges = {d.sa, d.bt};  // a->t missing: sa ends at a, bt starts at b
+  broken.length = 2.5;
+  expect_violation([&] { broken.check_invariants(d.wg.g); }, "discontiguous");
+}
+
+TEST(PathInvariants, OutOfRangeEdgeIsRejected) {
+  test::Diamond d;
+  Path broken;
+  broken.edges = {EdgeId(99)};
+  expect_violation([&] { broken.check_invariants(d.wg.g); }, "out of range");
+}
+
+TEST(PathInvariants, LengthMismatchIsRejected) {
+  test::Diamond d;
+  Path stale;
+  stale.edges = {d.sa, d.at};
+  stale.length = 7.0;  // true length is 2.0
+  EXPECT_NO_THROW(stale.check_invariants(d.wg.g));  // no weights: length unchecked
+  expect_violation([&] { stale.check_invariants(d.wg.g, d.wg.weights); }, "disagrees");
+}
+
+TEST(PathInvariants, NonFiniteLengthIsRejected) {
+  test::Diamond d;
+  Path broken;
+  broken.edges = {d.st};
+  broken.length = std::numeric_limits<double>::infinity();
+  expect_violation([&] { broken.check_invariants(d.wg.g); }, "not finite");
+}
+
+}  // namespace
+}  // namespace mts

@@ -158,5 +158,71 @@ TEST(Simplex, SolutionSatisfiesAllConstraintsOnRandomCoveringLps) {
   }
 }
 
+TEST(Simplex, TableauInvariantsHoldAcrossRandomCoverLps) {
+  // With check_invariants on, every pivot validates the basis (unit
+  // columns, zero basic reduced costs, non-negative RHS); a corrupt
+  // tableau throws InvariantViolation instead of returning garbage.
+  Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 3 + rng.uniform_index(8);
+    LpProblem lp;
+    lp.num_vars = n;
+    for (std::size_t j = 0; j < n; ++j) lp.objective.push_back(rng.uniform(0.5, 3.0));
+    const std::size_t rows = 2 + rng.uniform_index(6);
+    for (std::size_t i = 0; i < rows; ++i) {
+      std::vector<std::size_t> indices;
+      std::vector<double> values;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (rng.chance(0.5)) {
+          indices.push_back(j);
+          values.push_back(1.0);
+        }
+      }
+      if (indices.empty()) {
+        indices.push_back(rng.uniform_index(n));
+        values.push_back(1.0);
+      }
+      lp.add_constraint(std::move(indices), std::move(values), Relation::GreaterEqual, 1.0);
+    }
+
+    LpOptions checked;
+    checked.check_invariants = true;
+    const auto audited = solve_lp(lp, checked);
+    const auto plain = solve_lp(lp);
+    ASSERT_EQ(audited.status, LpStatus::Optimal) << "trial " << trial;
+    EXPECT_EQ(audited.status, plain.status);
+    EXPECT_NEAR(audited.objective, plain.objective, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Simplex, TableauInvariantsHoldOnMixedRelations) {
+  LpOptions checked;
+  checked.check_invariants = true;
+
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {2.0, 3.0};
+  lp.add_constraint({0, 1}, {1.0, 1.0}, Relation::Equal, 4.0);
+  lp.add_constraint({0, 1}, {1.0, -1.0}, Relation::Equal, 2.0);
+  const auto result = solve_lp(lp, checked);
+  ASSERT_EQ(result.status, LpStatus::Optimal);
+  EXPECT_NEAR(result.objective, 9.0, 1e-9);
+
+  LpProblem negative_rhs;  // row flip path: -x <= -1  ==  x >= 1
+  negative_rhs.num_vars = 1;
+  negative_rhs.objective = {1.0};
+  negative_rhs.add_constraint({0}, {-1.0}, Relation::LessEqual, -1.0);
+  const auto flipped = solve_lp(negative_rhs, checked);
+  ASSERT_EQ(flipped.status, LpStatus::Optimal);
+  EXPECT_NEAR(flipped.objective, 1.0, 1e-9);
+
+  LpProblem infeasible;
+  infeasible.num_vars = 1;
+  infeasible.objective = {1.0};
+  infeasible.add_constraint({0}, {1.0}, Relation::LessEqual, 1.0);
+  infeasible.add_constraint({0}, {1.0}, Relation::GreaterEqual, 2.0);
+  EXPECT_EQ(solve_lp(infeasible, checked).status, LpStatus::Infeasible);
+}
+
 }  // namespace
 }  // namespace mts

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Repo lint: mechanical correctness rules the compiler does not enforce.
+
+Run directly (`python3 tools/lint.py`) or via the `lint` ctest entry.
+Exits non-zero after printing every violation as `path:line: [rule] message`.
+
+Rules (see DESIGN.md "Correctness tooling"):
+  pragma-once      every header starts include protection with #pragma once
+  no-rand          no C rand()/srand()/std::rand — use mts::Rng (deterministic,
+                   seedable; experiment reproducibility depends on it)
+  no-naked-new     no `new`/`delete` expressions — containers and
+                   std::unique_ptr own everything in this codebase
+  no-float         no `float` in library code — all weight/cost/geometry math
+                   is double; float silently loses the paper's tie margins
+  require-throws   `throw PreconditionViolation` appears only inside
+                   mts::require (core/error.hpp); API boundaries call require()
+                   so every violation carries file:line context
+  no-using-ns      no `using namespace` at header scope
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Directories scanned per rule.  Library rules are strict; tests/bench may
+# legitimately differ (e.g. gtest internals), so each rule names its scope.
+LIB_DIRS = ["src"]
+ALL_DIRS = ["src", "tests", "bench", "examples"]
+
+CXX_SUFFIXES = {".cpp", ".hpp"}
+
+
+def strip_code(text: str) -> str:
+    """Removes comments, string literals, and char literals, preserving line
+    structure so reported line numbers stay exact.  Handles // and block
+    comments, escapes, and R"delim(...)delim" raw strings."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif ch == "R" and nxt == '"':
+            open_paren = text.find("(", i + 2)
+            if open_paren == -1:
+                i += 1
+                continue
+            delim = text[i + 2 : open_paren]
+            closer = ")" + delim + '"'
+            end = text.find(closer, open_paren + 1)
+            end = n if end == -1 else end + len(closer)
+            out.extend(c if c == "\n" else "" for c in text[i:end])
+            i = end
+        elif ch in "\"'":
+            quote = ch
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":  # unterminated; bail at line end
+                    break
+                i += 1
+            i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self.violations: list[tuple[Path, int, str, str]] = []
+
+    def report(self, path: Path, line: int, rule: str, message: str) -> None:
+        self.violations.append((path, line, rule, message))
+
+    def files(self, dirs: list[str], suffixes: set[str]) -> list[Path]:
+        found: list[Path] = []
+        for d in dirs:
+            base = self.root / d
+            if base.is_dir():
+                found.extend(p for p in sorted(base.rglob("*")) if p.suffix in suffixes)
+        return found
+
+    def match_lines(self, stripped: str, pattern: re.Pattern[str]):
+        for lineno, line in enumerate(stripped.splitlines(), start=1):
+            if pattern.search(line):
+                yield lineno, line.strip()
+
+    # --- rules ----------------------------------------------------------
+
+    def check_pragma_once(self) -> None:
+        for path in self.files(ALL_DIRS, {".hpp"}):
+            if "#pragma once" not in path.read_text():
+                self.report(path, 1, "pragma-once", "header is missing #pragma once")
+
+    def check_no_rand(self) -> None:
+        pattern = re.compile(r"\b(?:std\s*::\s*)?s?rand\s*\(")
+        for path in self.files(ALL_DIRS, CXX_SUFFIXES):
+            for lineno, line in self.match_lines(strip_code(path.read_text()), pattern):
+                self.report(path, lineno, "no-rand",
+                            f"C rand() is banned; use mts::Rng: {line}")
+
+    def check_no_naked_new(self) -> None:
+        # `= delete`d functions and member names like `new_x` are not
+        # new/delete expressions; everything else is.
+        new_pattern = re.compile(r"\bnew\b(?!\w)")
+        delete_pattern = re.compile(r"\bdelete\b(?!\w)")
+        for path in self.files(LIB_DIRS, CXX_SUFFIXES):
+            stripped = strip_code(path.read_text())
+            stripped = re.sub(r"=\s*delete\b", "", stripped)
+            for lineno, line in self.match_lines(stripped, new_pattern):
+                self.report(path, lineno, "no-naked-new",
+                            f"naked new; use containers/std::make_unique: {line}")
+            for lineno, line in self.match_lines(stripped, delete_pattern):
+                self.report(path, lineno, "no-naked-new",
+                            f"naked delete; let owners manage lifetime: {line}")
+
+    def check_no_float(self) -> None:
+        pattern = re.compile(r"\bfloat\b")
+        for path in self.files(LIB_DIRS, CXX_SUFFIXES):
+            for lineno, line in self.match_lines(strip_code(path.read_text()), pattern):
+                self.report(path, lineno, "no-float",
+                            f"float in weight/geometry math; use double: {line}")
+
+    def check_require_throws(self) -> None:
+        pattern = re.compile(r"\bthrow\s+PreconditionViolation\b")
+        allowed = self.root / "src" / "core" / "error.hpp"
+        for path in self.files(LIB_DIRS, CXX_SUFFIXES):
+            if path == allowed:
+                continue
+            for lineno, line in self.match_lines(strip_code(path.read_text()), pattern):
+                self.report(path, lineno, "require-throws",
+                            f"throw PreconditionViolation directly; call mts::require: {line}")
+
+    def check_no_using_namespace(self) -> None:
+        pattern = re.compile(r"\busing\s+namespace\b")
+        for path in self.files(ALL_DIRS, {".hpp"}):
+            for lineno, line in self.match_lines(strip_code(path.read_text()), pattern):
+                self.report(path, lineno, "no-using-ns",
+                            f"using namespace in a header leaks into every includer: {line}")
+
+    # --------------------------------------------------------------------
+
+    def run(self) -> int:
+        # A wrong --root must not silently pass the gate.
+        if not (self.root / "src").is_dir():
+            print(f"lint: no src/ under {self.root}; wrong --root?", file=sys.stderr)
+            return 2
+        self.check_pragma_once()
+        self.check_no_rand()
+        self.check_no_naked_new()
+        self.check_no_float()
+        self.check_require_throws()
+        self.check_no_using_namespace()
+        for path, lineno, rule, message in self.violations:
+            rel = path.relative_to(self.root)
+            print(f"{rel}:{lineno}: [{rule}] {message}")
+        if self.violations:
+            print(f"lint: {len(self.violations)} violation(s)", file=sys.stderr)
+            return 1
+        print("lint: ok")
+        return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: parent of tools/)")
+    args = parser.parse_args()
+    return Linter(args.root.resolve()).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
