@@ -25,6 +25,7 @@ int main() {
   config.trials = env.trials;
   config.path_rank = env.path_rank;
   config.seed = env.seed;
+  config.deterministic_timing = !env.timing;
 
   const auto result = exp::run_city_table(config);
   auto table = exp::render_city_table(result);

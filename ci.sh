@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Pre-merge gate: build + test the matrix {RelWithDebInfo, ASan+UBSan}.
+# Pre-merge gate: build + test the matrix {RelWithDebInfo, ASan+UBSan, TSan}.
 #
 # Each configuration:
 #   1. configures via its CMake preset (build-<preset>/ tree),
@@ -7,13 +7,18 @@
 #   3. runs the full ctest suite, which includes the `lint` entry
 #      (tools/lint.py) and, under asan, the sanitizer-instrumented tests.
 #
-# Usage: ./ci.sh [preset ...]     (default: dev asan)
+# The tsan preset is narrower: it builds only the test binaries that host
+# the parallel experiment harness and runs the thread-pool and parallel
+# determinism suites under ThreadSanitizer (the data-race gate for
+# core/thread_pool and exp/table_runner).
+#
+# Usage: ./ci.sh [preset ...]     (default: dev asan tsan)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 PRESETS=("$@")
 if [ ${#PRESETS[@]} -eq 0 ]; then
-  PRESETS=(dev asan)
+  PRESETS=(dev asan tsan)
 fi
 
 JOBS="${JOBS:-$(nproc)}"
@@ -21,6 +26,18 @@ JOBS="${JOBS:-$(nproc)}"
 for preset in "${PRESETS[@]}"; do
   echo "==== [$preset] configure ===="
   cmake --preset "$preset"
+
+  if [ "$preset" = tsan ]; then
+    echo "==== [$preset] build (parallel suites) ===="
+    cmake --build --preset "$preset" -j "$JOBS" --target test_core test_integration
+
+    echo "==== [$preset] ctest (ThreadPool + ParallelDeterminism) ===="
+    # MTS_THREADS=4 forces real concurrency even on small CI hosts, so TSan
+    # actually sees the threads it is supposed to check.
+    MTS_THREADS=4 ctest --preset "$preset" -j "$JOBS" \
+      -R 'ThreadPool|ParallelDeterminism'
+    continue
+  fi
 
   echo "==== [$preset] build ===="
   cmake --build --preset "$preset" -j "$JOBS"

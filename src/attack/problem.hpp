@@ -19,6 +19,11 @@ using mts::EdgeId;
 using mts::NodeId;
 using mts::Path;
 
+/// Thread-sharing contract: a const ForcePathCutProblem may be shared by
+/// concurrent run_attack / verify_attack calls.  Every consumer takes it by
+/// const reference and only reads; the referenced graph and the
+/// weights/costs spans must stay immutable for the problem's lifetime.
+/// (The parallel experiment harness relies on this — see exp/table_runner.)
 struct ForcePathCutProblem {
   const DiGraph* graph = nullptr;
   std::span<const double> weights;  // victim's path metric

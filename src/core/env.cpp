@@ -28,6 +28,8 @@ BenchEnv BenchEnv::from_environment() {
   env.trials = static_cast<int>(env_int("MTS_TRIALS", env.trials));
   env.seed = static_cast<std::uint64_t>(env_int("MTS_SEED", static_cast<std::int64_t>(env.seed)));
   env.path_rank = static_cast<int>(env_int("MTS_PATH_RANK", env.path_rank));
+  env.threads = static_cast<int>(env_int("MTS_THREADS", env.threads));
+  env.timing = env_int("MTS_TIMING", env.timing ? 1 : 0) != 0;
   return env;
 }
 

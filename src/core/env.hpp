@@ -5,6 +5,12 @@
 // MTS_TRIALS    experiments per table cell (paper used 40; default 24)
 // MTS_SEED      RNG seed for the whole experiment
 // MTS_PATH_RANK rank of the forced alternative path p* (paper: 100)
+// MTS_THREADS   worker threads for the experiment harness (0 = hardware
+//               concurrency).  Any value produces bit-identical results;
+//               see core/thread_pool.hpp.
+// MTS_TIMING    1 (default) = report wall-clock runtimes; 0 = report zeros,
+//               making every table/JSON byte-identical across runs and
+//               thread counts (used by the determinism tests and CI)
 #pragma once
 
 #include <cstdint>
@@ -25,6 +31,8 @@ struct BenchEnv {
   int trials = 24;
   std::uint64_t seed = 7;
   int path_rank = 100;
+  int threads = 0;     // 0 = hardware concurrency
+  bool timing = true;  // false = zero out reported wall-clock values
 
   static BenchEnv from_environment();
 };

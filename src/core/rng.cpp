@@ -20,6 +20,23 @@ std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 
 }  // namespace
 
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::initializer_list<std::uint64_t> coords) {
+  std::uint64_t h = mix64(seed);
+  for (std::uint64_t coord : coords) {
+    // Full avalanche between coordinates: h depends on every bit of every
+    // coordinate before the next one is folded in.
+    h = mix64(h ^ (coord + 0x9e3779b97f4a7c15ULL));
+  }
+  return h;
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64(sm);

@@ -7,9 +7,23 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <vector>
 
 namespace mts {
+
+/// SplitMix64 finalizer: a bijective 64-bit avalanche mix.  Adjacent inputs
+/// map to statistically independent outputs, which is what makes it safe to
+/// build stream seeds out of small integers (seeds, trial indices, ...).
+std::uint64_t mix64(std::uint64_t x);
+
+/// Derives a decorrelated substream seed from a base seed and a list of
+/// stream coordinates (trial index, cost index, algorithm, ...).  Each
+/// coordinate goes through a full mix64 avalanche round, so nearby base
+/// seeds (ablation_seeds uses seed, seed+101, seed+202) and nearby
+/// coordinates never produce overlapping or correlated streams — unlike
+/// additive schemes such as `seed + ci * 131 + algorithm`.
+std::uint64_t derive_seed(std::uint64_t seed, std::initializer_list<std::uint64_t> coords);
 
 /// xoshiro256++ engine.  Satisfies UniformRandomBitGenerator, so it can
 /// also drive <random> distributions.

@@ -1,0 +1,152 @@
+#include "core/thread_pool.hpp"
+
+#include <atomic>
+#include <memory>
+
+#include "core/env.hpp"
+#include "core/error.hpp"
+
+namespace mts {
+
+namespace {
+
+// True while the current thread is executing a parallel_for task (on any
+// pool).  Nested parallelism would deadlock a fixed-size pool, so it is
+// rejected instead of queued.
+thread_local bool t_in_parallel_task = false;
+
+struct TaskScope {
+  TaskScope() { t_in_parallel_task = true; }
+  ~TaskScope() { t_in_parallel_task = false; }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  require(num_threads >= 1, "ThreadPool: num_threads must be >= 1");
+  workers_.reserve(num_threads - 1);
+  for (std::size_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+      ++job->remaining_workers;  // registered: the caller waits for us
+    }
+    run_job(*job);
+    {
+      std::lock_guard lock(mutex_);
+      if (--job->remaining_workers == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_job(Job& job) {
+  TaskScope scope;
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1);
+    if (i >= job.n) return;
+    if (job.failed.load()) continue;  // drain remaining indices un-run
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!job.error) job.error = std::current_exception();
+      job.failed.store(true);
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  require(!t_in_parallel_task,
+          "ThreadPool::parallel_for: nested use from inside a parallel task");
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    // Serial fast path: no synchronization, same index order as any
+    // parallel schedule's reduction order.
+    TaskScope scope;
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard submit_lock(submit_mutex_);  // one job at a time
+  Job job;
+  job.n = n;
+  job.fn = &fn;
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &job;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  run_job(job);  // the calling thread is the pool's last worker
+  {
+    std::unique_lock lock(mutex_);
+    work_done_.wait(lock, [&] { return job.remaining_workers == 0; });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+// ---- Global pool -----------------------------------------------------------
+
+namespace {
+
+std::atomic<std::size_t> g_thread_override{0};
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;  // guarded by g_pool_mutex
+
+}  // namespace
+
+std::size_t num_threads() {
+  const std::size_t override_count = g_thread_override.load();
+  if (override_count != 0) return override_count;
+  const std::int64_t env = env_int("MTS_THREADS", 0);
+  if (env > 0) return static_cast<std::size_t>(env);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+void set_num_threads(std::size_t n) { g_thread_override.store(n); }
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  const std::size_t threads = num_threads();
+  if (threads <= 1 || n <= 1) {
+    require(!t_in_parallel_task,
+            "parallel_for: nested use from inside a parallel task");
+    TaskScope scope;
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool* pool = nullptr;
+  {
+    std::lock_guard lock(g_pool_mutex);
+    if (!g_pool || g_pool->num_threads() != threads) {
+      g_pool = std::make_unique<ThreadPool>(threads);
+    }
+    pool = g_pool.get();
+  }
+  pool->parallel_for(n, fn);
+}
+
+}  // namespace mts

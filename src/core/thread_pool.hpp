@@ -1,0 +1,87 @@
+// Fixed-size thread pool for the experiment layer.
+//
+// Design goals, in order: determinism, simplicity, zero surprises.
+//   * Fixed worker count, no work stealing: a parallel_for hands out loop
+//     indices from one atomic counter, so scheduling never affects which
+//     task runs — only *when*.  Results must be written to per-index slots
+//     and reduced in index order by the caller; then any thread count
+//     (including 1, which runs inline on the calling thread) produces
+//     bit-identical output.
+//   * The calling thread participates as a worker, so a pool of size N uses
+//     exactly N threads (N-1 workers + the caller) and a size-1 pool is a
+//     plain serial loop with no synchronization at all.
+//   * The first exception thrown by any task is captured and rethrown on
+//     the calling thread after the loop finishes draining.
+//
+// Thread count resolution: `set_num_threads()` override if set, else the
+// MTS_THREADS environment variable, else std::thread::hardware_concurrency.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mts {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the caller is the last worker).
+  /// `num_threads` must be >= 1.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, n), distributing indices across the pool,
+  /// and blocks until all calls finish.  The first exception any call throws
+  /// is rethrown here (the remaining indices still drain, un-run).  Nested
+  /// use — calling parallel_for from inside a task — is a precondition
+  /// violation: the pool is fixed-size, so nesting would deadlock.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job {
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};    // set once error is captured
+    std::size_t remaining_workers = 0;  // guarded by mutex_
+    std::exception_ptr error;           // first failure, guarded by mutex_
+  };
+
+  void worker_loop();
+  void run_job(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex submit_mutex_;  // serializes concurrent top-level parallel_for
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  Job* job_ = nullptr;  // guarded by mutex_
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Thread count the global pool will use: the set_num_threads() override if
+/// set, else MTS_THREADS, else hardware concurrency (min 1).
+std::size_t num_threads();
+
+/// Overrides the global thread count (0 = back to MTS_THREADS/hardware).
+/// Takes effect on the next global parallel_for; not thread-safe against
+/// concurrent top-level parallel_for calls.
+void set_num_threads(std::size_t n);
+
+/// Runs fn(i) for i in [0, n) on the lazily-created global pool.  With one
+/// thread (or n <= 1) this is an inline serial loop.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace mts

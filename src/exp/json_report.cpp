@@ -52,7 +52,8 @@ std::string to_json(const CityTableResult& result) {
       append_stats(out, "edges_removed", cell.edges_removed);
       out << ',';
       append_stats(out, "cost", cell.cost);
-      out << ",\"verification_failures\":" << cell.verification_failures << '}';
+      out << ",\"attack_failures\":" << cell.attack_failures
+          << ",\"verification_failures\":" << cell.verification_failures << '}';
     }
   }
   out << "]}";

@@ -1,6 +1,7 @@
 #include "exp/scenario.hpp"
 
 #include "core/error.hpp"
+#include "core/thread_pool.hpp"
 #include "core/timer.hpp"
 #include "graph/metrics.hpp"
 #include "graph/yen.hpp"
@@ -52,18 +53,32 @@ std::optional<Scenario> sample_scenario(const osm::RoadNetwork& network,
 }
 
 std::vector<Scenario> sample_scenarios(const osm::RoadNetwork& network,
-                                       const std::vector<double>& weights, int count, Rng& rng,
-                                       const ScenarioOptions& options) {
-  std::vector<Scenario> scenarios;
-  scenarios.reserve(static_cast<std::size_t>(count));
+                                       const std::vector<double>& weights, int count,
+                                       std::uint64_t seed, const ScenarioOptions& options) {
   const std::size_t hospitals = network.pois().size();
   require(hospitals > 0, "sample_scenarios: network has no POIs");
-  for (int i = 0; i < count; ++i) {
-    auto scenario =
-        sample_scenario(network, weights, static_cast<std::size_t>(i) % hospitals, rng, options);
-    if (scenario) scenarios.push_back(std::move(*scenario));
+  if (count <= 0) return {};
+
+  // One slot per trial: tasks only touch their own index, and the ordered
+  // harvest below makes the result independent of the thread count.
+  std::vector<std::optional<Scenario>> slots(static_cast<std::size_t>(count));
+  parallel_for(slots.size(), [&](std::size_t i) {
+    Rng trial_rng(derive_seed(seed, {i}));
+    slots[i] = sample_scenario(network, weights, i % hospitals, trial_rng, options);
+  });
+
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(slots.size());
+  for (auto& slot : slots) {
+    if (slot) scenarios.push_back(std::move(*slot));
   }
   return scenarios;
+}
+
+std::vector<Scenario> sample_scenarios(const osm::RoadNetwork& network,
+                                       const std::vector<double>& weights, int count, Rng& rng,
+                                       const ScenarioOptions& options) {
+  return sample_scenarios(network, weights, count, rng(), options);
 }
 
 }  // namespace mts::exp

@@ -6,6 +6,7 @@
 // endpoints, the ranked Yen paths, and the chosen p*.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -44,6 +45,16 @@ struct ScenarioOptions {
 /// Samples `count` scenarios, rotating through the network's hospitals
 /// (paper: 10 sources x 4 hospitals).  Returns fewer if sampling fails
 /// repeatedly.  Throws PreconditionViolation if the network has no POIs.
+///
+/// Trial i draws from its own Rng stream derived via SplitMix64 from
+/// (seed, i), so trials are statistically independent and the expensive
+/// per-trial Yen runs execute in parallel on the global thread pool
+/// (MTS_THREADS) — with results identical at any thread count.
+std::vector<Scenario> sample_scenarios(const osm::RoadNetwork& network,
+                                       const std::vector<double>& weights, int count,
+                                       std::uint64_t seed, const ScenarioOptions& options = {});
+
+/// Compatibility overload: derives the stream base from one draw of `rng`.
 std::vector<Scenario> sample_scenarios(const osm::RoadNetwork& network,
                                        const std::vector<double>& weights, int count, Rng& rng,
                                        const ScenarioOptions& options = {});

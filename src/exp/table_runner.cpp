@@ -5,6 +5,7 @@
 #include "attack/verify.hpp"
 #include "citygen/generate.hpp"
 #include "core/error.hpp"
+#include "core/thread_pool.hpp"
 #include "graph/yen.hpp"
 
 namespace mts::exp {
@@ -18,14 +19,23 @@ using attack::ForcePathCutProblem;
 using attack::kAllAlgorithms;
 using attack::kAllCostTypes;
 
+namespace {
+
+// Stream tags keeping the harness's RNG consumers on disjoint SplitMix64
+// substreams of the one user-facing seed.
+constexpr std::uint64_t kScenarioStream = 0xa5a5a5a5ULL;
+constexpr std::uint64_t kThresholdStream = 0x5c5c5c5cULL;
+
+}  // namespace
+
 CityTableResult run_city_table(const RunConfig& config) {
   const auto network = citygen::generate_city(config.city, config.scale, config.seed);
   const auto weights = attack::make_weights(network, config.weight);
-  Rng rng(config.seed ^ 0xa5a5a5a5ULL);
   ScenarioOptions scenario_options;
   scenario_options.path_rank = config.path_rank;
-  const auto scenarios =
-      sample_scenarios(network, weights, config.trials, rng, scenario_options);
+  const auto scenarios = sample_scenarios(network, weights, config.trials,
+                                          derive_seed(config.seed, {kScenarioStream}),
+                                          scenario_options);
   return run_city_table_on(network, scenarios, config);
 }
 
@@ -44,6 +54,11 @@ CityTableResult run_city_table_on(const osm::RoadNetwork& network,
     costs.push_back(attack::make_costs(network, cost_type));
   }
 
+  // One immutable problem per (scenario, cost) cell column, shared by the
+  // four algorithm tasks.  ForcePathCutProblem is safe to share across
+  // threads as const: run_attack / verify_attack / the oracle only read it.
+  std::vector<ForcePathCutProblem> problems;
+  problems.reserve(scenarios.size() * kNumCostTypes);
   for (const Scenario& scenario : scenarios) {
     for (std::size_t ci = 0; ci < kNumCostTypes; ++ci) {
       ForcePathCutProblem problem;
@@ -54,28 +69,57 @@ CityTableResult run_city_table_on(const osm::RoadNetwork& network,
       problem.target = scenario.target;
       problem.p_star = scenario.p_star;
       problem.seed_paths = scenario.prefix;
+      problems.push_back(std::move(problem));
+    }
+  }
+  const std::vector<ForcePathCutProblem>& shared_problems = problems;
 
-      for (Algorithm algorithm : kAllAlgorithms) {
-        AttackOptions options;
-        options.rng_seed = config.seed + ci * 131 + static_cast<std::size_t>(algorithm);
-        const AttackResult attack_result = run_attack(algorithm, problem, options);
-        auto& cell = result.cells[static_cast<std::size_t>(algorithm)][ci];
-        if (attack_result.status == AttackStatus::Success) {
-          const auto verdict = attack::verify_attack(problem, attack_result.removed_edges);
-          if (!verdict.ok) {
-            ++cell.verification_failures;
-            std::cerr << "[verify] " << to_string(algorithm) << " failed: " << verdict.reason
-                      << '\n';
-            continue;
-          }
-          cell.add(attack_result.seconds, static_cast<double>(attack_result.num_removed()),
-                   attack_result.total_cost);
-        } else {
-          ++cell.verification_failures;
-          std::cerr << "[attack] " << to_string(algorithm)
-                    << " status: " << to_string(attack_result.status) << '\n';
-        }
-      }
+  // Every (scenario, cost, algorithm) task is independent: it gets its own
+  // SplitMix64-derived RNG stream and writes only its own outcome slot.
+  struct TaskOutcome {
+    AttackResult attack;
+    bool verified = false;
+    std::string verify_reason;
+  };
+  const std::size_t tasks_per_scenario = kNumCostTypes * kNumAlgorithms;
+  std::vector<TaskOutcome> outcomes(scenarios.size() * tasks_per_scenario);
+  parallel_for(outcomes.size(), [&](std::size_t t) {
+    const std::size_t si = t / tasks_per_scenario;
+    const std::size_t ci = (t % tasks_per_scenario) / kNumAlgorithms;
+    const std::size_t ai = t % kNumAlgorithms;
+    const ForcePathCutProblem& problem = shared_problems[si * kNumCostTypes + ci];
+
+    AttackOptions options;
+    options.rng_seed = derive_seed(config.seed, {si, ci, ai});
+    TaskOutcome& outcome = outcomes[t];
+    outcome.attack = run_attack(kAllAlgorithms[ai], problem, options);
+    if (outcome.attack.status == AttackStatus::Success) {
+      const auto verdict = attack::verify_attack(problem, outcome.attack.removed_edges);
+      outcome.verified = verdict.ok;
+      if (!verdict.ok) outcome.verify_reason = verdict.reason;
+    }
+  });
+
+  // Deterministic reduction: outcomes fold into CellStats in trial order,
+  // so tables and JSON are bit-identical at any thread count (and to the
+  // serial MTS_THREADS=1 run).  Diagnostics print here, in the same order.
+  for (std::size_t t = 0; t < outcomes.size(); ++t) {
+    const std::size_t ci = (t % tasks_per_scenario) / kNumAlgorithms;
+    const std::size_t ai = t % kNumAlgorithms;
+    const Algorithm algorithm = kAllAlgorithms[ai];
+    const TaskOutcome& outcome = outcomes[t];
+    auto& cell = result.cells[ai][ci];
+    if (outcome.attack.status != AttackStatus::Success) {
+      ++cell.attack_failures;
+      std::cerr << "[attack] " << to_string(algorithm)
+                << " status: " << to_string(outcome.attack.status) << '\n';
+    } else if (!outcome.verified) {
+      ++cell.verification_failures;
+      std::cerr << "[verify] " << to_string(algorithm) << " failed: " << outcome.verify_reason
+                << '\n';
+    } else {
+      cell.add(config.deterministic_timing ? 0.0 : outcome.attack.seconds,
+               static_cast<double>(outcome.attack.num_removed()), outcome.attack.total_cost);
     }
   }
   return result;
@@ -111,7 +155,8 @@ Table render_city_table_detailed(const CityTableResult& result) {
                             ", Weight Type: " + attack::to_string(result.config.weight) +
                             " (detailed)";
   Table table(title, {"Algorithm", "Cost", "Runtime Mean", "Runtime Stddev", "ANER Mean",
-                      "ANER Stddev", "ACRE Mean", "ACRE Stddev", "N", "Failures"});
+                      "ANER Stddev", "ACRE Mean", "ACRE Stddev", "N", "Attack Failures",
+                      "Verify Failures"});
   for (Algorithm algorithm : kAllAlgorithms) {
     for (CostType cost_type : kAllCostTypes) {
       const auto& cell = result.cell(algorithm, cost_type);
@@ -120,7 +165,8 @@ Table render_city_table_detailed(const CityTableResult& result) {
                      format_fixed(cell.edges_removed.mean(), 2),
                      format_fixed(cell.edges_removed.stddev(), 2),
                      format_fixed(cell.cost.mean(), 2), format_fixed(cell.cost.stddev(), 2),
-                     std::to_string(cell.n), std::to_string(cell.verification_failures)});
+                     std::to_string(cell.n), std::to_string(cell.attack_failures),
+                     std::to_string(cell.verification_failures)});
     }
   }
   return table;
@@ -152,10 +198,10 @@ ThresholdRow run_threshold_experiment(citygen::City city, double scale, int tria
   const auto network = citygen::generate_city(city, scale, seed);
   const auto weights = attack::make_weights(network, attack::WeightType::Time);
 
-  Rng rng(seed ^ 0x5c5c5c5cULL);
   ScenarioOptions options;
   options.path_rank = 200;  // one Yen run yields both the 100th and 200th
-  const auto scenarios = sample_scenarios(network, weights, trials, rng, options);
+  const auto scenarios = sample_scenarios(network, weights, trials,
+                                          derive_seed(seed, {kThresholdStream}), options);
 
   for (const Scenario& scenario : scenarios) {
     const double base = scenario.shortest_length;

@@ -25,6 +25,9 @@ struct RunConfig {
   int trials = 12;       // scenarios (paper: 40 = 10 sources x 4 hospitals)
   int path_rank = 100;   // p* = path_rank-th shortest path
   std::uint64_t seed = 7;
+  /// Report 0.0 for every wall-clock value, so the rendered tables and
+  /// JSON are byte-identical across runs and thread counts (MTS_TIMING=0).
+  bool deterministic_timing = false;
 };
 
 /// Aggregate over scenarios for one (algorithm, cost) cell.  The paper
@@ -35,6 +38,11 @@ struct CellStats {
   RunningStats edges_removed;
   RunningStats cost;
   int n = 0;
+  /// Attack honestly reported a non-Success status (budget infeasible, no
+  /// path, iteration limit) — an expected experimental outcome.
+  int attack_failures = 0;
+  /// Attack claimed Success but the independent verifier rejected the cut.
+  /// Any nonzero value here is a library bug and must stay loud.
   int verification_failures = 0;
 
   void add(double runtime_s, double removed, double cut_cost) {

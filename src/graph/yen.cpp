@@ -1,8 +1,8 @@
 #include "graph/yen.hpp"
 
 #include <algorithm>
-#include <queue>
 #include <unordered_set>
+#include <utility>
 
 #include "core/check.hpp"
 #include "core/error.hpp"
@@ -13,9 +13,43 @@ namespace {
 
 struct Candidate {
   Path path;
-  friend bool operator<(const Candidate& a, const Candidate& b) {
-    return a.path.length > b.path.length;  // min-heap
+};
+
+/// Heap order: true when `a` should be popped after `b`.  Primary key is
+/// path length (shortest first); ties break on the lexicographic edge
+/// sequence.  Without the tie-break, which of several tied-length
+/// candidates becomes the k-th path — and therefore the paper's p* = 100th
+/// path — would depend on heap internals (and thus on the standard-library
+/// implementation and on candidate insertion order).
+bool candidate_after(const Candidate& a, const Candidate& b) {
+  if (a.path.length != b.path.length) return a.path.length > b.path.length;
+  return std::lexicographical_compare(b.path.edges.begin(), b.path.edges.end(),
+                                      a.path.edges.begin(), a.path.edges.end());
+}
+
+/// Min-heap of candidates on a plain vector.  std::pop_heap moves the top
+/// element to the back, so popping hands out the Path by value without the
+/// const_cast-from-top() hack std::priority_queue would force.
+class CandidateHeap {
+ public:
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+
+  void push(Candidate candidate) {
+    heap_.push_back(std::move(candidate));
+    std::push_heap(heap_.begin(), heap_.end(), candidate_after);
   }
+
+  /// Removes and returns the shortest (tie-broken) candidate's path.
+  Path pop() {
+    MTS_DCHECK(!heap_.empty());
+    std::pop_heap(heap_.begin(), heap_.end(), candidate_after);
+    Path path = std::move(heap_.back().path);
+    heap_.pop_back();
+    return path;
+  }
+
+ private:
+  std::vector<Candidate> heap_;
 };
 
 /// Shared state for Yen spur expansions: a scratch edge filter seeded from
@@ -36,8 +70,7 @@ class SpurSearcher {
   /// `accepted` is the list of already-output paths (for edge bans).
   /// Returns the number of spur searches performed.
   std::size_t expand(const Path& base, const std::vector<Path>& accepted,
-                     std::priority_queue<Candidate>& candidates,
-                     std::unordered_set<std::uint64_t>& seen) {
+                     CandidateHeap& candidates, std::unordered_set<std::uint64_t>& seen) {
     const std::vector<NodeId> base_nodes = path_nodes(g_, base);
     std::size_t searches = 0;
     double root_length = 0.0;
@@ -113,7 +146,7 @@ std::vector<Path> yen_ksp(const DiGraph& g, std::span<const double> weights, Nod
   accepted.push_back(std::move(*first));
 
   SpurSearcher searcher(g, weights, target, options.filter);
-  std::priority_queue<Candidate> candidates;
+  CandidateHeap candidates;
   std::unordered_set<std::uint64_t> seen;
   seen.insert(path_signature(accepted.front()));
 
@@ -121,8 +154,7 @@ std::vector<Path> yen_ksp(const DiGraph& g, std::span<const double> weights, Nod
   while (accepted.size() < k) {
     total_searches += searcher.expand(accepted.back(), accepted, candidates, seen);
     if (candidates.empty()) break;
-    accepted.push_back(std::move(const_cast<Candidate&>(candidates.top()).path));
-    candidates.pop();
+    accepted.push_back(candidates.pop());
 #if defined(MTS_ENABLE_DCHECKS)
     accepted.back().check_invariants(g, weights);
 #endif
@@ -138,13 +170,13 @@ std::optional<Path> second_shortest_path(const DiGraph& g, std::span<const doubl
   require(g.edge_from(avoid.edges.front()) == source,
           "second_shortest_path: avoid path does not start at source");
   SpurSearcher searcher(g, weights, target, filter);
-  std::priority_queue<Candidate> candidates;
+  CandidateHeap candidates;
   std::unordered_set<std::uint64_t> seen;
   seen.insert(path_signature(avoid));
   const std::vector<Path> accepted = {avoid};
   searcher.expand(avoid, accepted, candidates, seen);
   if (candidates.empty()) return std::nullopt;
-  return std::move(const_cast<Candidate&>(candidates.top()).path);
+  return candidates.pop();
 }
 
 }  // namespace mts

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <set>
 
 #include "core/error.hpp"
 
@@ -114,6 +115,42 @@ TEST(Rng, ForkProducesIndependentStream) {
   int same = 0;
   for (int i = 0; i < 64; ++i) {
     if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(DeriveSeed, DeterministicAndOrderSensitive) {
+  EXPECT_EQ(derive_seed(1, {2, 3}), derive_seed(1, {2, 3}));
+  EXPECT_NE(derive_seed(1, {2, 3}), derive_seed(1, {3, 2}));
+  EXPECT_NE(derive_seed(1, {2, 3}), derive_seed(2, {2, 3}));
+}
+
+TEST(DeriveSeed, NoCollisionsAcrossAdjacentSeedsAndCoordinates) {
+  // The additive scheme this replaced (seed + ci * 131 + algorithm) collides
+  // whenever adjacent base seeds or coordinate combinations alias; the mixed
+  // derivation must keep every nearby (seed, trial, cost, algorithm) cell
+  // distinct.
+  std::set<std::uint64_t> seen;
+  std::size_t cells = 0;
+  for (std::uint64_t seed : {7u, 8u, 9u, 138u}) {  // 138 == 7 + 1*131
+    for (std::uint64_t trial = 0; trial < 4; ++trial) {
+      for (std::uint64_t ci = 0; ci < 3; ++ci) {
+        for (std::uint64_t ai = 0; ai < 4; ++ai) {
+          seen.insert(derive_seed(seed, {trial, ci, ai}));
+          ++cells;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), cells);
+}
+
+TEST(DeriveSeed, AdjacentStreamsAreStatisticallyIndependent) {
+  Rng a(derive_seed(42, {0}));
+  Rng b(derive_seed(42, {1}));
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
   }
   EXPECT_LT(same, 2);
 }

@@ -1,0 +1,111 @@
+#include "core/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace mts {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.parallel_for(counts.size(), [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(8);
+  pool.parallel_for(ids.size(), [&](std::size_t i) { ids[i] = std::this_thread::get_id(); });
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [](std::size_t i) {
+                                   if (i == 5) throw std::runtime_error("task failed");
+                                 }),
+               std::runtime_error);
+  // The pool must survive a failed job and run the next one normally.
+  std::atomic<int> done{0};
+  pool.parallel_for(32, [&](std::size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, NestedUseIsAPreconditionViolation) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   4, [&](std::size_t) { pool.parallel_for(2, [](std::size_t) {}); }),
+               PreconditionViolation);
+}
+
+TEST(ThreadPool, GlobalNestedUseIsAPreconditionViolation) {
+  set_num_threads(2);
+  EXPECT_THROW(
+      parallel_for(4, [](std::size_t) { parallel_for(2, [](std::size_t) {}); }),
+      PreconditionViolation);
+  set_num_threads(0);
+}
+
+TEST(ThreadPool, OverrideAndEnvResolution) {
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3u);
+  set_num_threads(0);  // back to MTS_THREADS / hardware
+  ASSERT_EQ(setenv("MTS_THREADS", "5", 1), 0);
+  EXPECT_EQ(num_threads(), 5u);
+  ASSERT_EQ(unsetenv("MTS_THREADS"), 0);
+  EXPECT_GE(num_threads(), 1u);  // hardware concurrency fallback, min 1
+}
+
+TEST(ThreadPool, GlobalParallelForCoversRangeAtEveryThreadCount) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    set_num_threads(threads);
+    std::vector<std::atomic<int>> counts(257);
+    parallel_for(counts.size(), [&](std::size_t i) { counts[i].fetch_add(1); });
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      EXPECT_EQ(counts[i].load(), 1) << "threads " << threads << " index " << i;
+    }
+  }
+  set_num_threads(0);
+}
+
+TEST(ThreadPool, PerIndexResultsIdenticalAcrossThreadCounts) {
+  // The determinism contract: per-index output slots depend only on the
+  // index, never on which thread ran it or in what order.
+  const auto run = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<std::uint64_t> out(200);
+    pool.parallel_for(out.size(), [&](std::size_t i) {
+      Rng rng(derive_seed(7, {i}));
+      out[i] = rng();
+    });
+    return out;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+}  // namespace
+}  // namespace mts

@@ -90,6 +90,68 @@ TEST(Yen, GridHasManyEqualLengthPaths) {
   for (const auto& path : paths) EXPECT_DOUBLE_EQ(path.length, 6.0);
 }
 
+TEST(Yen, TieBreakPopsLexSmallestCandidate) {
+  // Two tied-length candidates sit in the heap at once; the deterministic
+  // tie-break must pop the lexicographically smaller edge sequence.  With
+  // the old length-only comparator the pick depended on heap internals
+  // (libstdc++'s priority_queue returned the insertion-order first, i.e.
+  // the spur-position-0 deviation [sb, bt]).
+  test::WeightedGraph wg;
+  const NodeId s = wg.g.add_node(0, 0);
+  const NodeId a = wg.g.add_node(1, 1);
+  const NodeId t = wg.g.add_node(2, 0);
+  const NodeId b = wg.g.add_node(1, -1);
+  const NodeId c = wg.g.add_node(2, 1);
+  const EdgeId sa = wg.edge(s, a, 1.0);
+  const EdgeId at = wg.edge(a, t, 1.0);
+  const EdgeId sb = wg.edge(s, b, 1.0);
+  const EdgeId bt = wg.edge(b, t, 1.5);
+  const EdgeId ac = wg.edge(a, c, 0.5);
+  const EdgeId ct = wg.edge(c, t, 1.0);
+  wg.g.finalize();
+
+  // Rank 1 is uniquely s->a->t (2.0).  Expanding it queues BOTH deviations
+  // s->b->t (2.5, edges [sb, bt]) and s->a->c->t (2.5, edges [sa, ac, ct]).
+  const auto paths = yen_ksp(wg.g, wg.weights, s, t, 3);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0].edges, (std::vector<EdgeId>{sa, at}));
+  EXPECT_DOUBLE_EQ(paths[1].length, 2.5);
+  EXPECT_DOUBLE_EQ(paths[2].length, 2.5);
+  EXPECT_EQ(paths[1].edges, (std::vector<EdgeId>{sa, ac, ct}));  // lex-min tie
+  EXPECT_EQ(paths[2].edges, (std::vector<EdgeId>{sb, bt}));
+
+  // The second-shortest oracle resolves the same tie the same way.
+  const auto second = second_shortest_path(wg.g, wg.weights, s, t, paths[0]);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->edges, (std::vector<EdgeId>{sa, ac, ct}));
+}
+
+TEST(Yen, TieHeavyLatticeRanksAreStableAcrossK) {
+  // Regression for the paper's p* = k-th path on tie-heavy lattices: the
+  // ranking must be a well-defined sequence, so asking for fewer paths
+  // returns a prefix of asking for more, and the k-th path is stable.
+  auto wg = test::make_grid(4, 4);
+  const NodeId s(0);
+  const NodeId t(15);
+  const auto all = yen_ksp(wg.g, wg.weights, s, t, 20);
+  ASSERT_EQ(all.size(), 20u);
+  for (std::size_t k : {1u, 5u, 10u, 19u}) {
+    const auto prefix = yen_ksp(wg.g, wg.weights, s, t, k);
+    ASSERT_EQ(prefix.size(), k);
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(prefix[i].edges, all[i].edges) << "k=" << k << " rank " << i;
+    }
+  }
+  // The 20 tied ranks are exactly the 20 monotone routes (no duplicates,
+  // no longer path sneaking in).
+  const auto expected = test::enumerate_simple_paths(wg.g, wg.weights, s, t);
+  std::set<std::vector<EdgeId>> expected_shortest;
+  for (std::size_t i = 0; i < 20; ++i) expected_shortest.insert(expected[i].edges);
+  std::set<std::vector<EdgeId>> actual;
+  for (const auto& path : all) actual.insert(path.edges);
+  EXPECT_EQ(actual, expected_shortest);
+}
+
 TEST(Yen, RespectsBaseFilter) {
   test::Diamond d;
   EdgeFilter filter(d.wg.g.num_edges());

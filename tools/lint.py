@@ -16,6 +16,12 @@ Rules (see DESIGN.md "Correctness tooling"):
                    mts::require (core/error.hpp); API boundaries call require()
                    so every violation carries file:line context
   no-using-ns      no `using namespace` at header scope
+  no-const-cast-top
+                   no `const_cast` on a container's `.top()`/`.front()` —
+                   mutating through a const accessor reference is UB-adjacent
+                   and breaks heap/queue invariants silently; use a container
+                   that supports a real move-out (e.g. a vector heap with
+                   std::pop_heap, as graph/yen.cpp does)
 """
 
 from __future__ import annotations
@@ -146,6 +152,18 @@ class Linter:
                 self.report(path, lineno, "require-throws",
                             f"throw PreconditionViolation directly; call mts::require: {line}")
 
+    def check_no_const_cast_top(self) -> None:
+        # One-line matches only (like every rule here); a const_cast wrapping
+        # a .top()/.front() call split across lines would slip through, but
+        # clang-format keeps these on one line in practice.
+        pattern = re.compile(
+            r"const_cast\s*<[^<>;{}]*>\s*\([^();{}]*\.\s*(?:top|front)\s*\(\s*\)\s*\)")
+        for path in self.files(LIB_DIRS, CXX_SUFFIXES):
+            for lineno, line in self.match_lines(strip_code(path.read_text()), pattern):
+                self.report(path, lineno, "no-const-cast-top",
+                            f"const_cast on .top()/.front(); pop via std::pop_heap "
+                            f"on a vector instead: {line}")
+
     def check_no_using_namespace(self) -> None:
         pattern = re.compile(r"\busing\s+namespace\b")
         for path in self.files(ALL_DIRS, {".hpp"}):
@@ -165,6 +183,7 @@ class Linter:
         self.check_no_naked_new()
         self.check_no_float()
         self.check_require_throws()
+        self.check_no_const_cast_top()
         self.check_no_using_namespace()
         for path, lineno, rule, message in self.violations:
             rel = path.relative_to(self.root)
