@@ -7,6 +7,7 @@
 #include "attack/models.hpp"
 #include "citygen/generate.hpp"
 #include "core/env.hpp"
+#include "exp/json_report.hpp"
 #include "core/table.hpp"
 #include "exp/scenario.hpp"
 
@@ -16,6 +17,7 @@ int main() {
   using attack::AttackStatus;
 
   const auto env = BenchEnv::from_environment();
+  env.print_run_header("ablation_budget");
   const int trials = std::max(4, env.trials / 2);
   const int path_rank = std::min(env.path_rank, 60);
 
@@ -54,6 +56,7 @@ int main() {
   }
   table.render_text(std::cout);
   table.save_csv("bench_results/ablation_budget.csv");
+  exp::save_observability("bench_results/ablation_budget");
   std::cout << "\nExpected shape: cover-based algorithms fit tighter budgets than the naive\n"
                "ones because their plans cost less (Tables II-VIII).\n";
   return 0;

@@ -8,6 +8,7 @@
 #include "attack/models.hpp"
 #include "citygen/generate.hpp"
 #include "core/env.hpp"
+#include "exp/json_report.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "exp/scenario.hpp"
@@ -16,6 +17,7 @@ int main() {
   using namespace mts;
 
   const auto env = BenchEnv::from_environment();
+  env.print_run_header("ablation_defense");
   const int trials = std::max(3, env.trials / 4);
   const int path_rank = std::min(env.path_rank, 40);
   constexpr std::size_t kMaxProtected = 8;
@@ -65,6 +67,7 @@ int main() {
   }
   table.render_text(std::cout);
   table.save_csv("bench_results/ablation_defense.csv");
+  exp::save_observability("bench_results/ablation_defense");
   std::cout << "\nAttacks fully blocked by " << kMaxProtected
             << " protections: " << blocked << "/" << runs
             << ".  Expected shape: cost is non-decreasing in protections.\n";

@@ -7,6 +7,7 @@
 #include "attack/models.hpp"
 #include "citygen/generate.hpp"
 #include "core/env.hpp"
+#include "exp/json_report.hpp"
 #include "core/rng.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
@@ -18,6 +19,7 @@ int main() {
   using attack::InterdictionStrategy;
 
   const auto env = BenchEnv::from_environment();
+  env.print_run_header("ablation_interdiction");
   const int trials = std::max(4, env.trials / 2);
 
   const auto network = citygen::generate_city(citygen::City::Chicago, env.scale, env.seed);
@@ -59,6 +61,7 @@ int main() {
   }
   table.render_text(std::cout);
   table.save_csv("bench_results/ablation_interdiction.csv");
+  exp::save_observability("bench_results/ablation_interdiction");
   std::cout << "\nExpected shape: delay grows with budget; exact greedy >= the cheap\n"
                "betweenness heuristic at every budget.\n";
   return 0;

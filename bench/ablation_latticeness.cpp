@@ -8,6 +8,7 @@
 #include "attack/models.hpp"
 #include "citygen/generate.hpp"
 #include "core/env.hpp"
+#include "exp/json_report.hpp"
 #include "core/table.hpp"
 #include "exp/scenario.hpp"
 #include "graph/metrics.hpp"
@@ -17,6 +18,7 @@ int main() {
   using attack::Algorithm;
 
   const auto env = BenchEnv::from_environment();
+  env.print_run_header("ablation_latticeness");
   const int trials = std::max(2, env.trials / 3);
   const int path_rank = std::min(env.path_rank, 60);
 
@@ -68,6 +70,7 @@ int main() {
   }
   table.render_text(std::cout);
   table.save_csv("bench_results/ablation_latticeness.csv");
+  exp::save_observability("bench_results/ablation_latticeness");
   std::cout << "\nExpected shape (paper §III-B): as organic grows, the path-rank threshold\n"
                "increases and the naive-vs-LP gap widens.\n";
   return 0;

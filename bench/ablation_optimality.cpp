@@ -9,6 +9,7 @@
 #include "attack/models.hpp"
 #include "citygen/generate.hpp"
 #include "core/env.hpp"
+#include "exp/json_report.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "exp/scenario.hpp"
@@ -19,6 +20,7 @@ int main() {
   using attack::AttackStatus;
 
   const auto env = BenchEnv::from_environment();
+  env.print_run_header("ablation_optimality");
   const int trials = std::max(6, env.trials);
   const int path_rank = std::min(env.path_rank, 60);
 
@@ -75,6 +77,7 @@ int main() {
   }
   table.render_text(std::cout);
   table.save_csv("bench_results/ablation_optimality.csv");
+  exp::save_observability("bench_results/ablation_optimality");
   std::cout << "\nPATHATTACK (Miller et al. 2021) reports the LP approach optimal in > 98%\n"
                "of instances; LP-PathCover and GreedyPathCover should sit near 100% here,\n"
                "the naive algorithms well below.\n";

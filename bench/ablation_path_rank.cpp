@@ -7,12 +7,14 @@
 #include "attack/models.hpp"
 #include "citygen/generate.hpp"
 #include "core/env.hpp"
+#include "exp/json_report.hpp"
 #include "core/table.hpp"
 #include "exp/scenario.hpp"
 
 int main() {
   using namespace mts;
   const auto env = BenchEnv::from_environment();
+  env.print_run_header("ablation_path_rank");
   const int trials = std::max(2, env.trials / 3);
 
   const auto network = citygen::generate_city(citygen::City::Chicago, env.scale, env.seed);
@@ -55,6 +57,7 @@ int main() {
   }
   table.render_text(std::cout);
   table.save_csv("bench_results/ablation_path_rank.csv");
+  exp::save_observability("bench_results/ablation_path_rank");
   std::cout << "\nExpected shape: ANER/ACRE grow with rank — deeper alternatives require\n"
                "cutting more near-optimal routes.\n";
   return 0;

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "core/env.hpp"
+#include "exp/json_report.hpp"
 #include "core/stats.hpp"
 #include "exp/table_runner.hpp"
 
@@ -14,6 +15,7 @@ int main() {
   using attack::CostType;
 
   const auto env = BenchEnv::from_environment();
+  env.print_run_header("ablation_seeds");
   const int trials = std::max(4, env.trials / 3);
   const std::uint64_t seeds[] = {env.seed, env.seed + 101, env.seed + 202};
 
@@ -52,6 +54,7 @@ int main() {
   }
   table.render_text(std::cout);
   table.save_csv("bench_results/ablation_seeds.csv");
+  exp::save_observability("bench_results/ablation_seeds");
   std::cout << "\n'Spread' is max - min over generator seeds: how much of each headline\n"
                "number is city shape vs. one particular realization.\n";
   return 0;

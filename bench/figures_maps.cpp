@@ -7,6 +7,7 @@
 #include "attack/verify.hpp"
 #include "citygen/generate.hpp"
 #include "core/env.hpp"
+#include "exp/json_report.hpp"
 #include "core/table.hpp"
 #include "exp/scenario.hpp"
 #include "viz/geojson.hpp"
@@ -28,6 +29,7 @@ struct FigureSpec {
 int main() {
   using namespace mts;
   const auto env = BenchEnv::from_environment();
+  env.print_run_header("figures_maps");
 
   const FigureSpec figures[] = {
       {1, citygen::City::Boston, "Brigham and Women's Hospital", attack::WeightType::Length,
@@ -98,5 +100,6 @@ int main() {
               << result.num_removed() << " segments, cost " << format_fixed(result.total_cost, 2)
               << ", p* rank " << env.path_rank << ")\n";
   }
+  exp::save_observability("figures/figures_maps");
   return failures;
 }

@@ -8,6 +8,7 @@
 #include "attack/multi_victim.hpp"
 #include "citygen/generate.hpp"
 #include "core/env.hpp"
+#include "exp/json_report.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "exp/scenario.hpp"
@@ -17,6 +18,7 @@ int main() {
   using attack::AttackStatus;
 
   const auto env = BenchEnv::from_environment();
+  env.print_run_header("multi_victim_coordination");
   const int groups = std::max(3, env.trials / 6);
   const int path_rank = std::min(env.path_rank, 30);
 
@@ -83,6 +85,7 @@ int main() {
   }
   table.render_text(std::cout);
   table.save_csv("bench_results/multi_victim_coordination.csv");
+  exp::save_observability("bench_results/multi_victim_coordination");
   std::cout << "\nNote: the shared cut must avoid EVERY victim's chosen route, so its cost\n"
                "is not always below the naive sum — but overlap usually wins.\n";
   return 0;

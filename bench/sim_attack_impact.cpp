@@ -7,6 +7,7 @@
 #include "attack/models.hpp"
 #include "citygen/generate.hpp"
 #include "core/env.hpp"
+#include "exp/json_report.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "exp/scenario.hpp"
@@ -17,6 +18,7 @@ int main() {
   using attack::Algorithm;
 
   const auto env = BenchEnv::from_environment();
+  env.print_run_header("sim_attack_impact");
   const int trials = std::max(2, env.trials / 4);
   const int path_rank = std::min(env.path_rank, 50);
 
@@ -85,6 +87,7 @@ int main() {
   }
   table.render_text(std::cout);
   table.save_csv("bench_results/sim_attack_impact.csv");
+  exp::save_observability("bench_results/sim_attack_impact");
   std::cout << "\n'Forced Route Taken' counts runs where the dynamically-rerouting victim\n"
                "drove exactly the attacker-chosen p* (background congestion can justify\n"
                "small deviations).  Delay factor = attacked / unattacked travel time.\n";

@@ -4,6 +4,7 @@
 
 #include "citygen/generate.hpp"
 #include "core/env.hpp"
+#include "exp/json_report.hpp"
 #include "core/table.hpp"
 #include "exp/paper_values.hpp"
 #include "graph/metrics.hpp"
@@ -11,6 +12,7 @@
 int main() {
   using namespace mts;
   const auto env = BenchEnv::from_environment();
+  env.print_run_header("table01_city_summaries");
 
   Table table("Table I — City graph summaries (MTS_SCALE=" + format_fixed(env.scale, 2) + ")",
               {"City", "Nodes", "Edges", "Avg Degree", "Orientation Order", "4-way Share",
@@ -28,6 +30,7 @@ int main() {
   }
   table.render_text(std::cout);
   table.save_csv("bench_results/table01_city_summaries.csv");
+  exp::save_observability("bench_results/table01_city_summaries");
   std::cout << "\nNote: the paper's San Francisco edge count (269002) is inconsistent with its\n"
                "own average-degree column (2*E/N would be 55.7); see DESIGN.md.\n";
   return 0;

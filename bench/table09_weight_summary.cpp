@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "core/env.hpp"
+#include "exp/json_report.hpp"
 #include "exp/paper_values.hpp"
 #include "exp/table_runner.hpp"
 
@@ -14,6 +15,7 @@ int main() {
   using attack::WeightType;
 
   const auto env = BenchEnv::from_environment();
+  env.print_run_header("table09_weight_summary");
 
   Table table("Table IX — Average ANER and ACRE across all city and weight type combinations",
               {"City", "Weight", "ANER", "ACRE", "ANER (paper)", "ACRE (paper)"});
@@ -59,6 +61,7 @@ int main() {
   }
   table.render_text(std::cout);
   table.save_csv("bench_results/table09_weight_summary.csv");
+  exp::save_observability("bench_results/table09_weight_summary");
 
   const double boston_delta = (boston_gap.naive_acre - boston_gap.lp_acre) / boston_gap.n;
   const double chicago_delta = (chicago_gap.naive_acre - chicago_gap.lp_acre) / chicago_gap.n;

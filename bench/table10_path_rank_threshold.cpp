@@ -3,12 +3,14 @@
 #include <iostream>
 
 #include "core/env.hpp"
+#include "exp/json_report.hpp"
 #include "exp/paper_values.hpp"
 #include "exp/table_runner.hpp"
 
 int main() {
   using namespace mts;
   const auto env = BenchEnv::from_environment();
+  env.print_run_header("table10_path_rank_threshold");
 
   Table table("Table X — Threshold table, weight type: TIME",
               {"City", "Avg Incr to 100th", "Avg Incr to 200th", "Paper 100th", "Paper 200th"});
@@ -22,6 +24,7 @@ int main() {
   }
   table.render_text(std::cout);
   table.save_csv("bench_results/table10_path_rank_threshold.csv");
+  exp::save_observability("bench_results/table10_path_rank_threshold");
   std::cout << "\nShape check: organic cities (Boston) should show a larger increase than\n"
                "lattice cities (Chicago), which drives the naive-vs-LP gap (paper §III-B).\n";
   return 0;

@@ -18,6 +18,9 @@ int main() {
   using exp::RunConfig;
 
   const auto env = BenchEnv::from_environment();
+  const std::string base = "bench_results/table0" + std::to_string(MTS_TABLE_NUM);
+  env.print_run_header("table0" + std::to_string(MTS_TABLE_NUM) + "_" +
+                       citygen::to_string(citygen::City::MTS_TABLE_CITY));
   RunConfig config;
   config.city = citygen::City::MTS_TABLE_CITY;
   config.weight = attack::WeightType::MTS_TABLE_WEIGHT;
@@ -30,11 +33,11 @@ int main() {
   const auto result = exp::run_city_table(config);
   auto table = exp::render_city_table(result);
   table.render_text(std::cout);
-  table.save_csv("bench_results/table0" + std::to_string(MTS_TABLE_NUM) + "_" +
-                 citygen::to_string(config.city) + "_" + to_string(config.weight) + ".csv");
-  exp::render_city_table_detailed(result).save_csv(
-      "bench_results/table0" + std::to_string(MTS_TABLE_NUM) + "_detailed.csv");
-  exp::save_json(result, "bench_results/table0" + std::to_string(MTS_TABLE_NUM) + ".json");
+  table.save_csv(base + "_" + citygen::to_string(config.city) + "_" + to_string(config.weight) +
+                 ".csv");
+  exp::render_city_table_detailed(result).save_csv(base + "_detailed.csv");
+  exp::save_json(result, base + ".json");
+  exp::save_observability(base);
 
   // Paper comparison: shape, not absolute numbers (different hardware,
   // different substrate scale).

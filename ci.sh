@@ -5,12 +5,15 @@
 #   1. configures via its CMake preset (build-<preset>/ tree),
 #   2. builds everything plus the lint_headers self-containment target,
 #   3. runs the full ctest suite, which includes the `lint` entry
-#      (tools/lint.py) and, under asan, the sanitizer-instrumented tests.
+#      (tools/lint.py), the `validate_trace` observability gate
+#      (tools/validate_trace.py), and, under asan, the
+#      sanitizer-instrumented tests.
 #
 # The tsan preset is narrower: it builds only the test binaries that host
-# the parallel experiment harness and runs the thread-pool and parallel
-# determinism suites under ThreadSanitizer (the data-race gate for
-# core/thread_pool and exp/table_runner).
+# the parallel experiment harness and runs the thread-pool, parallel
+# determinism, and metrics-registry concurrency suites under
+# ThreadSanitizer (the data-race gate for core/thread_pool,
+# exp/table_runner, and obs/metrics).
 #
 # Usage: ./ci.sh [preset ...]     (default: dev asan tsan)
 set -euo pipefail
@@ -29,13 +32,14 @@ for preset in "${PRESETS[@]}"; do
 
   if [ "$preset" = tsan ]; then
     echo "==== [$preset] build (parallel suites) ===="
-    cmake --build --preset "$preset" -j "$JOBS" --target test_core test_integration
+    cmake --build --preset "$preset" -j "$JOBS" --target test_core test_integration test_obs
 
-    echo "==== [$preset] ctest (ThreadPool + ParallelDeterminism) ===="
+    echo "==== [$preset] ctest (ThreadPool + ParallelDeterminism + MetricsRegistry) ===="
     # MTS_THREADS=4 forces real concurrency even on small CI hosts, so TSan
-    # actually sees the threads it is supposed to check.
+    # actually sees the threads it is supposed to check.  ConcurrentRecording
+    # is the obs/metrics sharded-registry race gate.
     MTS_THREADS=4 ctest --preset "$preset" -j "$JOBS" \
-      -R 'ThreadPool|ParallelDeterminism'
+      -R 'ThreadPool|ParallelDeterminism|ConcurrentRecording'
     continue
   fi
 
@@ -47,6 +51,15 @@ for preset in "${PRESETS[@]}"; do
 
   echo "==== [$preset] ctest ===="
   ctest --preset "$preset" -j "$JOBS"
+
+  if [ "$preset" = dev ]; then
+    # Explicit observability gate: a small MTS_TRACE=1 bench run whose
+    # Chrome trace must validate against tools/trace_schema.json (the
+    # entry also runs inside the full ctest sweep above; calling it out
+    # here keeps the failure mode obvious when only this gate breaks).
+    echo "==== [$preset] validate_trace (MTS_TRACE=1 bench) ===="
+    ctest --preset "$preset" -R '^validate_trace$' --output-on-failure
+  fi
 done
 
 echo "ci: all presets green (${PRESETS[*]})"

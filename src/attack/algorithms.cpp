@@ -10,6 +10,7 @@
 #include "core/rng.hpp"
 #include "core/timer.hpp"
 #include "graph/eigen.hpp"
+#include "obs/phase.hpp"
 
 namespace mts::attack {
 
@@ -71,6 +72,17 @@ AttackResult finish(Context& ctx, AttackStatus status, std::vector<EdgeId> remov
     status = AttackStatus::BudgetExceeded;
   }
   result.status = status;
+
+  static const obs::CounterId kRuns = obs::MetricsRegistry::instance().counter("attack.runs");
+  static const obs::CounterId kRounds = obs::MetricsRegistry::instance().counter("attack.rounds");
+  static const obs::CounterId kOracleCalls =
+      obs::MetricsRegistry::instance().counter("attack.oracle_calls");
+  static const obs::CounterId kEdgesRemoved =
+      obs::MetricsRegistry::instance().counter("attack.edges_removed");
+  obs::add(kRuns);
+  obs::add(kRounds, result.iterations);
+  obs::add(kOracleCalls, result.oracle_calls);
+  obs::add(kEdgesRemoved, result.removed_edges.size());
   return result;
 }
 
@@ -131,6 +143,10 @@ AttackResult run_greedy_eig(Context& ctx, const AttackOptions& options) {
 // ---- PathCover (greedy set cover and LP relaxation) -------------------------
 
 AttackResult run_path_cover(Context& ctx, const AttackOptions& options, bool use_lp) {
+  static const obs::CounterId kConstraints =
+      obs::MetricsRegistry::instance().counter("attack.constraints_generated");
+  static const obs::CounterId kForced =
+      obs::MetricsRegistry::instance().counter("attack.forced_edges");
   Rng rng(options.rng_seed);
   const double eps = ctx.oracle.tie_epsilon();
   const double len_star = ctx.oracle.p_star_length();
@@ -141,7 +157,10 @@ AttackResult run_path_cover(Context& ctx, const AttackOptions& options, bool use
   for (const Path& p : ctx.problem.seed_paths) {
     if (p.edges == ctx.problem.p_star.edges) continue;
     if (path_length(p.edges, ctx.problem.weights) > len_star + eps) continue;
-    if (signatures.insert(path_signature(p)).second) constraints.push_back(p);
+    if (signatures.insert(path_signature(p)).second) {
+      constraints.push_back(p);
+      obs::add(kConstraints);
+    }
   }
 
   // Edges the cut must always include (progress guarantee on duplicate
@@ -213,6 +232,7 @@ AttackResult run_path_cover(Context& ctx, const AttackOptions& options, bool use
     }
     if (signatures.insert(path_signature(*violating)).second) {
       constraints.push_back(*violating);
+      obs::add(kConstraints);
     } else {
       // Tolerance-boundary duplicate: permanently cut its cheapest
       // removable edge so the next iteration strictly progresses.
@@ -232,6 +252,7 @@ AttackResult run_path_cover(Context& ctx, const AttackOptions& options, bool use
       }
       forced.push_back(cheapest);
       forced_set.insert(cheapest.value());
+      obs::add(kForced);
     }
   }
   AttackResult result =
@@ -255,6 +276,7 @@ AttackResult run_attack(Algorithm algorithm, const ForcePathCutProblem& problem,
     require(problem.costs[e.value()] >= 0.0, "run_attack: negative cost");
   }
 
+  obs::ScopedPhase phase("attack");
   Stopwatch stopwatch;
   Context ctx(problem);
   AttackResult result;
@@ -264,7 +286,7 @@ AttackResult run_attack(Algorithm algorithm, const ForcePathCutProblem& problem,
     case Algorithm::GreedyPathCover: result = run_path_cover(ctx, options, false); break;
     case Algorithm::LpPathCover: result = run_path_cover(ctx, options, true); break;
   }
-  result.seconds = stopwatch.seconds();
+  result.seconds = stopwatch.reported();
   return result;
 }
 

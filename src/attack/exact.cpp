@@ -57,7 +57,7 @@ ExactAttackResult run_exact_attack(const ForcePathCutProblem& problem,
     result.proven_optimal = status == AttackStatus::Success && all_proven;
     result.oracle_calls = oracle.calls();
     result.iterations = iterations;
-    result.seconds = stopwatch.seconds();
+    result.seconds = stopwatch.reported();
     return result;
   };
 

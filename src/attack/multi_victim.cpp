@@ -76,7 +76,7 @@ MultiVictimResult run_multi_victim_attack(const MultiVictimProblem& problem,
     }
     result.status = status;
     result.iterations = iterations;
-    result.seconds = stopwatch.seconds();
+    result.seconds = stopwatch.reported();
     return result;
   };
 

@@ -5,8 +5,30 @@
 #include "core/error.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/yen.hpp"
+#include "obs/phase.hpp"
 
 namespace mts::attack {
+
+namespace {
+
+struct OracleCounters {
+  obs::CounterId calls;
+  obs::CounterId violations;
+  obs::CounterId ties;
+  obs::CounterId exclusive;
+
+  static const OracleCounters& get() {
+    static const OracleCounters counters{
+        obs::MetricsRegistry::instance().counter("oracle.calls"),
+        obs::MetricsRegistry::instance().counter("oracle.violations"),
+        obs::MetricsRegistry::instance().counter("oracle.tie_certifications"),
+        obs::MetricsRegistry::instance().counter("oracle.exclusive"),
+    };
+    return counters;
+  }
+};
+
+}  // namespace
 
 ExclusivityOracle::ExclusivityOracle(const ForcePathCutProblem& problem) : problem_(problem) {
   require(problem.graph != nullptr, "oracle: null graph");
@@ -22,6 +44,8 @@ double ExclusivityOracle::tie_epsilon() const {
 
 std::optional<Path> ExclusivityOracle::find_violating_path(const EdgeFilter& filter) const {
   ++calls_;
+  obs::ScopedPhase phase("oracle");
+  obs::add(OracleCounters::get().calls);
   const auto& g = *problem_.graph;
   const double eps = tie_epsilon();
 
@@ -32,15 +56,26 @@ std::optional<Path> ExclusivityOracle::find_violating_path(const EdgeFilter& fil
   require(sp->length <= p_star_length_ + eps,
           "oracle: shortest path longer than p* (inconsistent weights)");
 
-  if (sp->length < p_star_length_ - eps) return sp;  // strictly better path
+  if (sp->length < p_star_length_ - eps) {
+    obs::add(OracleCounters::get().violations);
+    return sp;  // strictly better path
+  }
 
   // Tied region: the shortest path length equals len(p*).
-  if (!(sp->edges == problem_.p_star.edges)) return sp;  // tied but different
+  if (!(sp->edges == problem_.p_star.edges)) {
+    obs::add(OracleCounters::get().violations);
+    return sp;  // tied but different
+  }
 
   // Dijkstra returned p* itself; certify no *other* path ties it.
+  obs::add(OracleCounters::get().ties);
   auto second = second_shortest_path(g, problem_.weights, problem_.source, problem_.target,
                                      problem_.p_star, &filter);
-  if (second && second->length <= p_star_length_ + eps) return second;
+  if (second && second->length <= p_star_length_ + eps) {
+    obs::add(OracleCounters::get().violations);
+    return second;
+  }
+  obs::add(OracleCounters::get().exclusive);
   return std::nullopt;
 }
 

@@ -12,8 +12,10 @@
 #include "citygen/generate.hpp"
 #include "core/error.hpp"
 #include "core/table.hpp"
+#include "exp/json_report.hpp"
 #include "exp/scenario.hpp"
 #include "graph/metrics.hpp"
+#include "obs/metrics.hpp"
 #include "osm/xml.hpp"
 #include "viz/geojson.hpp"
 #include "viz/svg.hpp"
@@ -133,6 +135,10 @@ int cmd_info(const Flags& flags, std::ostream& out) {
 }
 
 int cmd_attack(const Flags& flags, std::ostream& out, std::ostream& err) {
+  // Enable tracing before any instrumented work runs so the dump below
+  // covers scenario sampling and the attack itself.
+  const std::string trace_base = flags.get("trace", "");
+  if (!trace_base.empty()) obs::set_trace_enabled(true);
   const auto network = load_network(flags);
   const auto weights = attack::make_weights(network, parse_weight(flags.get("weight", "time")));
   const auto costs = attack::make_costs(network, parse_cost(flags.get("cost", "uniform")));
@@ -170,6 +176,10 @@ int cmd_attack(const Flags& flags, std::ostream& out, std::ostream& err) {
   for (EdgeId e : result.removed_edges) {
     const auto& name = network.segment_name(e);
     out << "  - block " << (name.empty() ? "(unnamed road)" : name) << "\n";
+  }
+  if (!trace_base.empty()) {
+    exp::save_observability(trace_base);
+    out << "wrote " << trace_base << "_metrics.json and " << trace_base << "_trace.json\n";
   }
   if (result.status != attack::AttackStatus::Success) return 1;
 
@@ -244,6 +254,7 @@ std::string usage() {
          "  info       --osm FILE.osm\n"
          "  attack     --osm FILE.osm [--hospital NAME] [--algorithm ALG] [--weight W]\n"
          "             [--cost C] [--rank K] [--seed N] [--budget B] [--svg F] [--geojson F]\n"
+         "             [--trace BASE]  (writes BASE_metrics.json + BASE_trace.json)\n"
          "  isolate    --osm FILE.osm [--hospital NAME] [--radius M] [--cost C]\n"
          "  interdict  --osm FILE.osm [--hospital NAME] [--budget B] [--weight W] [--cost C]\n"
          "  help\n";

@@ -1,6 +1,11 @@
 #include "core/env.hpp"
 
 #include <cstdlib>
+#include <iostream>
+
+#include "core/thread_pool.hpp"
+#include "core/timer.hpp"
+#include "obs/metrics.hpp"
 
 namespace mts {
 
@@ -31,6 +36,19 @@ BenchEnv BenchEnv::from_environment() {
   env.threads = static_cast<int>(env_int("MTS_THREADS", env.threads));
   env.timing = env_int("MTS_TIMING", env.timing ? 1 : 0) != 0;
   return env;
+}
+
+void BenchEnv::print_run_header(const std::string& binary_name) const {
+  const auto resolution = thread_resolution();
+  std::cerr << "[run] " << binary_name << ": scale=" << scale << " trials=" << trials
+            << " seed=" << seed << " path_rank=" << path_rank
+            << " threads=" << resolution.effective << " (requested "
+            << (resolution.requested == 0 ? std::string("auto")
+                                          : std::to_string(resolution.requested))
+            << ", effective " << resolution.effective << ")"
+            << " timing=" << (timing_enabled() ? 1 : 0)
+            << " metrics=" << (obs::metrics_enabled() ? 1 : 0)
+            << " trace=" << (obs::trace_enabled() ? 1 : 0) << '\n';
 }
 
 }  // namespace mts

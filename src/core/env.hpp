@@ -11,6 +11,11 @@
 // MTS_TIMING    1 (default) = report wall-clock runtimes; 0 = report zeros,
 //               making every table/JSON byte-identical across runs and
 //               thread counts (used by the determinism tests and CI)
+// MTS_METRICS   1 = record counters/histograms/phase rollups and write
+//               <artifact>_metrics.json next to each bench artifact
+//               (default 0: near-zero overhead, no extra files)
+// MTS_TRACE     1 = additionally buffer per-phase trace events and write a
+//               Chrome trace_event JSON (implies MTS_METRICS=1)
 #pragma once
 
 #include <cstdint>
@@ -35,6 +40,12 @@ struct BenchEnv {
   bool timing = true;  // false = zero out reported wall-clock values
 
   static BenchEnv from_environment();
+
+  /// Prints a one-line run header to stderr: the binary name, every knob,
+  /// and the requested-vs-effective thread resolution.  stderr on purpose —
+  /// stdout tables and saved artifacts must stay byte-identical across
+  /// thread counts and observability settings.
+  void print_run_header(const std::string& binary_name) const;
 };
 
 }  // namespace mts

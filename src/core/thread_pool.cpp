@@ -5,6 +5,8 @@
 
 #include "core/env.hpp"
 #include "core/error.hpp"
+#include "core/timer.hpp"
+#include "obs/metrics.hpp"
 
 namespace mts {
 
@@ -19,6 +21,18 @@ struct TaskScope {
   TaskScope() { t_in_parallel_task = true; }
   ~TaskScope() { t_in_parallel_task = false; }
 };
+
+obs::CounterId calls_counter() {
+  static const obs::CounterId id =
+      obs::MetricsRegistry::instance().counter("pool.parallel_for_calls");
+  return id;
+}
+
+obs::CounterId tasks_counter() {
+  static const obs::CounterId id =
+      obs::MetricsRegistry::instance().counter("pool.tasks_executed");
+  return id;
+}
 
 }  // namespace
 
@@ -53,6 +67,13 @@ void ThreadPool::worker_loop() {
       job = job_;
       ++job->remaining_workers;  // registered: the caller waits for us
     }
+    if (job->submit_s > 0.0) {
+      static const obs::HistogramId kQueueWait =
+          obs::MetricsRegistry::instance().histogram("pool.queue_wait_s");
+      const double wait_s =
+          obs::MetricsRegistry::instance().seconds_since_epoch() - job->submit_s;
+      obs::observe(kQueueWait, reported_seconds(wait_s));
+    }
     run_job(*job);
     {
       std::lock_guard lock(mutex_);
@@ -63,29 +84,34 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::run_job(Job& job) {
   TaskScope scope;
+  std::uint64_t executed = 0;
   for (;;) {
     const std::size_t i = job.next.fetch_add(1);
-    if (i >= job.n) return;
+    if (i >= job.n) break;
     if (job.failed.load()) continue;  // drain remaining indices un-run
     try {
       (*job.fn)(i);
+      ++executed;
     } catch (...) {
       std::lock_guard lock(mutex_);
       if (!job.error) job.error = std::current_exception();
       job.failed.store(true);
     }
   }
+  obs::add(tasks_counter(), executed);
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   require(!t_in_parallel_task,
           "ThreadPool::parallel_for: nested use from inside a parallel task");
   if (n == 0) return;
+  obs::add(calls_counter());
   if (workers_.empty() || n == 1) {
     // Serial fast path: no synchronization, same index order as any
     // parallel schedule's reduction order.
     TaskScope scope;
     for (std::size_t i = 0; i < n; ++i) fn(i);
+    obs::add(tasks_counter(), n);
     return;
   }
 
@@ -93,6 +119,9 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   Job job;
   job.n = n;
   job.fn = &fn;
+  if (obs::metrics_enabled()) {
+    job.submit_s = obs::MetricsRegistry::instance().seconds_since_epoch();
+  }
   {
     std::lock_guard lock(mutex_);
     job_ = &job;
@@ -129,6 +158,19 @@ std::size_t num_threads() {
 
 void set_num_threads(std::size_t n) { g_thread_override.store(n); }
 
+ThreadResolution thread_resolution() {
+  ThreadResolution resolution;
+  const std::size_t override_count = g_thread_override.load();
+  if (override_count != 0) {
+    resolution.requested = override_count;
+  } else {
+    const std::int64_t env = env_int("MTS_THREADS", 0);
+    if (env > 0) resolution.requested = static_cast<std::size_t>(env);
+  }
+  resolution.effective = num_threads();
+  return resolution;
+}
+
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   const std::size_t threads = num_threads();
   if (threads <= 1 || n <= 1) {
@@ -136,6 +178,8 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
             "parallel_for: nested use from inside a parallel task");
     TaskScope scope;
     for (std::size_t i = 0; i < n; ++i) fn(i);
+    obs::add(calls_counter());
+    obs::add(tasks_counter(), n);
     return;
   }
   ThreadPool* pool = nullptr;

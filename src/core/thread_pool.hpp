@@ -52,6 +52,7 @@ class ThreadPool {
   struct Job {
     std::size_t n = 0;
     const std::function<void(std::size_t)>* fn = nullptr;
+    double submit_s = 0.0;  // metrics epoch timestamp; 0 when metrics are off
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};    // set once error is captured
     std::size_t remaining_workers = 0;  // guarded by mutex_
@@ -74,6 +75,16 @@ class ThreadPool {
 /// Thread count the global pool will use: the set_num_threads() override if
 /// set, else MTS_THREADS, else hardware concurrency (min 1).
 std::size_t num_threads();
+
+/// How the global thread count was resolved.  `requested` is the explicit
+/// ask — the set_num_threads() override if set, else a positive MTS_THREADS
+/// value, else 0 (nothing requested).  `effective` is what parallel_for
+/// will actually use (falls back to hardware concurrency).
+struct ThreadResolution {
+  std::size_t requested = 0;
+  std::size_t effective = 1;
+};
+ThreadResolution thread_resolution();
 
 /// Overrides the global thread count (0 = back to MTS_THREADS/hardware).
 /// Takes effect on the next global parallel_for; not thread-safe against

@@ -1,9 +1,52 @@
-// Wall-clock stopwatch for algorithm timing.
+// Wall-clock measurement and the single gate all reported durations pass
+// through.
+//
+// MTS_TIMING=0 makes every *reported* duration zero — table runtime
+// columns, JSON runtime stats, and the obs phase/trace output — so
+// experiment output is byte-reproducible across runs and thread counts.
+// To keep that guarantee airtight, raw clock reads are confined to this
+// header and src/obs/ (enforced by the tools/lint.py `no-raw-clock` rule);
+// everything that lands in output goes through reported_seconds().
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 
 namespace mts {
+
+namespace detail {
+/// -1 = decide from MTS_TIMING on first query; 0/1 = forced by
+/// set_timing_enabled (tests).
+inline std::atomic<int> g_timing_override{-1};
+
+inline bool timing_enabled_from_env() {
+  static const bool enabled = [] {
+    const char* raw = std::getenv("MTS_TIMING");
+    return raw == nullptr || *raw == '\0' || !(raw[0] == '0' && raw[1] == '\0');
+  }();
+  return enabled;
+}
+}  // namespace detail
+
+/// True unless MTS_TIMING=0 (or set_timing_enabled(false)): reported
+/// durations carry real wall-clock values.
+inline bool timing_enabled() {
+  const int forced = detail::g_timing_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  return detail::timing_enabled_from_env();
+}
+
+/// Programmatic override; wins over the environment until process exit.
+inline void set_timing_enabled(bool on) {
+  detail::g_timing_override.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+/// The one duration gate: every wall-clock value that reaches any output
+/// path (tables, JSON, metrics, traces) must be wrapped in this.
+inline double reported_seconds(double raw_seconds) {
+  return timing_enabled() ? raw_seconds : 0.0;
+}
 
 /// Measures elapsed wall time; starts on construction.
 class Stopwatch {
@@ -12,10 +55,14 @@ class Stopwatch {
 
   void restart() { start_ = clock::now(); }
 
-  /// Elapsed seconds since construction or last restart().
+  /// Elapsed seconds since construction or last restart().  Raw: use only
+  /// for internal decisions; wrap in reported_seconds() before output.
   [[nodiscard]] double seconds() const {
     return std::chrono::duration<double>(clock::now() - start_).count();
   }
+
+  /// Elapsed seconds as they may appear in output (0 when MTS_TIMING=0).
+  [[nodiscard]] double reported() const { return reported_seconds(seconds()); }
 
  private:
   using clock = std::chrono::steady_clock;

@@ -6,6 +6,10 @@
 #include <sstream>
 
 #include "core/error.hpp"
+#include "core/thread_pool.hpp"
+#include "core/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mts::exp {
 
@@ -66,6 +70,21 @@ void save_json(const CityTableResult& result, const std::string& path) {
   std::ofstream out(p);
   require(out.good(), "save_json: cannot open " + path);
   out << to_json(result);
+}
+
+void save_observability(const std::string& base_path) {
+  if (!obs::metrics_enabled()) return;
+  const auto resolution = thread_resolution();
+  obs::RunInfo run;
+  run.threads_requested = resolution.requested;
+  run.threads_effective = resolution.effective;
+  run.timing = timing_enabled();
+  obs::save_metrics_json(obs::MetricsRegistry::instance().snapshot(), run,
+                         base_path + "_metrics.json");
+  if (obs::trace_enabled()) {
+    obs::save_chrome_trace(obs::MetricsRegistry::instance().trace_events(),
+                           base_path + "_trace.json");
+  }
 }
 
 }  // namespace mts::exp

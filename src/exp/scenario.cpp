@@ -5,6 +5,7 @@
 #include "core/timer.hpp"
 #include "graph/metrics.hpp"
 #include "graph/yen.hpp"
+#include "obs/phase.hpp"
 
 namespace mts::exp {
 
@@ -46,7 +47,7 @@ std::optional<Scenario> sample_scenario(const osm::RoadNetwork& network,
     scenario.shortest_length = scenario.prefix.empty() ? scenario.p_star.length
                                                        : scenario.prefix.front().length;
     scenario.p_star_length = scenario.p_star.length;
-    scenario.yen_seconds = stopwatch.seconds();
+    scenario.yen_seconds = stopwatch.reported();
     return scenario;
   }
   return std::nullopt;
@@ -63,6 +64,9 @@ std::vector<Scenario> sample_scenarios(const osm::RoadNetwork& network,
   // harvest below makes the result independent of the thread count.
   std::vector<std::optional<Scenario>> slots(static_cast<std::size_t>(count));
   parallel_for(slots.size(), [&](std::size_t i) {
+    // Root phase: attribution is the same whether this trial runs on a pool
+    // worker or inline on the calling thread.
+    obs::ScopedPhase phase("scenario", obs::PhaseKind::Root);
     Rng trial_rng(derive_seed(seed, {i}));
     slots[i] = sample_scenario(network, weights, i % hospitals, trial_rng, options);
   });

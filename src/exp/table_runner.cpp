@@ -7,6 +7,7 @@
 #include "core/error.hpp"
 #include "core/thread_pool.hpp"
 #include "graph/yen.hpp"
+#include "obs/phase.hpp"
 
 namespace mts::exp {
 
@@ -84,6 +85,11 @@ CityTableResult run_city_table_on(const osm::RoadNetwork& network,
   const std::size_t tasks_per_scenario = kNumCostTypes * kNumAlgorithms;
   std::vector<TaskOutcome> outcomes(scenarios.size() * tasks_per_scenario);
   parallel_for(outcomes.size(), [&](std::size_t t) {
+    // Root phase: attribution is the same whether this cell runs on a pool
+    // worker or inline on the calling thread.
+    obs::ScopedPhase phase("cell", obs::PhaseKind::Root);
+    static const obs::CounterId kCells = obs::MetricsRegistry::instance().counter("exp.cells_run");
+    obs::add(kCells);
     const std::size_t si = t / tasks_per_scenario;
     const std::size_t ci = (t % tasks_per_scenario) / kNumAlgorithms;
     const std::size_t ai = t % kNumAlgorithms;

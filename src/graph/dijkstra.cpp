@@ -5,6 +5,7 @@
 
 #include "core/check.hpp"
 #include "core/error.hpp"
+#include "obs/phase.hpp"
 
 namespace mts {
 
@@ -25,6 +26,10 @@ ShortestPathTree dijkstra(const DiGraph& g, std::span<const double> weights, Nod
   require(g.finalized(), "dijkstra: graph not finalized");
   require(weights.size() == g.num_edges(), "dijkstra: weight vector size mismatch");
   require(source.value() < g.num_nodes(), "dijkstra: source out of range");
+
+  obs::ScopedPhase phase("dijkstra");
+  std::uint64_t settled_count = 0;
+  std::uint64_t edges_scanned = 0;
 
   ShortestPathTree tree;
   tree.dist.assign(g.num_nodes(), kInfiniteDistance);
@@ -47,9 +52,11 @@ ShortestPathTree dijkstra(const DiGraph& g, std::span<const double> weights, Nod
     queue.pop();
     if (settled[node.value()]) continue;  // lazy deletion
     settled[node.value()] = 1;
+    ++settled_count;
     if (node == options.target) break;
 
     for (EdgeId e : g.out_edges(node)) {
+      ++edges_scanned;
       if (!edge_alive(options.filter, e)) continue;
       const NodeId head = g.edge_to(e);
       if (settled[head.value()]) continue;
@@ -65,6 +72,15 @@ ShortestPathTree dijkstra(const DiGraph& g, std::span<const double> weights, Nod
       }
     }
   }
+
+  static const obs::CounterId kRuns = obs::MetricsRegistry::instance().counter("dijkstra.runs");
+  static const obs::CounterId kSettled =
+      obs::MetricsRegistry::instance().counter("dijkstra.nodes_settled");
+  static const obs::CounterId kScanned =
+      obs::MetricsRegistry::instance().counter("dijkstra.edges_scanned");
+  obs::add(kRuns);
+  obs::add(kSettled, settled_count);
+  obs::add(kScanned, edges_scanned);
   return tree;
 }
 

@@ -6,6 +6,7 @@
 
 #include "core/check.hpp"
 #include "core/error.hpp"
+#include "obs/phase.hpp"
 
 namespace mts {
 
@@ -37,6 +38,7 @@ class CandidateHeap {
   void push(Candidate candidate) {
     heap_.push_back(std::move(candidate));
     std::push_heap(heap_.begin(), heap_.end(), candidate_after);
+    ++pushed_;
   }
 
   /// Removes and returns the shortest (tie-broken) candidate's path.
@@ -45,11 +47,38 @@ class CandidateHeap {
     std::pop_heap(heap_.begin(), heap_.end(), candidate_after);
     Path path = std::move(heap_.back().path);
     heap_.pop_back();
+    ++popped_;
     return path;
   }
 
+  [[nodiscard]] std::uint64_t pushed() const { return pushed_; }
+  [[nodiscard]] std::uint64_t popped() const { return popped_; }
+
  private:
   std::vector<Candidate> heap_;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t popped_ = 0;
+};
+
+/// Flushes one Yen query's counters into the registry on scope exit (the
+/// query has several return paths).
+struct YenCounterFlush {
+  const CandidateHeap& heap;
+  const std::size_t& spur_searches;
+
+  ~YenCounterFlush() {
+    static const obs::CounterId kQueries = obs::MetricsRegistry::instance().counter("yen.queries");
+    static const obs::CounterId kSpurs =
+        obs::MetricsRegistry::instance().counter("yen.spur_searches");
+    static const obs::CounterId kPushed =
+        obs::MetricsRegistry::instance().counter("yen.candidates_pushed");
+    static const obs::CounterId kPopped =
+        obs::MetricsRegistry::instance().counter("yen.candidates_popped");
+    obs::add(kQueries);
+    obs::add(kSpurs, spur_searches);
+    obs::add(kPushed, heap.pushed());
+    obs::add(kPopped, heap.popped());
+  }
 };
 
 /// Shared state for Yen spur expansions: a scratch edge filter seeded from
@@ -141,6 +170,7 @@ std::vector<Path> yen_ksp(const DiGraph& g, std::span<const double> weights, Nod
   if (k == 0) return accepted;
   require(source != target, "yen_ksp: source == target (only the empty path exists)");
 
+  obs::ScopedPhase phase("yen");
   auto first = shortest_path(g, weights, source, target, options.filter);
   if (!first) return accepted;
   accepted.push_back(std::move(*first));
@@ -151,6 +181,7 @@ std::vector<Path> yen_ksp(const DiGraph& g, std::span<const double> weights, Nod
   seen.insert(path_signature(accepted.front()));
 
   std::size_t total_searches = 0;
+  YenCounterFlush flush{candidates, total_searches};
   while (accepted.size() < k) {
     total_searches += searcher.expand(accepted.back(), accepted, candidates, seen);
     if (candidates.empty()) break;
@@ -169,12 +200,15 @@ std::optional<Path> second_shortest_path(const DiGraph& g, std::span<const doubl
   require(!avoid.empty(), "second_shortest_path: avoid path is empty");
   require(g.edge_from(avoid.edges.front()) == source,
           "second_shortest_path: avoid path does not start at source");
+  obs::ScopedPhase phase("yen");
   SpurSearcher searcher(g, weights, target, filter);
   CandidateHeap candidates;
   std::unordered_set<std::uint64_t> seen;
   seen.insert(path_signature(avoid));
   const std::vector<Path> accepted = {avoid};
-  searcher.expand(avoid, accepted, candidates, seen);
+  std::size_t searches = 0;
+  YenCounterFlush flush{candidates, searches};
+  searches = searcher.expand(avoid, accepted, candidates, seen);
   if (candidates.empty()) return std::nullopt;
   return candidates.pop();
 }

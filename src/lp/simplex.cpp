@@ -7,6 +7,7 @@
 
 #include "core/check.hpp"
 #include "core/error.hpp"
+#include "obs/phase.hpp"
 
 namespace mts {
 
@@ -118,9 +119,10 @@ bool invariant_checks_enabled(const LpOptions& options) {
 
 /// Runs simplex iterations on `t` until optimality.  `allowed[c]` masks
 /// columns permitted to enter the basis.  `basis[r]` tracks basic columns.
+/// `degenerate` accumulates the number of zero-progress (stalled) pivots.
 PhaseOutcome run_phase(Tableau& t, std::vector<std::size_t>& basis,
                        const std::vector<std::uint8_t>& allowed, const LpOptions& options,
-                       std::size_t& iterations) {
+                       std::size_t& iterations, std::size_t& degenerate) {
   const bool validate = invariant_checks_enabled(options);
   std::size_t stalls = 0;
   while (true) {
@@ -161,6 +163,7 @@ PhaseOutcome run_phase(Tableau& t, std::vector<std::size_t>& basis,
 
     if (best_ratio < options.tolerance) {
       ++stalls;
+      ++degenerate;
     } else {
       stalls = 0;
     }
@@ -174,8 +177,39 @@ PhaseOutcome run_phase(Tableau& t, std::vector<std::size_t>& basis,
 
 }  // namespace
 
+namespace {
+
+/// Flushes one solve's counters on every return path.
+struct LpCounterFlush {
+  const std::size_t& iterations;
+  const std::size_t& degenerate;
+  bool phase1 = false;
+
+  ~LpCounterFlush() {
+    static const obs::CounterId kSolves = obs::MetricsRegistry::instance().counter("lp.solves");
+    static const obs::CounterId kPivots = obs::MetricsRegistry::instance().counter("lp.pivots");
+    static const obs::CounterId kDegenerate =
+        obs::MetricsRegistry::instance().counter("lp.degenerate_pivots");
+    static const obs::CounterId kBuilds =
+        obs::MetricsRegistry::instance().counter("lp.tableau_builds");
+    static const obs::CounterId kPhase1 =
+        obs::MetricsRegistry::instance().counter("lp.phase1_solves");
+    static const obs::HistogramId kIterations =
+        obs::MetricsRegistry::instance().histogram("lp.iterations_per_solve");
+    obs::add(kSolves);
+    obs::add(kPivots, iterations);
+    obs::add(kDegenerate, degenerate);
+    obs::add(kBuilds);
+    if (phase1) obs::add(kPhase1);
+    obs::observe(kIterations, static_cast<double>(iterations));
+  }
+};
+
+}  // namespace
+
 LpResult solve_lp(const LpProblem& problem, const LpOptions& options) {
   require(problem.objective.size() == problem.num_vars, "solve_lp: objective size mismatch");
+  obs::ScopedPhase phase("lp");
   const std::size_t n = problem.num_vars;
   const std::size_t m = problem.constraints.size();
 
@@ -238,10 +272,13 @@ LpResult solve_lp(const LpProblem& problem, const LpOptions& options) {
 
   LpResult result;
   std::size_t iterations = 0;
+  std::size_t degenerate = 0;
+  LpCounterFlush flush{iterations, degenerate};
   if (invariant_checks_enabled(options)) tableau.check_invariants(basis);
 
   // ---- Phase 1: minimize sum of artificials.
   if (num_artificial > 0) {
+    flush.phase1 = true;
     for (std::size_t c = 0; c < total_cols; ++c) {
       tableau.obj()[c] = is_artificial[c] ? 1.0 : 0.0;
     }
@@ -253,7 +290,7 @@ LpResult solve_lp(const LpProblem& problem, const LpOptions& options) {
       tableau.obj_value() -= tableau.rhs()[r];
     }
     std::vector<std::uint8_t> allowed(total_cols, 1);
-    const auto outcome = run_phase(tableau, basis, allowed, options, iterations);
+    const auto outcome = run_phase(tableau, basis, allowed, options, iterations, degenerate);
     result.iterations = iterations;
     if (outcome == PhaseOutcome::IterationLimit) {
       result.status = LpStatus::IterationLimit;
@@ -296,7 +333,7 @@ LpResult solve_lp(const LpProblem& problem, const LpOptions& options) {
   for (std::size_t c = 0; c < total_cols; ++c) {
     if (is_artificial[c]) allowed[c] = 0;
   }
-  const auto outcome = run_phase(tableau, basis, allowed, options, iterations);
+  const auto outcome = run_phase(tableau, basis, allowed, options, iterations, degenerate);
   result.iterations = iterations;
   switch (outcome) {
     case PhaseOutcome::IterationLimit: result.status = LpStatus::IterationLimit; return result;

@@ -1,0 +1,85 @@
+// RAII phase timer: builds the hierarchical per-phase wall-clock breakdown
+// and (under MTS_TRACE=1) the Chrome trace event stream.
+//
+// Each thread keeps a '/'-joined stack of active phase names; a scope's
+// rollup key is its full path ("cell/attack/oracle/dijkstra"), so the
+// snapshot shows where time goes at every nesting level.  Scopes opened on
+// pool worker threads would start at a different root than the same work
+// inlined on the calling thread, so task-granularity scopes use
+// PhaseKind::Root to reset the path: attribution then never depends on
+// which thread a task landed on.
+//
+// Durations pass through mts::reported_seconds(), so MTS_TIMING=0 zeroes
+// every phase/trace duration while scope counts stay exact.  Destruction
+// during exception unwind records the phase like any other exit.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/timer.hpp"
+#include "obs/metrics.hpp"
+
+namespace mts::obs {
+
+enum class PhaseKind {
+  Nested,  // child of whatever phase is active on this thread
+  Root,    // new logical root (task boundary): ignores the current stack
+};
+
+namespace detail {
+/// Current '/'-joined phase path of this thread (grown/truncated in place;
+/// no allocation in steady state).
+inline thread_local std::string t_phase_path;
+}  // namespace detail
+
+class ScopedPhase {
+ public:
+  /// `name` must outlive the scope (string literals at call sites).
+  explicit ScopedPhase(const char* name, PhaseKind kind = PhaseKind::Nested) {
+    if (!metrics_enabled()) return;
+    active_ = true;
+    name_ = name;
+    auto& path = detail::t_phase_path;
+    if (kind == PhaseKind::Root) {
+      saved_path_ = path;
+      path.assign(name);
+      rooted_ = true;
+    } else {
+      restore_size_ = path.size();
+      if (!path.empty()) path.push_back('/');
+      path.append(name);
+    }
+    start_s_ = MetricsRegistry::instance().seconds_since_epoch();
+  }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  ~ScopedPhase() {
+    if (!active_) return;
+    auto& registry = MetricsRegistry::instance();
+    const double end_s = registry.seconds_since_epoch();
+    const double dur_s = reported_seconds(end_s - start_s_);
+    auto& path = detail::t_phase_path;
+    registry.record_phase(path, dur_s);
+    if (trace_enabled()) {
+      registry.record_trace_event(name_, reported_seconds(start_s_), dur_s);
+    }
+    if (rooted_) {
+      path = saved_path_;
+    } else {
+      path.resize(restore_size_);
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;
+  std::string saved_path_;       // PhaseKind::Root only
+  std::size_t restore_size_ = 0;  // PhaseKind::Nested only
+  double start_s_ = 0.0;
+  bool active_ = false;
+  bool rooted_ = false;
+};
+
+}  // namespace mts::obs

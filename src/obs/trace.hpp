@@ -1,0 +1,41 @@
+// Export: flat metrics.json and Chrome trace JSON.
+//
+// write_chrome_trace emits a `trace_event`-format document directly
+// loadable by chrome://tracing / Perfetto: one complete event ("ph":"X")
+// per phase scope, timestamps in microseconds since the registry epoch,
+// one tid per recording thread.
+//
+// write_metrics_json emits the flat machine-readable side-car the bench
+// harness stores next to each table's JSON: run attribution (thread
+// resolution, timing knob), every counter, histogram summaries with log2
+// buckets, and the hierarchical phase rollup.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mts::obs {
+
+/// Run attribution stamped into metrics.json so output files are
+/// self-describing (which knobs produced them).  Filled by the caller —
+/// obs sits below core and cannot read the thread pool itself.
+struct RunInfo {
+  std::size_t threads_requested = 0;  // 0 = auto (hardware concurrency)
+  std::size_t threads_effective = 0;
+  bool timing = true;  // mts::timing_enabled() at export time
+};
+
+void write_metrics_json(const MetricsSnapshot& snapshot, const RunInfo& run, std::ostream& out);
+void write_chrome_trace(const std::vector<TraceEvent>& events, std::ostream& out);
+
+/// Convenience file writers (create parent directories; throw on I/O
+/// failure via mts::require).
+void save_metrics_json(const MetricsSnapshot& snapshot, const RunInfo& run,
+                       const std::string& path);
+void save_chrome_trace(const std::vector<TraceEvent>& events, const std::string& path);
+
+}  // namespace mts::obs

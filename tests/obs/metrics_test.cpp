@@ -1,0 +1,174 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace mts::obs {
+namespace {
+
+/// The registry is a process-wide singleton shared by every test in this
+/// binary; each test turns recording on and resets to a clean slate.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_metrics_enabled(true);
+    MetricsRegistry::instance().reset();
+  }
+  void TearDown() override {
+    MetricsRegistry::instance().reset();
+    set_metrics_enabled(false);
+    set_trace_enabled(false);
+  }
+};
+
+const CounterSnapshot* find_counter(const MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& counter : snap.counters) {
+    if (counter.name == name) return &counter;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* find_histogram(const MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& hist : snap.histograms) {
+    if (hist.name == name) return &hist;
+  }
+  return nullptr;
+}
+
+TEST_F(MetricsTest, RegistrationIsIdempotent) {
+  auto& registry = MetricsRegistry::instance();
+  const CounterId a = registry.counter("test.idempotent");
+  const CounterId b = registry.counter("test.idempotent");
+  EXPECT_EQ(a.index, b.index);
+  const HistogramId ha = registry.histogram("test.idempotent_hist");
+  const HistogramId hb = registry.histogram("test.idempotent_hist");
+  EXPECT_EQ(ha.index, hb.index);
+}
+
+TEST_F(MetricsTest, CounterAddShowsUpInSnapshot) {
+  auto& registry = MetricsRegistry::instance();
+  const CounterId id = registry.counter("test.basic_counter");
+  add(id);
+  add(id, 41);
+  const auto snap = registry.snapshot();
+  const auto* counter = find_counter(snap, "test.basic_counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value, 42u);
+}
+
+TEST_F(MetricsTest, HistogramTracksCountSumMinMaxBuckets) {
+  auto& registry = MetricsRegistry::instance();
+  const HistogramId id = registry.histogram("test.basic_hist");
+  observe(id, 0.5);
+  observe(id, 2.0);
+  observe(id, 8.0);
+  const auto snap = registry.snapshot();
+  const auto* hist = find_histogram(snap, "test.basic_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 3u);
+  EXPECT_DOUBLE_EQ(hist->sum, 10.5);
+  EXPECT_DOUBLE_EQ(hist->min, 0.5);
+  EXPECT_DOUBLE_EQ(hist->max, 8.0);
+  ASSERT_EQ(hist->buckets.size(), kHistogramBuckets);
+  std::uint64_t bucket_total = 0;
+  for (const auto b : hist->buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, 3u);
+}
+
+TEST_F(MetricsTest, EmptyHistogramReportsZeroMinMax) {
+  auto& registry = MetricsRegistry::instance();
+  registry.histogram("test.empty_hist");
+  const auto snap = registry.snapshot();
+  const auto* hist = find_histogram(snap, "test.empty_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 0u);
+  EXPECT_DOUBLE_EQ(hist->min, 0.0);
+  EXPECT_DOUBLE_EQ(hist->max, 0.0);
+}
+
+TEST_F(MetricsTest, DisabledRecordingIsANoOp) {
+  auto& registry = MetricsRegistry::instance();
+  const CounterId id = registry.counter("test.gated_counter");
+  set_metrics_enabled(false);
+  add(id, 100);
+  set_metrics_enabled(true);
+  add(id, 1);
+  const auto snap = registry.snapshot();
+  const auto* counter = find_counter(snap, "test.gated_counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value, 1u);
+}
+
+TEST_F(MetricsTest, ResetZeroesEverything) {
+  auto& registry = MetricsRegistry::instance();
+  const CounterId id = registry.counter("test.reset_counter");
+  const HistogramId hid = registry.histogram("test.reset_hist");
+  add(id, 7);
+  observe(hid, 3.0);
+  registry.reset();
+  const auto snap = registry.snapshot();
+  const auto* counter = find_counter(snap, "test.reset_counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value, 0u);
+  const auto* hist = find_histogram(snap, "test.reset_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 0u);
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedByName) {
+  auto& registry = MetricsRegistry::instance();
+  registry.counter("test.zz");
+  registry.counter("test.aa");
+  const auto snap = registry.snapshot();
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+}
+
+// The TSan target: N threads hammer one counter and one histogram through
+// their per-thread shards while the main thread snapshots concurrently;
+// the final snapshot must equal the exact sum of all recorded work.
+TEST_F(MetricsTest, ConcurrentRecordingSumsExactly) {
+  auto& registry = MetricsRegistry::instance();
+  const CounterId id = registry.counter("test.concurrent_counter");
+  const HistogramId hid = registry.histogram("test.concurrent_hist");
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kIterations = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kIterations; ++i) {
+        add(id);
+        observe(hid, 1.0);
+      }
+    });
+  }
+  // Concurrent snapshots must be safe (values may be mid-flight but the
+  // call itself races with nothing it shouldn't).
+  for (int i = 0; i < 10; ++i) (void)registry.snapshot();
+  for (auto& thread : threads) thread.join();
+
+  const auto snap = registry.snapshot();
+  const auto* counter = find_counter(snap, "test.concurrent_counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value, kThreads * kIterations);
+  const auto* hist = find_histogram(snap, "test.concurrent_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, kThreads * kIterations);
+  EXPECT_DOUBLE_EQ(hist->sum, static_cast<double>(kThreads * kIterations));
+}
+
+TEST_F(MetricsTest, TraceImpliesMetrics) {
+  set_metrics_enabled(false);
+  set_trace_enabled(true);
+  EXPECT_TRUE(trace_enabled());
+  EXPECT_TRUE(metrics_enabled());
+}
+
+}  // namespace
+}  // namespace mts::obs

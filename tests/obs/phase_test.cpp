@@ -1,0 +1,129 @@
+#include "obs/phase.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/timer.hpp"
+
+namespace mts::obs {
+namespace {
+
+class PhaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_metrics_enabled(true);
+    MetricsRegistry::instance().reset();
+  }
+  void TearDown() override {
+    MetricsRegistry::instance().reset();
+    set_metrics_enabled(false);
+    set_trace_enabled(false);
+    set_timing_enabled(true);
+  }
+};
+
+const PhaseSnapshot* find_phase(const MetricsSnapshot& snap, const std::string& path) {
+  for (const auto& phase : snap.phases) {
+    if (phase.path == path) return &phase;
+  }
+  return nullptr;
+}
+
+TEST_F(PhaseTest, NestingBuildsSlashJoinedPaths) {
+  {
+    ScopedPhase outer("outer");
+    ScopedPhase inner("inner");
+    { ScopedPhase leaf("leaf"); }
+  }
+  const auto snap = MetricsRegistry::instance().snapshot();
+  EXPECT_NE(find_phase(snap, "outer"), nullptr);
+  EXPECT_NE(find_phase(snap, "outer/inner"), nullptr);
+  const auto* leaf = find_phase(snap, "outer/inner/leaf");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(leaf->count, 1u);
+}
+
+TEST_F(PhaseTest, RepeatedScopesAccumulateCounts) {
+  for (int i = 0; i < 5; ++i) {
+    ScopedPhase phase("repeat");
+  }
+  const auto snap = MetricsRegistry::instance().snapshot();
+  const auto* phase = find_phase(snap, "repeat");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->count, 5u);
+  EXPECT_GE(phase->seconds, 0.0);
+}
+
+TEST_F(PhaseTest, RootScopeIgnoresAndRestoresTheCurrentStack) {
+  {
+    ScopedPhase outer("outer");
+    {
+      ScopedPhase task("task", PhaseKind::Root);
+      ScopedPhase child("child");
+    }
+    // The previous path must be restored for later siblings.
+    { ScopedPhase sibling("sibling"); }
+  }
+  const auto snap = MetricsRegistry::instance().snapshot();
+  EXPECT_NE(find_phase(snap, "task"), nullptr);
+  EXPECT_NE(find_phase(snap, "task/child"), nullptr);
+  EXPECT_EQ(find_phase(snap, "outer/task"), nullptr);
+  EXPECT_NE(find_phase(snap, "outer/sibling"), nullptr);
+}
+
+TEST_F(PhaseTest, ExceptionUnwindStillRecordsAndRestores) {
+  try {
+    ScopedPhase outer("unwind_outer");
+    ScopedPhase inner("unwind_inner");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  { ScopedPhase after("after"); }
+  const auto snap = MetricsRegistry::instance().snapshot();
+  EXPECT_NE(find_phase(snap, "unwind_outer"), nullptr);
+  EXPECT_NE(find_phase(snap, "unwind_outer/unwind_inner"), nullptr);
+  // The phase stack unwound cleanly: "after" is a root-level path.
+  EXPECT_NE(find_phase(snap, "after"), nullptr);
+}
+
+TEST_F(PhaseTest, DisabledScopesRecordNothing) {
+  set_metrics_enabled(false);
+  { ScopedPhase phase("invisible"); }
+  set_metrics_enabled(true);
+  const auto snap = MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(find_phase(snap, "invisible"), nullptr);
+}
+
+TEST_F(PhaseTest, TimingOffZeroesDurationsButKeepsCounts) {
+  set_timing_enabled(false);
+  for (int i = 0; i < 3; ++i) {
+    ScopedPhase phase("timed");
+  }
+  const auto snap = MetricsRegistry::instance().snapshot();
+  const auto* phase = find_phase(snap, "timed");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->count, 3u);
+  EXPECT_EQ(phase->seconds, 0.0);
+}
+
+TEST_F(PhaseTest, TraceEventsCarryZeroedTimestampsWhenTimingOff) {
+  set_trace_enabled(true);
+  set_timing_enabled(false);
+  { ScopedPhase phase("traced"); }
+  const auto events = MetricsRegistry::instance().trace_events();
+  ASSERT_FALSE(events.empty());
+  for (const auto& event : events) {
+    EXPECT_EQ(event.ts_s, 0.0);
+    EXPECT_EQ(event.dur_s, 0.0);
+  }
+}
+
+TEST_F(PhaseTest, TraceDisabledBuffersNoEvents) {
+  { ScopedPhase phase("metrics_only"); }
+  EXPECT_TRUE(MetricsRegistry::instance().trace_events().empty());
+}
+
+}  // namespace
+}  // namespace mts::obs

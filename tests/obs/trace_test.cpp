@@ -1,0 +1,119 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/phase.hpp"
+
+namespace mts::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_trace_enabled(true);
+    MetricsRegistry::instance().reset();
+  }
+  void TearDown() override {
+    MetricsRegistry::instance().reset();
+    set_metrics_enabled(false);
+    set_trace_enabled(false);
+  }
+};
+
+/// Brace/bracket/quote balance — the same structural check the repo's
+/// json_report tests use.
+void expect_balanced_json(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char ch = json[i];
+    if (in_string) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_string = false;
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    else if (ch == '{' || ch == '[') ++depth;
+    else if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST_F(TraceTest, MetricsJsonHasRunBlockAndCatalog) {
+  auto& registry = MetricsRegistry::instance();
+  add(registry.counter("trace_test.counter"), 3);
+  observe(registry.histogram("trace_test.hist"), 2.5);
+  { ScopedPhase phase("trace_test_phase"); }
+
+  RunInfo run;
+  run.threads_requested = 2;
+  run.threads_effective = 4;
+  run.timing = false;
+  std::ostringstream out;
+  write_metrics_json(registry.snapshot(), run, out);
+  const std::string json = out.str();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"threads_requested\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"threads_effective\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"timing\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_test.counter\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_test.hist\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"path\":\"trace_test_phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_events_dropped\":0"), std::string::npos);
+}
+
+TEST_F(TraceTest, ChromeTraceEmitsCompleteEventsInMicroseconds) {
+  std::vector<TraceEvent> events;
+  events.push_back({"phase_a", 0.001, 0.002, 0});
+  events.push_back({"phase_b", 0.5, 0.25, 3});
+  std::ostringstream out;
+  write_chrome_trace(events, out);
+  const std::string json = out.str();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"phase_a\""), std::string::npos);
+  // 0.001 s -> 1000 us, 0.002 s -> 2000 us.
+  EXPECT_NE(json.find("\"ts\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2000"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ChromeTraceEscapesNames) {
+  std::vector<TraceEvent> events;
+  events.push_back({"weird\"name\\with\nstuff", 0.0, 0.0, 0});
+  std::ostringstream out;
+  write_chrome_trace(events, out);
+  const std::string json = out.str();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\nstuff"), std::string::npos);
+}
+
+TEST_F(TraceTest, ScopedPhasesProduceTraceEvents) {
+  {
+    ScopedPhase outer("outer");
+    ScopedPhase inner("inner");
+  }
+  const auto events = MetricsRegistry::instance().trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  // Scopes close inner-first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_LE(events[0].dur_s, events[1].dur_s);
+}
+
+TEST_F(TraceTest, EmptyTraceIsStillValidJson) {
+  std::ostringstream out;
+  write_chrome_trace({}, out);
+  expect_balanced_json(out.str());
+  EXPECT_EQ(out.str(), "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+}
+
+}  // namespace
+}  // namespace mts::obs

@@ -22,6 +22,10 @@ Rules (see DESIGN.md "Correctness tooling"):
                    and breaks heap/queue invariants silently; use a container
                    that supports a real move-out (e.g. a vector heap with
                    std::pop_heap, as graph/yen.cpp does)
+  no-raw-clock     no direct std::chrono clock reads outside core/timer.hpp
+                   and src/obs/ — all reported durations must flow through
+                   mts::Stopwatch/reported_seconds so MTS_TIMING=0 stays
+                   authoritative (deterministic output depends on it)
 """
 
 from __future__ import annotations
@@ -164,6 +168,23 @@ class Linter:
                             f"const_cast on .top()/.front(); pop via std::pop_heap "
                             f"on a vector instead: {line}")
 
+    def check_no_raw_clock(self) -> None:
+        # Every duration the repo reports must pass through core/timer.hpp
+        # (Stopwatch / reported_seconds) so MTS_TIMING=0 can zero it; the
+        # obs layer wraps the clock once for trace timestamps.  Anything
+        # else reading a chrono clock bypasses that gate.
+        pattern = re.compile(
+            r"\b(?:steady_clock|high_resolution_clock|system_clock)\s*::\s*now\b")
+        timer = self.root / "src" / "core" / "timer.hpp"
+        obs_dir = self.root / "src" / "obs"
+        for path in self.files(LIB_DIRS, CXX_SUFFIXES):
+            if path == timer or obs_dir in path.parents:
+                continue
+            for lineno, line in self.match_lines(strip_code(path.read_text()), pattern):
+                self.report(path, lineno, "no-raw-clock",
+                            f"raw chrono clock read; use mts::Stopwatch / "
+                            f"reported_seconds (core/timer.hpp): {line}")
+
     def check_no_using_namespace(self) -> None:
         pattern = re.compile(r"\busing\s+namespace\b")
         for path in self.files(ALL_DIRS, {".hpp"}):
@@ -184,6 +205,7 @@ class Linter:
         self.check_no_float()
         self.check_require_throws()
         self.check_no_const_cast_top()
+        self.check_no_raw_clock()
         self.check_no_using_namespace()
         for path, lineno, rule, message in self.violations:
             rel = path.relative_to(self.root)
