@@ -34,12 +34,13 @@ for preset in "${PRESETS[@]}"; do
     echo "==== [$preset] build (parallel suites) ===="
     cmake --build --preset "$preset" -j "$JOBS" --target test_core test_integration test_obs
 
-    echo "==== [$preset] ctest (ThreadPool + ParallelDeterminism + MetricsRegistry) ===="
+    echo "==== [$preset] ctest (ThreadPool + ParallelDeterminism + MetricsRegistry + SearchSpace) ===="
     # MTS_THREADS=4 forces real concurrency even on small CI hosts, so TSan
     # actually sees the threads it is supposed to check.  ConcurrentRecording
-    # is the obs/metrics sharded-registry race gate.
+    # is the obs/metrics sharded-registry race gate; SearchSpaceThreads races
+    # the per-thread search workspace reuse path (graph/search_space.hpp).
     MTS_THREADS=4 ctest --preset "$preset" -j "$JOBS" \
-      -R 'ThreadPool|ParallelDeterminism|ConcurrentRecording'
+      -R 'ThreadPool|ParallelDeterminism|ConcurrentRecording|SearchSpace'
     continue
   fi
 
@@ -59,6 +60,13 @@ for preset in "${PRESETS[@]}"; do
     # here keeps the failure mode obvious when only this gate breaks).
     echo "==== [$preset] validate_trace (MTS_TRACE=1 bench) ===="
     ctest --preset "$preset" -R '^validate_trace$' --output-on-failure
+
+    # Deterministic work-counter regression gate: a small MTS_METRICS=1
+    # bench run whose dijkstra/lp/yen counters must match BENCH_PR4.json
+    # exactly (tools/bench_compare.py; wall-clock is reported, never
+    # gated).
+    echo "==== [$preset] bench_gate (counter regression) ===="
+    ctest --preset "$preset" -R '^bench_gate$' --output-on-failure
   fi
 done
 

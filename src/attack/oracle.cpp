@@ -36,6 +36,11 @@ ExclusivityOracle::ExclusivityOracle(const ForcePathCutProblem& problem) : probl
           "oracle: p* is not a simple source->target path");
   require(!problem.p_star.empty(), "oracle: p* is empty");
   p_star_length_ = path_length(problem_.p_star.edges, problem_.weights);
+  validate_weights(*problem.graph, problem_.weights, "oracle");
+  DijkstraOptions reverse_options;
+  reverse_options.assume_valid_weights = true;
+  reverse_dijkstra(reverse_tree_, *problem.graph, problem_.weights, problem_.target,
+                   reverse_options);
 }
 
 double ExclusivityOracle::tie_epsilon() const {
@@ -49,7 +54,19 @@ std::optional<Path> ExclusivityOracle::find_violating_path(const EdgeFilter& fil
   const auto& g = *problem_.graph;
   const double eps = tie_epsilon();
 
-  auto sp = shortest_path(g, problem_.weights, problem_.source, problem_.target, &filter);
+  // Goal-directed query: reverse_tree_'s unfiltered distances stay
+  // admissible under any filter, and no violating path is ever longer than
+  // p* itself, so p*'s length is an exact prune bound.  p*'s own nodes all
+  // satisfy the bound, so the reachability require below is unaffected.
+  DijkstraOptions options;
+  options.target = problem_.target;
+  options.filter = &filter;
+  options.goal_bounds = &reverse_tree_;
+  options.prune_bound = p_star_length_;
+  options.assume_valid_weights = true;
+  SearchSpace& ws = thread_search_space();
+  dijkstra(ws, g, problem_.weights, problem_.source, options);
+  auto sp = extract_path(g, ws, problem_.source, problem_.target);
   // p*'s own edges are never removed by the algorithms, so s→d stays
   // connected; a missing path means the caller removed part of p*.
   require(sp.has_value(), "oracle: source cannot reach target (p* was damaged)");

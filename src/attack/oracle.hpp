@@ -11,6 +11,7 @@
 
 #include "attack/problem.hpp"
 #include "graph/edge_filter.hpp"
+#include "graph/search_space.hpp"
 
 namespace mts::attack {
 
@@ -35,6 +36,12 @@ class ExclusivityOracle {
  private:
   const ForcePathCutProblem& problem_;
   double p_star_length_;
+  /// Exact reverse shortest-path distances to the target under the
+  /// *unfiltered* weights, built once per problem.  Removing edges only
+  /// lengthens paths, so these distances lower-bound the remaining
+  /// distance under every filter the oracle will ever see — an admissible
+  /// goal-direction heuristic for all queries (DESIGN.md §9).
+  SearchSpace reverse_tree_;
   mutable std::size_t calls_ = 0;
 };
 

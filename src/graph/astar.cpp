@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
+#include "core/check.hpp"
 #include "core/error.hpp"
 
 namespace mts {
@@ -27,66 +27,48 @@ double max_admissible_rate(const DiGraph& g, std::span<const double> weights) {
   return std::isfinite(rate) ? rate : 0.0;
 }
 
-namespace {
-
-struct QueueEntry {
-  double f;  // g + h
-  NodeId node;
-  friend bool operator<(const QueueEntry& a, const QueueEntry& b) { return a.f > b.f; }
-};
-
-}  // namespace
-
 AStarResult astar(const DiGraph& g, std::span<const double> weights, NodeId source,
-                  NodeId target, const Heuristic& heuristic, const EdgeFilter* filter) {
+                  NodeId target, const Heuristic& heuristic, const EdgeFilter* filter,
+                  const std::vector<std::uint8_t>* banned_nodes) {
   require(g.finalized(), "astar: graph not finalized");
-  require(weights.size() == g.num_edges(), "astar: weights size mismatch");
   require(source.value() < g.num_nodes() && target.value() < g.num_nodes(),
           "astar: endpoint out of range");
+  validate_weights(g, weights, "astar");
+  if (banned_nodes != nullptr) {
+    require(banned_nodes->size() == g.num_nodes(), "astar: ban mask size mismatch");
+  }
 
-  std::vector<double> dist(g.num_nodes(), kInfiniteDistance);
-  std::vector<EdgeId> parent(g.num_nodes(), EdgeId::invalid());
-  std::vector<std::uint8_t> settled(g.num_nodes(), 0);
-
-  std::priority_queue<QueueEntry> queue;
-  dist[source.value()] = 0.0;
-  queue.push({heuristic(source), source});
+  // The workspace heap keys hold f = g + h; ws.dist() holds plain g.
+  SearchSpace& ws = thread_search_space();
+  ws.begin(g.num_nodes());
 
   AStarResult result;
-  while (!queue.empty()) {
-    const NodeId node = queue.top().node;
-    queue.pop();
-    if (settled[node.value()]) continue;
-    settled[node.value()] = 1;
+  if (banned_nodes != nullptr && (*banned_nodes)[source.value()]) return result;
+  ws.set_label(source, 0.0, EdgeId::invalid());
+  ws.heap_push(heuristic(source), source);
+
+  while (!ws.heap_empty()) {
+    const NodeId node = ws.heap_pop().node;
+    if (!ws.try_settle(node)) continue;
     ++result.nodes_settled;
     if (node == target) break;
 
     for (EdgeId e : g.out_edges(node)) {
       if (!edge_alive(filter, e)) continue;
       const NodeId head = g.edge_to(e);
-      if (settled[head.value()]) continue;
+      if (ws.settled(head)) continue;
+      if (banned_nodes != nullptr && (*banned_nodes)[head.value()]) continue;
       const double w = weights[e.value()];
-      require(w >= 0.0, "astar: negative edge weight");
-      const double candidate = dist[node.value()] + w;
-      if (candidate < dist[head.value()]) {
-        dist[head.value()] = candidate;
-        parent[head.value()] = e;
-        queue.push({candidate + heuristic(head), head});
+      MTS_DCHECK_GE(w, 0.0);  // hoisted require: see validate_weights()
+      const double candidate = ws.dist(node) + w;
+      if (candidate < ws.dist(head)) {
+        ws.set_label(head, candidate, e);
+        ws.heap_push(candidate + heuristic(head), head);
       }
     }
   }
 
-  if (dist[target.value()] == kInfiniteDistance) return result;
-  Path path;
-  path.length = dist[target.value()];
-  NodeId cursor = target;
-  while (cursor != source) {
-    const EdgeId e = parent[cursor.value()];
-    path.edges.push_back(e);
-    cursor = g.edge_from(e);
-  }
-  std::reverse(path.edges.begin(), path.edges.end());
-  result.path = std::move(path);
+  result.path = extract_path(g, ws, source, target);
   return result;
 }
 

@@ -32,10 +32,14 @@ struct AStarResult {
 };
 
 /// A* from source to target.  With the zero heuristic this is exactly
-/// early-exit Dijkstra.  Throws PreconditionViolation on negative arc
-/// weights encountered during the search.
+/// early-exit Dijkstra.  Weights are validated once at entry (throws
+/// PreconditionViolation on a negative weight anywhere in the vector).
+/// `banned_nodes` mirrors DijkstraOptions::banned_nodes.  Runs in the
+/// calling thread's SearchSpace slot 0 (see graph/search_space.hpp), so a
+/// heuristic may safely read a reverse tree held in slot 1.
 AStarResult astar(const DiGraph& g, std::span<const double> weights, NodeId source,
                   NodeId target, const Heuristic& heuristic,
-                  const EdgeFilter* filter = nullptr);
+                  const EdgeFilter* filter = nullptr,
+                  const std::vector<std::uint8_t>* banned_nodes = nullptr);
 
 }  // namespace mts

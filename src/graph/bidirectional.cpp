@@ -1,38 +1,27 @@
 #include "graph/bidirectional.hpp"
 
 #include <algorithm>
-#include <queue>
 
+#include "core/check.hpp"
 #include "core/error.hpp"
 
 namespace mts {
 
 namespace {
 
-struct QueueEntry {
-  double dist;
-  NodeId node;
-  friend bool operator<(const QueueEntry& a, const QueueEntry& b) {
-    return a.dist > b.dist;
-  }
-};
-
-/// One search direction's state.
+/// One search direction's state, living in a thread-local SearchSpace.
 struct Frontier {
-  std::vector<double> dist;
-  std::vector<EdgeId> parent;  // tree edge that reached the node
-  std::vector<std::uint8_t> settled;
-  std::priority_queue<QueueEntry> queue;
+  SearchSpace& ws;
 
-  explicit Frontier(std::size_t n, NodeId origin)
-      : dist(n, kInfiniteDistance), parent(n, EdgeId::invalid()), settled(n, 0) {
-    dist[origin.value()] = 0.0;
-    queue.push({0.0, origin});
+  Frontier(SearchSpace& space, std::size_t n, NodeId origin) : ws(space) {
+    ws.begin(n);
+    ws.set_label(origin, 0.0, EdgeId::invalid());
+    ws.heap_push(0.0, origin);
   }
 
-  [[nodiscard]] double top_key() const {
-    return queue.empty() ? kInfiniteDistance : queue.top().dist;
-  }
+  /// Smallest key still queued (possibly a stale lazy-deletion entry —
+  /// stale keys only over-estimate, which keeps termination conservative).
+  [[nodiscard]] double top_key() const { return ws.heap_top_key(); }
 };
 
 }  // namespace
@@ -40,29 +29,38 @@ struct Frontier {
 BidirectionalResult bidirectional_shortest_path(const DiGraph& g,
                                                 std::span<const double> weights,
                                                 NodeId source, NodeId target,
-                                                const EdgeFilter* filter) {
+                                                const EdgeFilter* filter,
+                                                const std::vector<std::uint8_t>* banned_nodes) {
   require(g.finalized(), "bidirectional: graph not finalized");
-  require(weights.size() == g.num_edges(), "bidirectional: weights size mismatch");
   require(source.value() < g.num_nodes() && target.value() < g.num_nodes(),
           "bidirectional: endpoint out of range");
+  validate_weights(g, weights, "bidirectional");
+  if (banned_nodes != nullptr) {
+    require(banned_nodes->size() == g.num_nodes(), "bidirectional: ban mask size mismatch");
+  }
 
   BidirectionalResult result;
   if (source == target) {
     result.path = Path{};
     return result;
   }
+  // A banned endpoint matches one-sided Dijkstra: no path.
+  if (banned_nodes != nullptr &&
+      ((*banned_nodes)[source.value()] || (*banned_nodes)[target.value()])) {
+    return result;
+  }
 
-  Frontier fwd(g.num_nodes(), source);
-  Frontier bwd(g.num_nodes(), target);
+  Frontier fwd(thread_search_space(0), g.num_nodes(), source);
+  Frontier bwd(thread_search_space(1), g.num_nodes(), target);
 
   double best = kInfiniteDistance;
   NodeId meet = NodeId::invalid();
 
   auto try_meet = [&](NodeId n) {
-    if (fwd.dist[n.value()] == kInfiniteDistance || bwd.dist[n.value()] == kInfiniteDistance) {
-      return;
-    }
-    const double through = fwd.dist[n.value()] + bwd.dist[n.value()];
+    const double fd = fwd.ws.dist(n);
+    const double bd = bwd.ws.dist(n);
+    if (fd == kInfiniteDistance || bd == kInfiniteDistance) return;
+    const double through = fd + bd;
     if (through < best) {
       best = through;
       meet = n;
@@ -75,23 +73,22 @@ BidirectionalResult bidirectional_shortest_path(const DiGraph& g,
     const bool expand_forward = fwd.top_key() <= bwd.top_key();
     Frontier& frontier = expand_forward ? fwd : bwd;
 
-    const NodeId node = frontier.queue.top().node;
-    frontier.queue.pop();
-    if (frontier.settled[node.value()]) continue;
-    frontier.settled[node.value()] = 1;
+    const NodeId node = frontier.ws.heap_pop().node;
+    if (!frontier.ws.try_settle(node)) continue;
     ++result.nodes_settled;
 
     const auto edges = expand_forward ? g.out_edges(node) : g.in_edges(node);
+    const double node_dist = frontier.ws.dist(node);
     for (EdgeId e : edges) {
       if (!edge_alive(filter, e)) continue;
       const NodeId next = expand_forward ? g.edge_to(e) : g.edge_from(e);
+      if (banned_nodes != nullptr && (*banned_nodes)[next.value()]) continue;
       const double w = weights[e.value()];
-      require(w >= 0.0, "bidirectional: negative edge weight");
-      const double candidate = frontier.dist[node.value()] + w;
-      if (candidate < frontier.dist[next.value()]) {
-        frontier.dist[next.value()] = candidate;
-        frontier.parent[next.value()] = e;
-        frontier.queue.push({candidate, next});
+      MTS_DCHECK_GE(w, 0.0);  // hoisted require: see validate_weights()
+      const double candidate = node_dist + w;
+      if (candidate < frontier.ws.dist(next)) {
+        frontier.ws.set_label(next, candidate, e);
+        frontier.ws.heap_push(candidate, next);
         try_meet(next);
       }
     }
@@ -104,7 +101,7 @@ BidirectionalResult bidirectional_shortest_path(const DiGraph& g,
   // Forward half: meet back to source.
   std::vector<EdgeId> forward_half;
   for (NodeId cursor = meet; cursor != source;) {
-    const EdgeId e = fwd.parent[cursor.value()];
+    const EdgeId e = fwd.ws.parent_edge(cursor);
     forward_half.push_back(e);
     cursor = g.edge_from(e);
   }
@@ -112,7 +109,7 @@ BidirectionalResult bidirectional_shortest_path(const DiGraph& g,
   path.edges = std::move(forward_half);
   // Backward half: meet forward to target (parents point away from target).
   for (NodeId cursor = meet; cursor != target;) {
-    const EdgeId e = bwd.parent[cursor.value()];
+    const EdgeId e = bwd.ws.parent_edge(cursor);
     path.edges.push_back(e);
     cursor = g.edge_to(e);
   }

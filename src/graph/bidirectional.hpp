@@ -17,9 +17,13 @@ struct BidirectionalResult {
 };
 
 /// Shortest source->target path; exact (same result as Dijkstra).
+/// Weights are validated once at entry; `banned_nodes` mirrors
+/// DijkstraOptions::banned_nodes (a banned endpoint means no path).  Uses
+/// both of the calling thread's SearchSpace slots (one per direction).
 BidirectionalResult bidirectional_shortest_path(const DiGraph& g,
                                                 std::span<const double> weights,
                                                 NodeId source, NodeId target,
-                                                const EdgeFilter* filter = nullptr);
+                                                const EdgeFilter* filter = nullptr,
+                                                const std::vector<std::uint8_t>* banned_nodes = nullptr);
 
 }  // namespace mts

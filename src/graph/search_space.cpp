@@ -1,0 +1,61 @@
+#include "graph/search_space.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "core/check.hpp"
+
+namespace mts {
+
+namespace {
+
+/// Heap order: true when `a` pops after `b`.  (key, node id) is a total
+/// order, so pop order does not depend on push order — required for the
+/// pruning-invariance argument in DESIGN.md §9.
+bool entry_after(const SearchSpace::HeapEntry& a, const SearchSpace::HeapEntry& b) {
+  if (a.key != b.key) return a.key > b.key;
+  return a.node.value() > b.node.value();
+}
+
+}  // namespace
+
+bool SearchSpace::begin(std::size_t num_nodes) {
+  heap_.clear();
+  last = {};
+  const bool grew = num_nodes > stamp_.size();
+  if (grew) {
+    stamp_.resize(num_nodes, 0);
+    dist_.resize(num_nodes, kInfiniteDistance);
+    parent_.resize(num_nodes, EdgeId::invalid());
+    settled_.resize(num_nodes, 0);
+  }
+  if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    // Stamp wraparound: a stale stamp could alias the restarted epoch
+    // counter, so pay one full clear every 2^32 searches.
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+  return !grew;
+}
+
+void SearchSpace::heap_push(double key, NodeId node) {
+  heap_.push_back({key, node});
+  std::push_heap(heap_.begin(), heap_.end(), entry_after);
+}
+
+SearchSpace::HeapEntry SearchSpace::heap_pop() {
+  MTS_DCHECK(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), entry_after);
+  const HeapEntry entry = heap_.back();
+  heap_.pop_back();
+  return entry;
+}
+
+SearchSpace& thread_search_space(std::size_t slot) {
+  MTS_DCHECK_LT(slot, kThreadSearchSpaces);
+  thread_local std::array<SearchSpace, kThreadSearchSpaces> spaces;
+  return spaces[slot];
+}
+
+}  // namespace mts

@@ -1,0 +1,113 @@
+// Reusable single-source search workspace (dist/parent/settled + heap).
+//
+// Yen's algorithm runs one Dijkstra per spur node — tens of thousands of
+// searches per table cell — and each search used to allocate three
+// num_nodes-sized vectors.  SearchSpace keeps that storage alive across
+// searches and resets it in O(1) with an epoch stamp: a per-node label is
+// valid only when its stamp equals the current epoch, so begin() just
+// bumps the epoch instead of touching every node.  The heap is a plain
+// vector driven by std::push_heap/std::pop_heap, also reused.
+//
+// Determinism: the heap pops entries in the total order (key, node id).
+// Because the order is total and independent of insertion history, the
+// settle order of a search is a function of the label set alone — pruning
+// some pushes (goal-directed search, DESIGN.md §9) can never flip which of
+// two equal-key entries pops first.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/strong_id.hpp"
+
+namespace mts {
+
+inline constexpr double kInfiniteDistance = std::numeric_limits<double>::infinity();
+
+class SearchSpace {
+ public:
+  struct HeapEntry {
+    double key;
+    NodeId node;
+  };
+
+  /// Per-search effort, written by the engines when a search finishes.
+  struct Stats {
+    std::uint64_t nodes_settled = 0;
+    std::uint64_t edges_scanned = 0;
+    /// Relaxations skipped because g + lower bound exceeded the caller's
+    /// prune_bound (goal-directed searches only; disconnection skips via
+    /// an infinite lower bound are not counted).
+    std::uint64_t bound_pruned = 0;
+  };
+
+  /// Starts a new search over `num_nodes` nodes: clears the heap and
+  /// invalidates every label.  Returns true when existing storage was
+  /// reused (no allocation happened).
+  bool begin(std::size_t num_nodes);
+
+  [[nodiscard]] std::size_t size() const { return dist_.size(); }
+
+  // --- labels (reads outside the current epoch see the reset state) ----
+
+  [[nodiscard]] double dist(NodeId n) const {
+    return fresh(n) ? dist_[n.value()] : kInfiniteDistance;
+  }
+  [[nodiscard]] EdgeId parent_edge(NodeId n) const {
+    return fresh(n) ? parent_[n.value()] : EdgeId::invalid();
+  }
+  [[nodiscard]] bool settled(NodeId n) const { return fresh(n) && settled_[n.value()] != 0; }
+  [[nodiscard]] bool reached(NodeId n) const { return dist(n) < kInfiniteDistance; }
+
+  void set_label(NodeId n, double dist, EdgeId parent) {
+    const auto i = n.value();
+    if (stamp_[i] != epoch_) {
+      stamp_[i] = epoch_;
+      settled_[i] = 0;
+    }
+    dist_[i] = dist;
+    parent_[i] = parent;
+  }
+
+  /// Marks `n` settled; false when it already was (lazy heap deletion).
+  bool try_settle(NodeId n) {
+    const auto i = n.value();
+    if (stamp_[i] == epoch_ && settled_[i] != 0) return false;
+    if (stamp_[i] != epoch_) stamp_[i] = epoch_;
+    settled_[i] = 1;
+    return true;
+  }
+
+  // --- heap (min by (key, node id); see determinism note above) --------
+
+  [[nodiscard]] bool heap_empty() const { return heap_.empty(); }
+  [[nodiscard]] double heap_top_key() const {
+    return heap_.empty() ? kInfiniteDistance : heap_.front().key;
+  }
+  void heap_push(double key, NodeId node);
+  HeapEntry heap_pop();
+
+  Stats last;
+
+ private:
+  [[nodiscard]] bool fresh(NodeId n) const { return stamp_[n.value()] == epoch_; }
+
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<double> dist_;
+  std::vector<EdgeId> parent_;
+  std::vector<std::uint8_t> settled_;
+  std::vector<HeapEntry> heap_;
+};
+
+/// Per-thread scratch workspaces, created on first use and reused for the
+/// thread's lifetime (one set per pool worker; no sharing, no locking).
+/// Slot 0 is the primary search space (point queries, spur searches);
+/// slot 1 holds longer-lived state a primary search reads concurrently
+/// (reverse shortest-path trees, the backward frontier).  Any search using
+/// a slot invalidates its previous contents.
+inline constexpr std::size_t kThreadSearchSpaces = 2;
+SearchSpace& thread_search_space(std::size_t slot = 0);
+
+}  // namespace mts

@@ -1,6 +1,7 @@
 #include "graph/yen.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 #include <utility>
 
@@ -34,6 +35,28 @@ bool candidate_after(const Candidate& a, const Candidate& b) {
 class CandidateHeap {
  public:
   [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Length of the current shortest candidate.
+  [[nodiscard]] double min_length() const {
+    MTS_DCHECK(!heap_.empty());
+    return heap_.front().path.length;
+  }
+
+  /// Length of the n-th smallest candidate currently held (n >= 1).  The
+  /// next n accepted paths each pop the then-minimum while at least
+  /// n - (pops so far) of the current n smallest are still in the heap, so
+  /// every one of those pops is <= this value — an exact admission bound.
+  [[nodiscard]] double nth_smallest_length(std::size_t n) {
+    MTS_DCHECK_GE(n, std::size_t{1});
+    MTS_DCHECK_LE(n, heap_.size());
+    if (n == 1) return min_length();
+    length_scratch_.clear();
+    for (const Candidate& c : heap_) length_scratch_.push_back(c.path.length);
+    auto nth = length_scratch_.begin() + static_cast<std::ptrdiff_t>(n - 1);
+    std::nth_element(length_scratch_.begin(), nth, length_scratch_.end());
+    return *nth;
+  }
 
   void push(Candidate candidate) {
     heap_.push_back(std::move(candidate));
@@ -56,56 +79,72 @@ class CandidateHeap {
 
  private:
   std::vector<Candidate> heap_;
+  std::vector<double> length_scratch_;  // nth_smallest_length working set
   std::uint64_t pushed_ = 0;
   std::uint64_t popped_ = 0;
 };
 
-/// Flushes one Yen query's counters into the registry on scope exit (the
-/// query has several return paths).
-struct YenCounterFlush {
-  const CandidateHeap& heap;
-  const std::size_t& spur_searches;
-
-  ~YenCounterFlush() {
-    static const obs::CounterId kQueries = obs::MetricsRegistry::instance().counter("yen.queries");
-    static const obs::CounterId kSpurs =
-        obs::MetricsRegistry::instance().counter("yen.spur_searches");
-    static const obs::CounterId kPushed =
-        obs::MetricsRegistry::instance().counter("yen.candidates_pushed");
-    static const obs::CounterId kPopped =
-        obs::MetricsRegistry::instance().counter("yen.candidates_popped");
-    obs::add(kQueries);
-    obs::add(kSpurs, spur_searches);
-    obs::add(kPushed, heap.pushed());
-    obs::add(kPopped, heap.popped());
-  }
-};
+/// Pads an admission bound by the same 1e-9 relative float margin the
+/// oracle's tie_epsilon uses, so summation-order slack can never prune a
+/// candidate an exact-arithmetic run would keep.
+double padded(double bound) {
+  if (bound == kInfiniteDistance) return bound;
+  return bound + 1e-9 * (1.0 + std::abs(bound));
+}
 
 /// Shared state for Yen spur expansions: a scratch edge filter seeded from
 /// the caller's base filter plus a scratch node-ban mask, both restored
-/// after each spur search so allocations happen once per query.
+/// after each spur search so allocations happen once per query.  Spur
+/// searches run goal-directed against `reverse_tree` — the exact reverse
+/// shortest-path distances to `target` under the base filter, which lower-
+/// bound every spur search's remaining distance (spur filters only remove
+/// more edges).  See DESIGN.md §9 for the pruning-exactness argument.
 class SpurSearcher {
  public:
   SpurSearcher(const DiGraph& g, std::span<const double> weights, NodeId target,
-               const EdgeFilter* base_filter)
+               const EdgeFilter* base_filter, const SearchSpace& reverse_tree,
+               SearchSpace& workspace)
       : g_(g),
         weights_(weights),
         target_(target),
+        reverse_tree_(reverse_tree),
+        workspace_(workspace),
         scratch_filter_(base_filter != nullptr ? *base_filter : EdgeFilter(g.num_edges())),
         banned_nodes_(g.num_nodes(), 0) {}
 
   /// Expands every deviation of `base` (rooted at prefix positions
   /// [0, base.edges.size())) and pushes new simple-path candidates.
-  /// `accepted` is the list of already-output paths (for edge bans).
-  /// Returns the number of spur searches performed.
-  std::size_t expand(const Path& base, const std::vector<Path>& accepted,
-                     CandidateHeap& candidates, std::unordered_set<std::uint64_t>& seen) {
+  /// `accepted` is the list of already-output paths (for edge bans);
+  /// `needed` is how many more paths the caller still wants — it feeds the
+  /// candidate-admission bound that lets hopeless spur searches be skipped
+  /// (they still count as searches for the caller's safety cap).
+  void expand(const Path& base, const std::vector<Path>& accepted, CandidateHeap& candidates,
+              std::unordered_set<std::uint64_t>& seen, std::size_t needed) {
     const std::vector<NodeId> base_nodes = path_nodes(g_, base);
-    std::size_t searches = 0;
     double root_length = 0.0;
 
     for (std::size_t i = 0; i < base.edges.size(); ++i) {
       const NodeId spur_node = base_nodes[i];
+
+      // Admission bound: once the heap already holds `needed` candidates,
+      // every future accepted path is at most the bound below, so any spur
+      // whose best possible total exceeds it cannot change the output.
+      double admit = kInfiniteDistance;
+      if (needed > 0 && candidates.size() >= needed) {
+        admit = candidates.nth_smallest_length(needed);
+      }
+      // Fast path: skip the search entirely when even the ban-free reverse
+      // distance busts the bound.  For a base that was itself accepted this
+      // can only fire on margin edge cases (root + bound <= len(base) <=
+      // admit by Yen's nondecreasing-acceptance invariant); the common kill
+      // happens inside the bounded search below.
+      const double spur_lower = reverse_tree_.dist(spur_node);
+      if (spur_lower == kInfiniteDistance || root_length + spur_lower > padded(admit)) {
+        ++searches_;
+        ++pruned_;
+        root_length += weights_[base.edges[i].value()];
+        continue;
+      }
 
       // Ban the next edge of every accepted path sharing this root prefix.
       std::vector<EdgeId> banned_edges;
@@ -123,14 +162,28 @@ class SpurSearcher {
       // spur paths cannot revisit them: keeps results simple (loopless).
       for (std::size_t j = 0; j < i; ++j) banned_nodes_[base_nodes[j].value()] = 1;
 
-      DijkstraOptions options;
-      options.target = target_;
-      options.filter = &scratch_filter_;
-      options.banned_nodes = &banned_nodes_;
-      const auto tree = dijkstra(g_, weights_, spur_node, options);
-      ++searches;
+      DijkstraOptions spur_options;
+      spur_options.target = target_;
+      spur_options.filter = &scratch_filter_;
+      spur_options.banned_nodes = &banned_nodes_;
+      spur_options.goal_bounds = &reverse_tree_;
+      spur_options.prune_bound =
+          admit == kInfiniteDistance ? kInfiniteDistance : admit - root_length;
+      spur_options.assume_valid_weights = true;
+      dijkstra(workspace_, g_, weights_, spur_node, spur_options);
+      ++searches_;
+      static const obs::HistogramId kSpurEdges =
+          obs::MetricsRegistry::instance().histogram("yen.spur_edges_scanned");
+      obs::observe(kSpurEdges, static_cast<double>(workspace_.last.edges_scanned));
 
-      if (auto spur = extract_path(g_, tree, spur_node, target_)) {
+      auto spur = extract_path(g_, workspace_, spur_node, target_);
+      if (!spur && workspace_.last.bound_pruned > 0) {
+        // The bounded frontier died without reaching the target, and the
+        // admission bound (not graph disconnection alone) cut it short:
+        // this spur was pruned rather than exhausted.
+        ++pruned_;
+      }
+      if (spur) {
         Path total;
         total.edges.reserve(i + spur->edges.size());
         total.edges.insert(total.edges.end(), base.edges.begin(),
@@ -148,16 +201,61 @@ class SpurSearcher {
 
       root_length += weights_[base.edges[i].value()];
     }
-    return searches;
   }
+
+  /// Spur searches attempted so far (performed + pruned; feeds the cap).
+  [[nodiscard]] std::size_t searches() const { return searches_; }
+  /// How many of those the admission bound killed: skipped outright by the
+  /// reverse-tree check, or run but cut off before reaching the target.
+  [[nodiscard]] std::size_t pruned() const { return pruned_; }
 
  private:
   const DiGraph& g_;
   std::span<const double> weights_;
   NodeId target_;
+  const SearchSpace& reverse_tree_;
+  SearchSpace& workspace_;
   EdgeFilter scratch_filter_;
   std::vector<std::uint8_t> banned_nodes_;
+  std::size_t searches_ = 0;
+  std::size_t pruned_ = 0;
 };
+
+/// Flushes one Yen query's counters into the registry on scope exit (the
+/// query has several return paths).
+struct YenCounterFlush {
+  const CandidateHeap& heap;
+  const SpurSearcher& searcher;
+
+  ~YenCounterFlush() {
+    static const obs::CounterId kQueries = obs::MetricsRegistry::instance().counter("yen.queries");
+    static const obs::CounterId kSpurs =
+        obs::MetricsRegistry::instance().counter("yen.spur_searches");
+    static const obs::CounterId kPruned =
+        obs::MetricsRegistry::instance().counter("yen.spurs_pruned");
+    static const obs::CounterId kPushed =
+        obs::MetricsRegistry::instance().counter("yen.candidates_pushed");
+    static const obs::CounterId kPopped =
+        obs::MetricsRegistry::instance().counter("yen.candidates_popped");
+    obs::add(kQueries);
+    obs::add(kSpurs, searcher.searches());
+    obs::add(kPruned, searcher.pruned());
+    obs::add(kPushed, heap.pushed());
+    obs::add(kPopped, heap.popped());
+  }
+};
+
+/// Builds the query's reverse shortest-path tree (exact distances to
+/// `target` under `filter`) in the thread's secondary workspace slot.
+SearchSpace& build_reverse_tree(const DiGraph& g, std::span<const double> weights,
+                                NodeId target, const EdgeFilter* filter) {
+  SearchSpace& reverse_tree = thread_search_space(1);
+  DijkstraOptions reverse_options;
+  reverse_options.filter = filter;
+  reverse_options.assume_valid_weights = true;  // validated by the query entry
+  reverse_dijkstra(reverse_tree, g, weights, target, reverse_options);
+  return reverse_tree;
+}
 
 }  // namespace
 
@@ -169,27 +267,32 @@ std::vector<Path> yen_ksp(const DiGraph& g, std::span<const double> weights, Nod
   std::vector<Path> accepted;
   if (k == 0) return accepted;
   require(source != target, "yen_ksp: source == target (only the empty path exists)");
+  validate_weights(g, weights, "yen_ksp");
 
   obs::ScopedPhase phase("yen");
-  auto first = shortest_path(g, weights, source, target, options.filter);
+  SearchSpace& reverse_tree = build_reverse_tree(g, weights, target, options.filter);
+  // The first path falls out of the reverse tree: follow reverse parents
+  // forward from the source (its length is recomputed as the forward-order
+  // sum, bit-identical to a forward Dijkstra's accumulation).
+  auto first = extract_reverse_path(g, reverse_tree, weights, source, target);
   if (!first) return accepted;
   accepted.push_back(std::move(*first));
 
-  SpurSearcher searcher(g, weights, target, options.filter);
+  SpurSearcher searcher(g, weights, target, options.filter, reverse_tree,
+                        thread_search_space(0));
   CandidateHeap candidates;
   std::unordered_set<std::uint64_t> seen;
   seen.insert(path_signature(accepted.front()));
 
-  std::size_t total_searches = 0;
-  YenCounterFlush flush{candidates, total_searches};
+  YenCounterFlush flush{candidates, searcher};
   while (accepted.size() < k) {
-    total_searches += searcher.expand(accepted.back(), accepted, candidates, seen);
+    searcher.expand(accepted.back(), accepted, candidates, seen, k - accepted.size());
     if (candidates.empty()) break;
     accepted.push_back(candidates.pop());
 #if defined(MTS_ENABLE_DCHECKS)
     accepted.back().check_invariants(g, weights);
 #endif
-    if (options.max_spur_searches != 0 && total_searches >= options.max_spur_searches) break;
+    if (options.max_spur_searches != 0 && searcher.searches() >= options.max_spur_searches) break;
   }
   return accepted;
 }
@@ -200,15 +303,16 @@ std::optional<Path> second_shortest_path(const DiGraph& g, std::span<const doubl
   require(!avoid.empty(), "second_shortest_path: avoid path is empty");
   require(g.edge_from(avoid.edges.front()) == source,
           "second_shortest_path: avoid path does not start at source");
+  validate_weights(g, weights, "second_shortest_path");
   obs::ScopedPhase phase("yen");
-  SpurSearcher searcher(g, weights, target, filter);
+  SearchSpace& reverse_tree = build_reverse_tree(g, weights, target, filter);
+  SpurSearcher searcher(g, weights, target, filter, reverse_tree, thread_search_space(0));
   CandidateHeap candidates;
   std::unordered_set<std::uint64_t> seen;
   seen.insert(path_signature(avoid));
   const std::vector<Path> accepted = {avoid};
-  std::size_t searches = 0;
-  YenCounterFlush flush{candidates, searches};
-  searches = searcher.expand(avoid, accepted, candidates, seen);
+  YenCounterFlush flush{candidates, searcher};
+  searcher.expand(avoid, accepted, candidates, seen, /*needed=*/1);
   if (candidates.empty()) return std::nullopt;
   return candidates.pop();
 }

@@ -5,6 +5,12 @@
 // The same spur-path machinery yields a "second shortest path different
 // from P" oracle, which the attack layer uses to certify that the forced
 // path p* is the *exclusive* shortest path after edge removals.
+//
+// Spur searches are goal-directed: one reverse Dijkstra from the
+// destination per query provides exact lower bounds that prune spur
+// relaxations which provably cannot beat the current admission bound.
+// Results are bit-identical to unpruned Yen (DESIGN.md §9); the
+// `yen.spurs_pruned` counter reports how many spurs the bound killed.
 #pragma once
 
 #include <optional>

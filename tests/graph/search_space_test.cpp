@@ -1,0 +1,173 @@
+// SearchSpace unit tests: epoch invalidation, the canonical heap order,
+// and the headline property of the workspace refactor — a reused
+// workspace produces labels bit-identical to a fresh one.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/search_space.hpp"
+#include "test_util.hpp"
+
+namespace mts {
+namespace {
+
+using test::make_random_graph;
+using test::WeightedGraph;
+
+TEST(SearchSpace, BeginReportsReuse) {
+  SearchSpace ws;
+  EXPECT_FALSE(ws.begin(16));  // first use allocates
+  EXPECT_TRUE(ws.begin(16));   // same size: pure epoch bump
+  EXPECT_TRUE(ws.begin(8));    // shrinking reuses the larger storage
+  EXPECT_FALSE(ws.begin(32));  // growth reallocates
+  EXPECT_TRUE(ws.begin(32));
+  EXPECT_GE(ws.size(), 32u);
+}
+
+TEST(SearchSpace, StaleLabelsReadAsReset) {
+  SearchSpace ws;
+  ws.begin(4);
+  const NodeId n(2);
+  ws.set_label(n, 1.5, EdgeId(7));
+  EXPECT_TRUE(ws.try_settle(n));
+  EXPECT_EQ(ws.dist(n), 1.5);
+  EXPECT_EQ(ws.parent_edge(n), EdgeId(7));
+  EXPECT_TRUE(ws.settled(n));
+  EXPECT_TRUE(ws.reached(n));
+
+  ws.begin(4);  // new epoch: every label must read as reset
+  EXPECT_EQ(ws.dist(n), kInfiniteDistance);
+  EXPECT_FALSE(ws.parent_edge(n).valid());
+  EXPECT_FALSE(ws.settled(n));
+  EXPECT_FALSE(ws.reached(n));
+}
+
+TEST(SearchSpace, TrySettleOncePerEpoch) {
+  SearchSpace ws;
+  ws.begin(4);
+  const NodeId n(1);
+  EXPECT_TRUE(ws.try_settle(n));
+  EXPECT_FALSE(ws.try_settle(n));  // lazy heap deletion path
+  ws.begin(4);
+  EXPECT_TRUE(ws.try_settle(n));  // epoch bump re-arms the node
+}
+
+TEST(SearchSpace, SetLabelAfterSettleKeepsSettledBit) {
+  SearchSpace ws;
+  ws.begin(4);
+  const NodeId n(3);
+  ws.set_label(n, 2.0, EdgeId(1));
+  ASSERT_TRUE(ws.try_settle(n));
+  ws.set_label(n, 1.0, EdgeId(2));  // same-epoch relabel must not unsettle
+  EXPECT_TRUE(ws.settled(n));
+  EXPECT_EQ(ws.dist(n), 1.0);
+}
+
+// The heap's pop order is the total order (key, node id): independent of
+// insertion order, which is what makes goal-directed pruning unable to
+// reorder equal-key pops (DESIGN.md section 9).
+TEST(SearchSpace, HeapPopsByKeyThenNodeId) {
+  const std::vector<SearchSpace::HeapEntry> entries = {
+      {2.0, NodeId(5)}, {1.0, NodeId(9)}, {1.0, NodeId(3)},
+      {3.0, NodeId(0)}, {1.0, NodeId(7)}, {2.0, NodeId(1)},
+  };
+  Rng rng(42);
+  std::vector<std::size_t> order(entries.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<std::vector<SearchSpace::HeapEntry>> pops;
+  for (int perm = 0; perm < 8; ++perm) {
+    rng.shuffle(order);
+    SearchSpace ws;
+    ws.begin(16);
+    for (std::size_t i : order) ws.heap_push(entries[i].key, entries[i].node);
+    std::vector<SearchSpace::HeapEntry> popped;
+    while (!ws.heap_empty()) popped.push_back(ws.heap_pop());
+    pops.push_back(std::move(popped));
+  }
+  for (const auto& popped : pops) {
+    ASSERT_EQ(popped.size(), entries.size());
+    for (std::size_t i = 0; i + 1 < popped.size(); ++i) {
+      const bool ordered = popped[i].key < popped[i + 1].key ||
+                           (popped[i].key == popped[i + 1].key &&
+                            popped[i].node.value() < popped[i + 1].node.value());
+      EXPECT_TRUE(ordered) << "pop " << i << " out of (key, id) order";
+    }
+    EXPECT_EQ(popped[0].node, pops[0][0].node);  // identical across permutations
+    for (std::size_t i = 0; i < popped.size(); ++i) {
+      EXPECT_EQ(popped[i].node, pops[0][i].node);
+    }
+  }
+}
+
+TEST(SearchSpace, HeapTopKeyIsInfiniteWhenEmpty) {
+  SearchSpace ws;
+  ws.begin(4);
+  EXPECT_EQ(ws.heap_top_key(), kInfiniteDistance);
+  ws.heap_push(2.5, NodeId(1));
+  EXPECT_EQ(ws.heap_top_key(), 2.5);
+}
+
+// The core reuse guarantee: searching in a workspace that previously ran
+// unrelated searches yields labels bitwise equal to a fresh workspace.
+TEST(SearchSpace, ReusedWorkspaceMatchesFreshBitIdentical) {
+  Rng rng(7);
+  const WeightedGraph wg = make_random_graph(200, 700, rng);
+  const DiGraph& g = wg.g;
+  const NodeId probe(17);
+
+  SearchSpace fresh;
+  dijkstra(fresh, g, wg.weights, probe);
+
+  SearchSpace reused;
+  for (std::uint32_t s = 0; s < 25; ++s) {  // pollute with unrelated searches
+    DijkstraOptions options;
+    options.target = NodeId((s * 13) % 200);
+    dijkstra(reused, g, wg.weights, NodeId(s * 7 % 200), options);
+  }
+  dijkstra(reused, g, wg.weights, probe);
+
+  for (NodeId n : g.nodes()) {
+    ASSERT_EQ(fresh.dist(n), reused.dist(n)) << "node " << n.value();
+    ASSERT_EQ(fresh.parent_edge(n), reused.parent_edge(n)) << "node " << n.value();
+    ASSERT_EQ(fresh.settled(n), reused.settled(n)) << "node " << n.value();
+  }
+  EXPECT_EQ(fresh.last.nodes_settled, reused.last.nodes_settled);
+  EXPECT_EQ(fresh.last.edges_scanned, reused.last.edges_scanned);
+}
+
+// Reverse search produces node -> sink distances along in-edges; they must
+// agree with forward point queries (up to summation-order slack, which is
+// exactly why the goal-directed engine pads its prune bound).
+TEST(SearchSpace, ReverseTreeMatchesForwardDistances) {
+  Rng rng(11);
+  const WeightedGraph wg = make_random_graph(120, 400, rng);
+  const DiGraph& g = wg.g;
+  const NodeId sink(119);
+
+  SearchSpace reverse_tree;
+  reverse_dijkstra(reverse_tree, g, wg.weights, sink);
+
+  for (std::uint32_t s = 0; s < 120; s += 9) {
+    const double forward = shortest_distance(g, wg.weights, NodeId(s), sink);
+    const double backward = reverse_tree.dist(NodeId(s));
+    if (forward == kInfiniteDistance) {
+      EXPECT_EQ(backward, kInfiniteDistance);
+    } else {
+      EXPECT_NEAR(backward, forward, 1e-9 * (1.0 + forward));
+    }
+  }
+}
+
+TEST(SearchSpace, ThreadSlotsAreDistinctAndStable) {
+  SearchSpace& primary = thread_search_space(0);
+  SearchSpace& secondary = thread_search_space(1);
+  EXPECT_NE(&primary, &secondary);
+  EXPECT_EQ(&primary, &thread_search_space());  // slot 0 is the default
+  EXPECT_EQ(&secondary, &thread_search_space(1));
+}
+
+}  // namespace
+}  // namespace mts

@@ -1,0 +1,128 @@
+// Thread-local SearchSpace ownership under the pool: concurrent searches
+// reuse per-thread workspaces and must match a serial run exactly.  The
+// suite name is matched by the TSan leg of ci.sh (-R '...|SearchSpace'),
+// which runs it at MTS_THREADS=4 to race-check the workspace reuse path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "attack/models.hpp"
+#include "citygen/generate.hpp"
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/path.hpp"
+#include "graph/yen.hpp"
+
+namespace mts {
+namespace {
+
+struct Query {
+  NodeId source;
+  NodeId target;
+};
+
+std::vector<Query> make_queries(const DiGraph& g, std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> queries;
+  queries.reserve(count);
+  while (queries.size() < count) {
+    const NodeId s(static_cast<std::uint32_t>(rng.uniform_index(g.num_nodes())));
+    const NodeId t(static_cast<std::uint32_t>(rng.uniform_index(g.num_nodes())));
+    if (s == t) continue;
+    queries.push_back({s, t});
+  }
+  return queries;
+}
+
+void expect_equal_paths(const std::optional<Path>& serial, const std::optional<Path>& parallel,
+                        std::size_t query) {
+  ASSERT_EQ(serial.has_value(), parallel.has_value()) << "query " << query;
+  if (!serial.has_value()) return;
+  EXPECT_EQ(serial->edges, parallel->edges) << "query " << query;
+  EXPECT_EQ(serial->length, parallel->length) << "query " << query;
+}
+
+TEST(SearchSpaceThreads, ParallelPointQueriesMatchSerial) {
+  const auto network = citygen::generate_city(citygen::City::Boston, 0.15, 11);
+  const auto weights = attack::make_weights(network, attack::WeightType::Length);
+  const DiGraph& g = network.graph();
+  const auto queries = make_queries(g, 64, 21);
+
+  std::vector<std::optional<Path>> serial(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    serial[i] = shortest_path(g, weights, queries[i].source, queries[i].target);
+  }
+
+  // Each pool thread reuses its own workspace across many queries; run the
+  // sweep twice so reuse (not just first allocation) is exercised in
+  // parallel.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    std::vector<std::optional<Path>> concurrent(queries.size());
+    parallel_for(queries.size(), [&](std::size_t i) {
+      concurrent[i] = shortest_path(g, weights, queries[i].source, queries[i].target);
+    });
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      expect_equal_paths(serial[i], concurrent[i], i);
+    }
+  }
+}
+
+// Yen drives both thread slots (spur workspace + reverse tree) and the
+// goal-directed pruning path; racing it is the strongest TSan workload
+// this refactor adds.
+TEST(SearchSpaceThreads, ParallelYenQueriesMatchSerial) {
+  const auto network = citygen::generate_city(citygen::City::Chicago, 0.12, 9);
+  const auto weights = attack::make_weights(network, attack::WeightType::Time);
+  const DiGraph& g = network.graph();
+  const auto queries = make_queries(g, 24, 33);
+
+  std::vector<std::vector<Path>> serial(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    serial[i] = yen_ksp(g, weights, queries[i].source, queries[i].target, 6);
+  }
+
+  std::vector<std::vector<Path>> concurrent(queries.size());
+  parallel_for(queries.size(), [&](std::size_t i) {
+    concurrent[i] = yen_ksp(g, weights, queries[i].source, queries[i].target, 6);
+  });
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(serial[i].size(), concurrent[i].size()) << "query " << i;
+    for (std::size_t rank = 0; rank < serial[i].size(); ++rank) {
+      EXPECT_EQ(serial[i][rank].edges, concurrent[i][rank].edges)
+          << "query " << i << " rank " << rank;
+      EXPECT_EQ(serial[i][rank].length, concurrent[i][rank].length)
+          << "query " << i << " rank " << rank;
+    }
+  }
+}
+
+// Forcing an explicit thread count makes the reuse path deterministic in
+// plain dev runs too (the TSan leg already pins MTS_THREADS=4).
+TEST(SearchSpaceThreads, ExplicitThreadCountsAgree) {
+  const auto network = citygen::generate_city(citygen::City::Boston, 0.1, 17);
+  const auto weights = attack::make_weights(network, attack::WeightType::Length);
+  const DiGraph& g = network.graph();
+  const auto queries = make_queries(g, 32, 5);
+
+  std::vector<double> baseline;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    set_num_threads(threads);
+    std::vector<double> lengths(queries.size(), -1.0);
+    parallel_for(queries.size(), [&](std::size_t i) {
+      lengths[i] = shortest_distance(g, weights, queries[i].source, queries[i].target);
+    });
+    set_num_threads(0);
+    if (baseline.empty()) {
+      baseline = lengths;
+    } else {
+      EXPECT_EQ(baseline, lengths) << "thread count " << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mts

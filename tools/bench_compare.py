@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Deterministic work-counter regression gate.
+
+Runs the table02 bench at a small, seed-pinned configuration with
+MTS_METRICS=1 and compares the *work counters* the pipeline emits
+(dijkstra relaxation effort, LP pivots, Yen pruning) against a
+checked-in baseline (BENCH_PR4.json).  These counters are exact
+functions of the input — bit-identical across machines and thread
+counts — so the comparison tolerance is zero: any drift means the
+algorithms did different work, which is either an intended change
+(re-baseline with --update) or a performance regression/correctness
+bug worth catching.
+
+Wall-clock is measured and *reported* alongside the counters, but never
+gated — timing noise on shared CI runners would make a wall-clock gate
+flaky, while counter drift is deterministic.
+
+Counters deliberately NOT gated:
+  * dijkstra.workspace_reuses — the first search on each pool thread
+    allocates instead of reusing, so the value depends on how the
+    scheduler spreads tasks across threads.
+  * dijkstra.runs and anything downstream of wall-clock.
+
+Wired into ctest as `bench_gate` (root CMakeLists.txt) and run by the
+dev leg of ci.sh.  Usage:
+
+  python3 tools/bench_compare.py --bench build/bench/table02_boston_length \
+      --baseline BENCH_PR4.json [--update]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+# Same shape as the validate_trace workload but a different seed and two
+# threads: large enough that every gated counter is exercised (Yen pruning
+# included), small enough to stay a few seconds on a laptop.  All gated
+# counters are thread-count invariant; MTS_THREADS=2 just keeps the run
+# representative of parallel table cells.
+BENCH_ENV = {
+    "MTS_METRICS": "1",
+    "MTS_TIMING": "0",
+    "MTS_THREADS": "2",
+    "MTS_SCALE": "0.3",
+    "MTS_TRIALS": "4",
+    "MTS_PATH_RANK": "40",
+    "MTS_SEED": "11",
+}
+
+# Deterministic work counters under the +-0% gate.  Keep this list in sync
+# with the baseline file; bench_compare fails if a gated counter is missing
+# from either side.
+GATED_COUNTERS = [
+    "dijkstra.edges_scanned",
+    "dijkstra.nodes_settled",
+    "lp.pivots",
+    "lp.solves",
+    "yen.spurs_pruned",
+]
+
+# Reported next to the gate for context, never compared.
+INFORMATIONAL_COUNTERS = [
+    "dijkstra.runs",
+    "dijkstra.workspace_reuses",
+    "yen.spur_searches",
+    "yen.candidates_pushed",
+]
+
+
+def fail(message: str) -> None:
+    print(f"bench_compare: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_bench(bench: Path) -> tuple[dict, float]:
+    """Runs the bench in a temp dir; returns (metrics JSON, wall seconds)."""
+    with tempfile.TemporaryDirectory(prefix="mts_bench_compare_") as tmp:
+        (Path(tmp) / "bench_results").mkdir()
+        env = dict(os.environ)
+        env.update(BENCH_ENV)
+        start = time.monotonic()
+        proc = subprocess.run([str(bench)], cwd=tmp, env=env,
+                              stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                              text=True, timeout=900)
+        wall = time.monotonic() - start
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            fail(f"bench exited with status {proc.returncode}")
+        metrics_path = Path(tmp) / "bench_results" / "table02_metrics.json"
+        if not metrics_path.is_file():
+            fail("bench did not write table02_metrics.json (MTS_METRICS=1 ignored?)")
+        try:
+            metrics = json.loads(metrics_path.read_text())
+        except json.JSONDecodeError as err:
+            fail(f"table02_metrics.json is not valid JSON: {err}")
+    return metrics, wall
+
+
+def gated_values(counters: dict) -> dict[str, int]:
+    values = {}
+    for name in GATED_COUNTERS:
+        if name not in counters:
+            fail(f"bench metrics missing gated counter {name!r} "
+                 f"(have: {', '.join(sorted(counters))})")
+        values[name] = counters[name]
+    return values
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", type=Path, required=True,
+                        help="path to the table02 bench binary")
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="checked-in baseline JSON (BENCH_PR4.json)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run instead of comparing")
+    args = parser.parse_args()
+
+    bench = args.bench.resolve()
+    if not bench.is_file():
+        fail(f"bench binary not found: {bench}")
+
+    metrics, wall = run_bench(bench)
+    counters = metrics.get("counters")
+    if not isinstance(counters, dict):
+        fail("metrics JSON has no 'counters' object")
+    current = gated_values(counters)
+
+    print(f"bench_compare: bench wall-clock {wall:.2f}s (reported, not gated)")
+    for name in INFORMATIONAL_COUNTERS:
+        if name in counters:
+            print(f"bench_compare: info  {name} = {counters[name]}")
+
+    if args.update:
+        baseline = {
+            "_comment": "Deterministic work-counter baseline for tools/bench_compare.py "
+                        "(PR 4 goal-directed search engine).  Regenerate with --update "
+                        "after an intentional algorithmic change.",
+            "bench": "table02_boston_length",
+            "env": BENCH_ENV,
+            "counters": current,
+        }
+        args.baseline.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+        print(f"bench_compare: baseline updated: {args.baseline}")
+        return 0
+
+    if not args.baseline.is_file():
+        fail(f"baseline not found: {args.baseline} (generate with --update)")
+    baseline = json.loads(args.baseline.read_text())
+    if baseline.get("env") != BENCH_ENV:
+        fail("baseline env block does not match BENCH_ENV in this script; "
+             "regenerate the baseline with --update")
+    expected = baseline.get("counters", {})
+
+    regressions = []
+    for name in GATED_COUNTERS:
+        if name not in expected:
+            fail(f"baseline missing gated counter {name!r}; regenerate with --update")
+        if current[name] != expected[name]:
+            delta = current[name] - expected[name]
+            regressions.append(f"{name}: expected {expected[name]}, got {current[name]} "
+                               f"({'+' if delta >= 0 else ''}{delta})")
+        else:
+            print(f"bench_compare: ok    {name} = {current[name]}")
+
+    if regressions:
+        for line in regressions:
+            print(f"bench_compare: DRIFT {line}", file=sys.stderr)
+        fail("work counters drifted from BENCH_PR4.json (intended? rerun with --update)")
+
+    print("bench_compare: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,14 @@ Rules (see DESIGN.md "Correctness tooling"):
                    and src/obs/ — all reported durations must flow through
                    mts::Stopwatch/reported_seconds so MTS_TIMING=0 stays
                    authoritative (deterministic output depends on it)
+  no-search-alloc  the point-to-point search engines (dijkstra/astar/
+                   bidirectional + search_space itself) must not size a
+                   container to num_nodes per call — per-search storage
+                   lives in the epoch-stamped SearchSpace precisely so the
+                   Yen/oracle hot loops stop allocating (DESIGN.md §9)
+  ci-workflow      .github/workflows/ci.yml parses as YAML and carries a
+                   job matrix covering every ci.sh leg (dev, asan, tsan),
+                   so the hosted gate can never silently drop a preset
 """
 
 from __future__ import annotations
@@ -192,6 +200,59 @@ class Linter:
                 self.report(path, lineno, "no-using-ns",
                             f"using namespace in a header leaks into every includer: {line}")
 
+    def check_no_search_alloc(self) -> None:
+        # Scope: the engines the SearchSpace refactor de-allocated.  yen.cpp
+        # keeps legitimate per-query scratch (candidate heap, root prefix),
+        # so it is deliberately not listed.
+        engine_files = ["search_space.cpp", "dijkstra.cpp", "astar.cpp", "bidirectional.cpp"]
+        pattern = re.compile(
+            r"(?:\.assign\s*\([^;]*num_nodes\s*\(\s*\))|"
+            r"(?:std\s*::\s*vector\s*<[^;=]*>\s*\w*\s*[({][^;]*num_nodes\s*\(\s*\))")
+        for name in engine_files:
+            path = self.root / "src" / "graph" / name
+            if not path.is_file():
+                continue
+            for lineno, line in self.match_lines(strip_code(path.read_text()), pattern):
+                self.report(path, lineno, "no-search-alloc",
+                            f"per-call num_nodes-sized allocation in a search engine; "
+                            f"use the SearchSpace workspace: {line}")
+
+    def check_ci_workflow(self) -> None:
+        workflow = self.root / ".github" / "workflows" / "ci.yml"
+        if not workflow.is_file():
+            self.report(workflow, 1, "ci-workflow", "missing .github/workflows/ci.yml")
+            return
+        try:
+            import yaml
+        except ImportError:
+            # PyYAML is in the dev image and on GitHub runners; without it
+            # the YAML check degrades to existence-only rather than failing
+            # the whole lint gate.
+            print("lint: note: PyYAML unavailable, ci-workflow check skipped",
+                  file=sys.stderr)
+            return
+        try:
+            doc = yaml.safe_load(workflow.read_text())
+        except yaml.YAMLError as err:
+            line = getattr(getattr(err, "problem_mark", None), "line", 0) + 1
+            self.report(workflow, line, "ci-workflow", f"invalid YAML: {err}")
+            return
+        jobs = doc.get("jobs") if isinstance(doc, dict) else None
+        if not isinstance(jobs, dict) or not jobs:
+            self.report(workflow, 1, "ci-workflow", "workflow defines no jobs")
+            return
+        presets: set[str] = set()
+        for job in jobs.values():
+            if not isinstance(job, dict):
+                continue
+            matrix = (job.get("strategy") or {}).get("matrix") or {}
+            for value in matrix.get("preset", []):
+                presets.add(str(value))
+        missing = {"dev", "asan", "tsan"} - presets
+        if missing:
+            self.report(workflow, 1, "ci-workflow",
+                        f"job matrix does not cover ci.sh leg(s): {', '.join(sorted(missing))}")
+
     # --------------------------------------------------------------------
 
     def run(self) -> int:
@@ -207,6 +268,8 @@ class Linter:
         self.check_no_const_cast_top()
         self.check_no_raw_clock()
         self.check_no_using_namespace()
+        self.check_no_search_alloc()
+        self.check_ci_workflow()
         for path, lineno, rule, message in self.violations:
             rel = path.relative_to(self.root)
             print(f"{rel}:{lineno}: [{rule}] {message}")

@@ -32,14 +32,17 @@ from pathlib import Path
 
 # Small but non-trivial: enough trials for the attack loop, Yen, the LP,
 # and the oracle to all fire, and >1 thread so the pool queue histogram
-# has samples.  Seed-pinned so failures reproduce.
+# has samples.  The workload must stay large enough that pool workers wake
+# before the calling thread drains the whole job (the goal-directed spur
+# engine made the old rank-8 run finish in under a worker wakeup), or the
+# queue-wait check below turns flaky.  Seed-pinned so failures reproduce.
 BENCH_ENV = {
     "MTS_TRACE": "1",
     "MTS_METRICS": "1",
     "MTS_THREADS": "4",
-    "MTS_SCALE": "0.2",
-    "MTS_TRIALS": "2",
-    "MTS_PATH_RANK": "8",
+    "MTS_SCALE": "0.3",
+    "MTS_TRIALS": "4",
+    "MTS_PATH_RANK": "40",
     "MTS_SEED": "7",
 }
 
