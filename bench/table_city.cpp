@@ -6,16 +6,29 @@
 //   MTS_TABLE_CITY    Boston | SanFrancisco | Chicago | LosAngeles
 //   MTS_TABLE_WEIGHT  Length | Time
 //   MTS_TABLE_NUM     paper table number (2..8)
+#include <cstring>
 #include <iostream>
 
+#include "core/budget.hpp"
 #include "core/env.hpp"
 #include "exp/json_report.hpp"
 #include "exp/paper_values.hpp"
 #include "exp/table_runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mts;
   using exp::RunConfig;
+
+  bool resume = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--resume]\n"
+                << "  --resume  skip cells already in the MTS_CHECKPOINT journal\n";
+      return 2;
+    }
+  }
 
   const auto env = BenchEnv::from_environment();
   const std::string base = "bench_results/table0" + std::to_string(MTS_TABLE_NUM);
@@ -29,6 +42,13 @@ int main() {
   config.path_rank = env.path_rank;
   config.seed = env.seed;
   config.deterministic_timing = !env.timing;
+  config.work_budget = WorkBudget::from_environment();
+  config.checkpoint_path = env.checkpoint;
+  config.resume = resume;
+  if (resume && config.checkpoint_path.empty()) {
+    // --resume without MTS_CHECKPOINT: use the table's conventional journal.
+    config.checkpoint_path = base + "_journal.jsonl";
+  }
 
   const auto result = exp::run_city_table(config);
   auto table = exp::render_city_table(result);

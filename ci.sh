@@ -34,13 +34,15 @@ for preset in "${PRESETS[@]}"; do
     echo "==== [$preset] build (parallel suites) ===="
     cmake --build --preset "$preset" -j "$JOBS" --target test_core test_integration test_obs
 
-    echo "==== [$preset] ctest (ThreadPool + ParallelDeterminism + MetricsRegistry + SearchSpace) ===="
+    echo "==== [$preset] ctest (ThreadPool + ParallelDeterminism + MetricsRegistry + SearchSpace + Fault/Checkpoint) ===="
     # MTS_THREADS=4 forces real concurrency even on small CI hosts, so TSan
     # actually sees the threads it is supposed to check.  ConcurrentRecording
     # is the obs/metrics sharded-registry race gate; SearchSpaceThreads races
-    # the per-thread search workspace reuse path (graph/search_space.hpp).
+    # the per-thread search workspace reuse path (graph/search_space.hpp);
+    # Fault/Checkpoint race the quarantine + journal-append paths of the
+    # parallel harness (exp/table_runner, exp/checkpoint).
     MTS_THREADS=4 ctest --preset "$preset" -j "$JOBS" \
-      -R 'ThreadPool|ParallelDeterminism|ConcurrentRecording|SearchSpace'
+      -R 'ThreadPool|ParallelDeterminism|ConcurrentRecording|SearchSpace|Fault|Checkpoint'
     continue
   fi
 
@@ -52,6 +54,21 @@ for preset in "${PRESETS[@]}"; do
 
   echo "==== [$preset] ctest ===="
   ctest --preset "$preset" -j "$JOBS"
+
+  if [ "$preset" = asan ]; then
+    # Fault-injection smoke: arm every compiled-in fault point in turn and
+    # run the small table bench under ASan+UBSan.  The armed fault must be
+    # contained (quarantined cell or dropped trial, exit 0) — never a
+    # crash, leak, or sanitizer report.
+    echo "==== [$preset] fault-injection smoke (MTS_FAULTS matrix) ===="
+    for point in lp.pivot yen.spur oracle.solve pool.task; do
+      echo "---- MTS_FAULTS=$point:after=25:throw ----"
+      (cd "build-$preset" &&
+        MTS_FAULTS="$point:after=25:throw" MTS_SCALE=0.2 MTS_TRIALS=2 \
+          MTS_PATH_RANK=10 MTS_SEED=11 MTS_TIMING=0 \
+          ./bench/table02_boston_length > /dev/null)
+    done
+  fi
 
   if [ "$preset" = dev ]; then
     # Explicit observability gate: a small MTS_TRACE=1 bench run whose

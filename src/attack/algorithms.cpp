@@ -30,6 +30,7 @@ const char* to_string(AttackStatus status) {
     case AttackStatus::BudgetExceeded: return "budget-exceeded";
     case AttackStatus::Infeasible: return "infeasible";
     case AttackStatus::IterationLimit: return "iteration-limit";
+    case AttackStatus::BudgetExhausted: return "budget-exhausted";
   }
   return "?";
 }
@@ -42,8 +43,8 @@ struct Context {
   ExclusivityOracle oracle;
   std::vector<std::uint8_t> in_p_star;  // per edge
 
-  explicit Context(const ForcePathCutProblem& p)
-      : problem(p), oracle(p), in_p_star(p.graph->num_edges(), 0) {
+  explicit Context(const ForcePathCutProblem& p, WorkBudget* budget = nullptr)
+      : problem(p), oracle(p, budget), in_p_star(p.graph->num_edges(), 0) {
     for (EdgeId e : p.p_star.edges) in_p_star[e.value()] = 1;
   }
 
@@ -170,6 +171,14 @@ AttackResult run_path_cover(Context& ctx, const AttackOptions& options, bool use
 
   EdgeFilter filter(ctx.problem.graph->num_edges());
   double lp_lower_bound = 0.0;
+  bool fallback_used = false;
+  std::string fallback_reason;
+  const auto finalize = [&](AttackResult result) {
+    result.lp_lower_bound = lp_lower_bound;
+    result.fallback_used = fallback_used;
+    result.fallback_reason = fallback_reason;
+    return result;
+  };
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     // ---- Build the covering instance over removable edges.
@@ -195,9 +204,7 @@ AttackResult run_path_cover(Context& ctx, const AttackOptions& options, bool use
         set.push_back(it->second);
       }
       if (set.empty()) {  // fully protected constraint path: unforceable
-        AttackResult result = finish(ctx, AttackStatus::Infeasible, std::move(forced), iter);
-        result.lp_lower_bound = lp_lower_bound;
-        return result;
+        return finalize(finish(ctx, AttackStatus::Infeasible, std::move(forced), iter));
       }
       covering.sets.push_back(std::move(set));
     }
@@ -211,6 +218,15 @@ AttackResult run_path_cover(Context& ctx, const AttackOptions& options, bool use
       const CoveringSolution solution = use_lp ? solve_covering_lp(covering, rng, options.covering)
                                                : solve_covering_greedy(covering);
       require(solution.feasible, "path cover: covering unexpectedly infeasible");
+      if (solution.fallback_used && !fallback_used) {
+        fallback_used = true;
+        fallback_reason = solution.fallback_reason;
+        // Cold branch: lazy registration keeps the counter out of clean-run
+        // snapshots (bench_gate byte-identity).
+        static const obs::CounterId kFallbacks =
+            obs::MetricsRegistry::instance().counter("attack.fallbacks");
+        obs::add(kFallbacks);
+      }
       if (use_lp) lp_lower_bound = std::max(lp_lower_bound, solution.lp_lower_bound);
       for (std::size_t j : solution.chosen) cut.push_back(vars[j]);
     }
@@ -218,17 +234,13 @@ AttackResult run_path_cover(Context& ctx, const AttackOptions& options, bool use
     filter.clear();
     for (EdgeId e : cut) filter.remove(e);
     if (ctx.cost_of(cut) > ctx.problem.budget) {
-      AttackResult result = finish(ctx, AttackStatus::BudgetExceeded, std::move(cut), iter);
-      result.lp_lower_bound = lp_lower_bound;
-      return result;
+      return finalize(finish(ctx, AttackStatus::BudgetExceeded, std::move(cut), iter));
     }
 
     // ---- Oracle: did the cut force p*?
     const auto violating = ctx.oracle.find_violating_path(filter);
     if (!violating) {
-      AttackResult result = finish(ctx, AttackStatus::Success, std::move(cut), iter);
-      result.lp_lower_bound = lp_lower_bound;
-      return result;
+      return finalize(finish(ctx, AttackStatus::Success, std::move(cut), iter));
     }
     if (signatures.insert(path_signature(*violating)).second) {
       constraints.push_back(*violating);
@@ -245,20 +257,15 @@ AttackResult run_path_cover(Context& ctx, const AttackOptions& options, bool use
         }
       }
       if (!cheapest.valid()) {
-        AttackResult result =
-            finish(ctx, AttackStatus::Infeasible, filter.removed_edges(), iter);
-        result.lp_lower_bound = lp_lower_bound;
-        return result;
+        return finalize(finish(ctx, AttackStatus::Infeasible, filter.removed_edges(), iter));
       }
       forced.push_back(cheapest);
       forced_set.insert(cheapest.value());
       obs::add(kForced);
     }
   }
-  AttackResult result =
-      finish(ctx, AttackStatus::IterationLimit, filter.removed_edges(), options.max_iterations);
-  result.lp_lower_bound = lp_lower_bound;
-  return result;
+  return finalize(
+      finish(ctx, AttackStatus::IterationLimit, filter.removed_edges(), options.max_iterations));
 }
 
 }  // namespace
@@ -278,13 +285,27 @@ AttackResult run_attack(Algorithm algorithm, const ForcePathCutProblem& problem,
 
   obs::ScopedPhase phase("attack");
   Stopwatch stopwatch;
-  Context ctx(problem);
+  // The per-attack budget copy is what gets charged; a caller's all-zero
+  // (unlimited) budget stays off the hot path as a null pointer.
+  WorkBudget budget = options.work_budget;
+  WorkBudget* budget_ptr = budget.limited() ? &budget : nullptr;
+  AttackOptions effective = options;
+  effective.covering.lp.budget = budget_ptr;
   AttackResult result;
-  switch (algorithm) {
-    case Algorithm::GreedyEdge: result = run_greedy_edge(ctx, options); break;
-    case Algorithm::GreedyEig: result = run_greedy_eig(ctx, options); break;
-    case Algorithm::GreedyPathCover: result = run_path_cover(ctx, options, false); break;
-    case Algorithm::LpPathCover: result = run_path_cover(ctx, options, true); break;
+  try {
+    Context ctx(problem, budget_ptr);
+    switch (algorithm) {
+      case Algorithm::GreedyEdge: result = run_greedy_edge(ctx, effective); break;
+      case Algorithm::GreedyEig: result = run_greedy_eig(ctx, effective); break;
+      case Algorithm::GreedyPathCover: result = run_path_cover(ctx, effective, false); break;
+      case Algorithm::LpPathCover: result = run_path_cover(ctx, effective, true); break;
+    }
+  } catch (const BudgetExhausted&) {
+    // Structured outcome, not an error: the deterministic caps ran out.
+    // Injected faults (FaultInjected) deliberately propagate past here so
+    // the harness quarantine handles them.
+    result = AttackResult{};
+    result.status = AttackStatus::BudgetExhausted;
   }
   result.seconds = stopwatch.reported();
   return result;

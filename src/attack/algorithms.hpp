@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "attack/problem.hpp"
+#include "core/budget.hpp"
 #include "lp/covering.hpp"
 
 namespace mts::attack {
@@ -34,6 +35,10 @@ struct AttackOptions {
   /// Seed for LP randomized rounding.
   std::uint64_t rng_seed = 1;
   CoveringOptions covering;
+  /// Deterministic work caps for the whole attack (all-zero = unlimited).
+  /// run_attack() copies this, threads the copy through oracle/yen/simplex,
+  /// and converts an exhausted budget into AttackStatus::BudgetExhausted.
+  WorkBudget work_budget;
 };
 
 /// Runs `algorithm` on `problem`.  The returned removal set never touches

@@ -1,8 +1,10 @@
 #include "attack/oracle.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "core/error.hpp"
+#include "core/fault.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/yen.hpp"
 #include "obs/phase.hpp"
@@ -30,7 +32,8 @@ struct OracleCounters {
 
 }  // namespace
 
-ExclusivityOracle::ExclusivityOracle(const ForcePathCutProblem& problem) : problem_(problem) {
+ExclusivityOracle::ExclusivityOracle(const ForcePathCutProblem& problem, WorkBudget* budget)
+    : problem_(problem), budget_(budget) {
   require(problem.graph != nullptr, "oracle: null graph");
   require(is_simple_path(*problem.graph, problem.p_star, problem.source, problem.target),
           "oracle: p* is not a simple source->target path");
@@ -39,6 +42,7 @@ ExclusivityOracle::ExclusivityOracle(const ForcePathCutProblem& problem) : probl
   validate_weights(*problem.graph, problem_.weights, "oracle");
   DijkstraOptions reverse_options;
   reverse_options.assume_valid_weights = true;
+  reverse_options.budget = budget_;
   reverse_dijkstra(reverse_tree_, *problem.graph, problem_.weights, problem_.target,
                    reverse_options);
 }
@@ -54,6 +58,13 @@ std::optional<Path> ExclusivityOracle::find_violating_path(const EdgeFilter& fil
   const auto& g = *problem_.graph;
   const double eps = tie_epsilon();
 
+  // Nan corrupts the query's result below (caught by the consistency
+  // require); Limit has no native emulation here and escalates to Throw.
+  const fault::Action injected = MTS_FAULT_ACTION("oracle.solve");
+  if (injected == fault::Action::Throw || injected == fault::Action::Limit) {
+    fault::throw_injected("oracle.solve", injected);
+  }
+
   // Goal-directed query: reverse_tree_'s unfiltered distances stay
   // admissible under any filter, and no violating path is ever longer than
   // p* itself, so p*'s length is an exact prune bound.  p*'s own nodes all
@@ -64,12 +75,18 @@ std::optional<Path> ExclusivityOracle::find_violating_path(const EdgeFilter& fil
   options.goal_bounds = &reverse_tree_;
   options.prune_bound = p_star_length_;
   options.assume_valid_weights = true;
+  options.budget = budget_;
   SearchSpace& ws = thread_search_space();
   dijkstra(ws, g, problem_.weights, problem_.source, options);
   auto sp = extract_path(g, ws, problem_.source, problem_.target);
   // p*'s own edges are never removed by the algorithms, so s→d stays
   // connected; a missing path means the caller removed part of p*.
   require(sp.has_value(), "oracle: source cannot reach target (p* was damaged)");
+  if (injected == fault::Action::Nan) {
+    // Models a poisoned weight vector reaching the solve: the consistency
+    // require below turns it into a quarantinable PreconditionViolation.
+    sp->length = std::numeric_limits<double>::quiet_NaN();
+  }
   require(sp->length <= p_star_length_ + eps,
           "oracle: shortest path longer than p* (inconsistent weights)");
 
@@ -87,7 +104,7 @@ std::optional<Path> ExclusivityOracle::find_violating_path(const EdgeFilter& fil
   // Dijkstra returned p* itself; certify no *other* path ties it.
   obs::add(OracleCounters::get().ties);
   auto second = second_shortest_path(g, problem_.weights, problem_.source, problem_.target,
-                                     problem_.p_star, &filter);
+                                     problem_.p_star, &filter, budget_);
   if (second && second->length <= p_star_length_ + eps) {
     obs::add(OracleCounters::get().violations);
     return second;

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "attack/problem.hpp"
+#include "core/budget.hpp"
 #include "graph/edge_filter.hpp"
 #include "graph/search_space.hpp"
 
@@ -19,9 +20,11 @@ using mts::EdgeFilter;
 
 class ExclusivityOracle {
  public:
-  /// `problem` must outlive the oracle.  Throws PreconditionViolation if
-  /// p* is not a simple s→d path or touches a non-positive-length check.
-  explicit ExclusivityOracle(const ForcePathCutProblem& problem);
+  /// `problem` must outlive the oracle (as must `budget` when non-null).
+  /// Throws PreconditionViolation if p* is not a simple s→d path or touches
+  /// a non-positive-length check.  `budget` caps the deterministic work of
+  /// every query this oracle runs (core/budget.hpp; nullptr = unlimited).
+  explicit ExclusivityOracle(const ForcePathCutProblem& problem, WorkBudget* budget = nullptr);
 
   /// A path that still violates p*'s exclusivity under `filter`, or
   /// nullopt when p* is certified exclusively shortest.
@@ -42,6 +45,7 @@ class ExclusivityOracle {
   /// distance under every filter the oracle will ever see — an admissible
   /// goal-direction heuristic for all queries (DESIGN.md §9).
   SearchSpace reverse_tree_;
+  WorkBudget* budget_ = nullptr;
   mutable std::size_t calls_ = 0;
 };
 

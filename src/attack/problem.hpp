@@ -7,6 +7,7 @@
 
 #include <limits>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "graph/digraph.hpp"
@@ -48,6 +49,7 @@ enum class AttackStatus {
   BudgetExceeded,  // a forcing cut exists but costs more than the budget
   Infeasible,      // p* cannot be forced (shares a cheaper tied twin)
   IterationLimit,  // gave up; partial removals reported
+  BudgetExhausted, // deterministic work budget ran out (core/budget.hpp)
 };
 
 const char* to_string(AttackStatus status);
@@ -60,6 +62,12 @@ struct AttackResult {
   std::size_t iterations = 0;
   double lp_lower_bound = 0.0;  // LP-PathCover only: certified lower bound
   double seconds = 0.0;
+  /// True when the covering LP failed and the greedy cover was substituted
+  /// at any iteration (LP-PathCover only); the result is still a valid cut
+  /// but lp_lower_bound may be weaker.  See DESIGN.md §10.
+  bool fallback_used = false;
+  /// Why the fallback engaged, when it did ("lp iteration-limit ...").
+  std::string fallback_reason;
 
   [[nodiscard]] std::size_t num_removed() const { return removed_edges.size(); }
 };

@@ -45,13 +45,38 @@ class Flags {
     if (it == values_.end()) throw InvalidInput("missing required flag --" + key);
     return it->second;
   }
+  /// Numeric getters reject anything but a fully-consumed literal, so
+  /// "--seed 7x" or "--budget ten" fail with the flag name instead of a
+  /// bare std::stod exception.
   [[nodiscard]] double get_double(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stod(it->second);
+    if (it == values_.end()) return fallback;
+    std::size_t used = 0;
+    double parsed = 0.0;
+    try {
+      parsed = std::stod(it->second, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used == 0 || used != it->second.size()) {
+      throw InvalidInput("--" + key + " expects a number, got '" + it->second + "'");
+    }
+    return parsed;
   }
   [[nodiscard]] long get_int(const std::string& key, long fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stol(it->second);
+    if (it == values_.end()) return fallback;
+    std::size_t used = 0;
+    long parsed = 0;
+    try {
+      parsed = std::stol(it->second, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used == 0 || used != it->second.size()) {
+      throw InvalidInput("--" + key + " expects an integer, got '" + it->second + "'");
+    }
+    return parsed;
   }
 
  private:
@@ -88,6 +113,19 @@ attack::CostType parse_cost(const std::string& name) {
   throw InvalidInput("unknown cost '" + name + "' (uniform|lanes|width)");
 }
 
+/// Shared semantic checks; each throws InvalidInput naming the flag.
+std::uint64_t parse_seed(const Flags& flags) {
+  const long seed = flags.get_int("seed", 7);
+  if (seed < 0) throw InvalidInput("--seed must be >= 0");
+  return static_cast<std::uint64_t>(seed);
+}
+
+double parse_budget(const Flags& flags, double fallback) {
+  const double budget = flags.get_double("budget", fallback);
+  if (!(budget > 0.0)) throw InvalidInput("--budget must be positive");
+  return budget;
+}
+
 osm::RoadNetwork load_network(const Flags& flags) {
   const std::string path = flags.require_flag("osm");
   return osm::RoadNetwork::build(osm::load_osm_xml(path));
@@ -106,9 +144,10 @@ std::size_t hospital_index(const osm::RoadNetwork& network, const Flags& flags) 
 
 int cmd_generate(const Flags& flags, std::ostream& out) {
   const auto city = parse_city(flags.get("city", "boston"));
-  const auto spec = citygen::city_spec(city, flags.get_double("scale", 1.0));
-  const auto data =
-      citygen::generate_city_osm(spec, static_cast<std::uint64_t>(flags.get_int("seed", 7)));
+  const double scale = flags.get_double("scale", 1.0);
+  if (!(scale > 0.0)) throw InvalidInput("--scale must be positive");
+  const auto spec = citygen::city_spec(city, scale);
+  const auto data = citygen::generate_city_osm(spec, parse_seed(flags));
   const std::string path = flags.require_flag("out");
   osm::save_osm_xml(data, path);
   out << "wrote " << data.nodes.size() << " nodes, " << data.ways.size() << " ways to "
@@ -144,9 +183,10 @@ int cmd_attack(const Flags& flags, std::ostream& out, std::ostream& err) {
   const auto costs = attack::make_costs(network, parse_cost(flags.get("cost", "uniform")));
   const auto algorithm = parse_algorithm(flags.get("algorithm", "greedy-pathcover"));
 
-  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 7)));
+  Rng rng(parse_seed(flags));
   exp::ScenarioOptions options;
   options.path_rank = static_cast<int>(flags.get_int("rank", 100));
+  if (options.path_rank < 1) throw InvalidInput("--rank must be >= 1");
   const auto scenario =
       exp::sample_scenario(network, weights, hospital_index(network, flags), rng, options);
   if (!scenario) {
@@ -162,7 +202,7 @@ int cmd_attack(const Flags& flags, std::ostream& out, std::ostream& err) {
   problem.target = scenario->target;
   problem.p_star = scenario->p_star;
   problem.seed_paths = scenario->prefix;
-  problem.budget = flags.get_double("budget", problem.budget);
+  problem.budget = parse_budget(flags, problem.budget);
 
   const auto result = run_attack(algorithm, problem);
   out << "status: " << to_string(result.status) << "\n"
@@ -205,8 +245,9 @@ int cmd_isolate(const Flags& flags, std::ostream& out) {
   const auto network = load_network(flags);
   const auto costs = attack::make_costs(network, parse_cost(flags.get("cost", "lanes")));
   const auto& poi = network.pois()[hospital_index(network, flags)];
-  const auto area = attack::nodes_within_radius(network.graph(), poi.access_node,
-                                                flags.get_double("radius", 400.0));
+  const double radius = flags.get_double("radius", 400.0);
+  if (!(radius > 0.0)) throw InvalidInput("--radius must be positive");
+  const auto area = attack::nodes_within_radius(network.graph(), poi.access_node, radius);
   const auto result = attack::isolate_area(network.graph(), costs, area);
   if (!result.feasible) {
     out << "isolation infeasible (area empty or covers the whole city)\n";
@@ -228,7 +269,7 @@ int cmd_interdict(const Flags& flags, std::ostream& out, std::ostream& err) {
   const auto costs = attack::make_costs(network, parse_cost(flags.get("cost", "uniform")));
   const auto& poi = network.pois()[hospital_index(network, flags)];
 
-  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 7)));
+  Rng rng(parse_seed(flags));
   const auto intersections = network.intersection_nodes();
   const NodeId source = intersections[rng.uniform_index(intersections.size())];
   if (source == poi.node) {
@@ -236,7 +277,7 @@ int cmd_interdict(const Flags& flags, std::ostream& out, std::ostream& err) {
     return 1;
   }
   const auto result = attack::interdict_route(network.graph(), weights, costs, source, poi.node,
-                                      flags.get_double("budget", 8.0));
+                                              parse_budget(flags, 8.0));
   out << "interdiction " << source.value() << " -> " << poi.name << ": baseline "
       << format_fixed(result.baseline_distance, 1) << ", after "
       << result.removed_edges.size() << " closures "

@@ -1,0 +1,59 @@
+#include "core/budget.hpp"
+
+#include <cstdlib>
+
+namespace mts {
+
+WorkBudget WorkBudget::parse(std::string_view spec) {
+  WorkBudget budget;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      throw InvalidInput("MTS_BUDGET: malformed entry '" + std::string(entry) +
+                         "' (expected key=N with key in edges|pivots|spurs)");
+    }
+    const std::string_view key = entry.substr(0, eq);
+    const std::string value(entry.substr(eq + 1));
+    // strtoull silently wraps negatives, so insist on a leading digit.
+    if (value.empty() || value[0] < '0' || value[0] > '9') {
+      throw InvalidInput("MTS_BUDGET: bad count in '" + std::string(entry) +
+                         "' (need a positive integer)");
+    }
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || parsed == 0) {
+      throw InvalidInput("MTS_BUDGET: bad count in '" + std::string(entry) +
+                         "' (need a positive integer)");
+    }
+    if (key == "edges") {
+      budget.max_edges_scanned = parsed;
+    } else if (key == "pivots") {
+      budget.max_lp_pivots = parsed;
+    } else if (key == "spurs") {
+      budget.max_spur_searches = parsed;
+    } else {
+      throw InvalidInput("MTS_BUDGET: unknown key '" + std::string(key) +
+                         "' (expected edges|pivots|spurs)");
+    }
+  }
+  return budget;
+}
+
+WorkBudget WorkBudget::from_environment() {
+  const char* raw = std::getenv("MTS_BUDGET");
+  if (raw == nullptr || *raw == '\0') return WorkBudget{};
+  return parse(raw);
+}
+
+void WorkBudget::exhausted(const char* counter, std::uint64_t cap) {
+  throw BudgetExhausted(std::string("work budget exhausted: ") + counter +
+                        " exceeded cap " + std::to_string(cap));
+}
+
+}  // namespace mts

@@ -1,0 +1,81 @@
+// Cooperative deterministic work budgets.
+//
+// Wall-clock deadlines make runs machine-dependent; the harness instead caps
+// the exact work counters the pipeline already tracks (Dijkstra edge
+// relaxations, simplex pivots, Yen spur searches).  A WorkBudget is owned by
+// one attack task, threaded by pointer through dijkstra/yen/simplex/oracle,
+// and charged at coarse checkpoints (once per settled node / pivot / spur).
+// Exceeding any cap throws BudgetExhausted, which run_attack() converts into
+// a structured AttackStatus::BudgetExhausted — the same outcome on every
+// machine and thread count (DESIGN.md §10).
+//
+// A null budget pointer (the default everywhere) means unlimited and costs
+// one pointer test per checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/error.hpp"
+
+namespace mts {
+
+/// Thrown by WorkBudget::charge_* when a cap is exceeded.  Callers that
+/// degrade gracefully catch it at the attack boundary; everything between
+/// must be exception-safe, not exception-aware.
+class BudgetExhausted : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Deterministic work caps plus the running totals charged against them.
+/// Caps of 0 mean unlimited.  Not thread-safe: one budget per task.
+struct WorkBudget {
+  std::uint64_t max_edges_scanned = 0;
+  std::uint64_t max_lp_pivots = 0;
+  std::uint64_t max_spur_searches = 0;
+
+  std::uint64_t edges_scanned = 0;
+  std::uint64_t lp_pivots = 0;
+  std::uint64_t spur_searches = 0;
+
+  /// True when at least one cap is set; callers pass nullptr instead of an
+  /// unlimited budget so the zero-cap case stays off the hot path entirely.
+  [[nodiscard]] bool limited() const {
+    return max_edges_scanned != 0 || max_lp_pivots != 0 || max_spur_searches != 0;
+  }
+
+  void charge_edges_scanned(std::uint64_t n) {
+    edges_scanned += n;
+    if (max_edges_scanned != 0 && edges_scanned > max_edges_scanned) {
+      exhausted("edges_scanned", max_edges_scanned);
+    }
+  }
+
+  void charge_lp_pivots(std::uint64_t n) {
+    lp_pivots += n;
+    if (max_lp_pivots != 0 && lp_pivots > max_lp_pivots) {
+      exhausted("lp_pivots", max_lp_pivots);
+    }
+  }
+
+  void charge_spur_searches(std::uint64_t n) {
+    spur_searches += n;
+    if (max_spur_searches != 0 && spur_searches > max_spur_searches) {
+      exhausted("spur_searches", max_spur_searches);
+    }
+  }
+
+  /// Parses "edges=N,pivots=N,spurs=N" (any non-empty subset, any order).
+  /// Throws InvalidInput on unknown keys or non-positive counts.
+  static WorkBudget parse(std::string_view spec);
+
+  /// Budget from MTS_BUDGET; all-unlimited when unset or empty.
+  static WorkBudget from_environment();
+
+ private:
+  [[noreturn]] static void exhausted(const char* counter, std::uint64_t cap);
+};
+
+}  // namespace mts

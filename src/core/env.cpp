@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "core/fault.hpp"
 #include "core/thread_pool.hpp"
 #include "core/timer.hpp"
 #include "obs/metrics.hpp"
@@ -27,6 +28,12 @@ double env_double(const std::string& name, double fallback) {
   return parsed;
 }
 
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return raw;
+}
+
 BenchEnv BenchEnv::from_environment() {
   BenchEnv env;
   env.scale = env_double("MTS_SCALE", env.scale);
@@ -35,6 +42,10 @@ BenchEnv BenchEnv::from_environment() {
   env.path_rank = static_cast<int>(env_int("MTS_PATH_RANK", env.path_rank));
   env.threads = static_cast<int>(env_int("MTS_THREADS", env.threads));
   env.timing = env_int("MTS_TIMING", env.timing ? 1 : 0) != 0;
+  env.checkpoint = env_string("MTS_CHECKPOINT", env.checkpoint);
+  // Force the one-time MTS_FAULTS parse now: a malformed spec must abort at
+  // startup, not surface later as a quarantine on every cell.
+  (void)fault::faults_enabled();
   return env;
 }
 
@@ -48,7 +59,9 @@ void BenchEnv::print_run_header(const std::string& binary_name) const {
             << ", effective " << resolution.effective << ")"
             << " timing=" << (timing_enabled() ? 1 : 0)
             << " metrics=" << (obs::metrics_enabled() ? 1 : 0)
-            << " trace=" << (obs::trace_enabled() ? 1 : 0) << '\n';
+            << " trace=" << (obs::trace_enabled() ? 1 : 0);
+  if (!checkpoint.empty()) std::cerr << " checkpoint=" << checkpoint;
+  std::cerr << '\n';
 }
 
 }  // namespace mts

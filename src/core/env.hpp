@@ -16,6 +16,12 @@
 //               (default 0: near-zero overhead, no extra files)
 // MTS_TRACE     1 = additionally buffer per-phase trace events and write a
 //               Chrome trace_event JSON (implies MTS_METRICS=1)
+// MTS_CHECKPOINT path of the append-only cell journal; empty (default) =
+//               no journaling.  See exp/checkpoint.hpp and --resume.
+// MTS_BUDGET    deterministic work caps, e.g. "edges=5000000,pivots=20000"
+//               (parsed by WorkBudget::from_environment; empty = unlimited)
+// MTS_FAULTS    deterministic fault injection, e.g. "lp.pivot:after=100:throw"
+//               (parsed by fault::FaultRegistry; empty = disarmed)
 #pragma once
 
 #include <cstdint>
@@ -30,6 +36,9 @@ std::int64_t env_int(const std::string& name, std::int64_t fallback);
 /// Reads a floating-point environment variable with fallback.
 double env_double(const std::string& name, double fallback);
 
+/// Reads a string environment variable, falling back when unset or empty.
+std::string env_string(const std::string& name, const std::string& fallback);
+
 /// Bundled experiment knobs with their defaults applied.
 struct BenchEnv {
   double scale = 1.0;
@@ -38,6 +47,7 @@ struct BenchEnv {
   int path_rank = 100;
   int threads = 0;     // 0 = hardware concurrency
   bool timing = true;  // false = zero out reported wall-clock values
+  std::string checkpoint;  // cell journal path; empty = no journaling
 
   static BenchEnv from_environment();
 

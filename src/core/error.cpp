@@ -1,0 +1,37 @@
+#include "core/error.hpp"
+
+#include <exception>
+#include <new>
+
+#include "core/budget.hpp"
+#include "core/fault.hpp"
+
+namespace mts {
+
+std::string current_exception_taxonomy() {
+  // Most-derived classes first; the Error ladder mirrors the hierarchy in
+  // error.hpp plus the robustness-layer exceptions.
+  try {
+    throw;
+  } catch (const fault::FaultInjected& e) {
+    return std::string("fault-injected: ") + e.what();
+  } catch (const BudgetExhausted& e) {
+    return std::string("budget-exhausted: ") + e.what();
+  } catch (const InvariantViolation& e) {
+    return std::string("invariant-violation: ") + e.what();
+  } catch (const PreconditionViolation& e) {
+    return std::string("precondition-violation: ") + e.what();
+  } catch (const InvalidInput& e) {
+    return std::string("invalid-input: ") + e.what();
+  } catch (const Error& e) {
+    return std::string("error: ") + e.what();
+  } catch (const std::bad_alloc& e) {
+    return std::string("bad-alloc: ") + e.what();
+  } catch (const std::exception& e) {
+    return std::string("exception: ") + e.what();
+  } catch (...) {
+    return "unknown: non-standard exception";
+  }
+}
+
+}  // namespace mts

@@ -33,6 +33,14 @@ class InvariantViolation : public Error {
   using Error::Error;
 };
 
+/// Classifies the exception currently in flight into a stable
+/// "<category>: <message>" string for quarantine records and JSON reports.
+/// Categories: fault-injected, budget-exhausted, invariant-violation,
+/// precondition-violation, invalid-input, error, bad-alloc, exception,
+/// unknown.  Must be called from inside a catch block (it rethrows the
+/// active exception to inspect it).
+std::string current_exception_taxonomy();
+
 /// Checks a caller-facing precondition; throws PreconditionViolation with
 /// file/line context on failure.  Used at public API boundaries (internal
 /// invariants use MTS_DCHECK from core/check.hpp).

@@ -8,6 +8,7 @@
 #include "core/error.hpp"
 #include "core/thread_pool.hpp"
 #include "core/timer.hpp"
+#include "exp/checkpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -57,7 +58,19 @@ std::string to_json(const CityTableResult& result) {
       out << ',';
       append_stats(out, "cost", cell.cost);
       out << ",\"attack_failures\":" << cell.attack_failures
-          << ",\"verification_failures\":" << cell.verification_failures << '}';
+          << ",\"verification_failures\":" << cell.verification_failures;
+      // Degradation fields appear only when something degraded, so clean
+      // runs stay byte-identical to reports written before these existed.
+      if (cell.fallbacks > 0) out << ",\"fallbacks\":" << cell.fallbacks;
+      if (cell.quarantined > 0) {
+        out << ",\"quarantined\":" << cell.quarantined << ",\"errors\":[";
+        for (std::size_t i = 0; i < cell.errors.size(); ++i) {
+          if (i > 0) out << ',';
+          out << '"' << json_escape(cell.errors[i]) << '"';
+        }
+        out << ']';
+      }
+      out << '}';
     }
   }
   out << "]}";

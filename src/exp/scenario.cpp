@@ -1,5 +1,7 @@
 #include "exp/scenario.hpp"
 
+#include <iostream>
+
 #include "core/error.hpp"
 #include "core/thread_pool.hpp"
 #include "core/timer.hpp"
@@ -68,7 +70,14 @@ std::vector<Scenario> sample_scenarios(const osm::RoadNetwork& network,
     // worker or inline on the calling thread.
     obs::ScopedPhase phase("scenario", obs::PhaseKind::Root);
     Rng trial_rng(derive_seed(seed, {i}));
-    slots[i] = sample_scenario(network, weights, i % hospitals, trial_rng, options);
+    // A poisoned trial (fault injection, Yen invariant breach) drops only
+    // its own slot; the other trials keep their RNG streams and results.
+    try {
+      slots[i] = sample_scenario(network, weights, i % hospitals, trial_rng, options);
+    } catch (...) {
+      std::cerr << "[quarantine] scenario trial " << i << ": " << current_exception_taxonomy()
+                << '\n';
+    }
   });
 
   std::vector<Scenario> scenarios;

@@ -1,11 +1,15 @@
 #include "exp/table_runner.hpp"
 
+#include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "attack/verify.hpp"
 #include "citygen/generate.hpp"
 #include "core/error.hpp"
+#include "core/fault.hpp"
 #include "core/thread_pool.hpp"
+#include "exp/checkpoint.hpp"
 #include "graph/yen.hpp"
 #include "obs/phase.hpp"
 
@@ -28,6 +32,24 @@ constexpr std::uint64_t kScenarioStream = 0xa5a5a5a5ULL;
 constexpr std::uint64_t kThresholdStream = 0x5c5c5c5cULL;
 
 }  // namespace
+
+std::string checkpoint_fingerprint(const RunConfig& config) {
+  char scale[40];
+  std::snprintf(scale, sizeof scale, "%.17g", config.scale);
+  std::string fp = citygen::to_string(config.city);
+  fp += '|';
+  fp += attack::to_string(config.weight);
+  fp += '|';
+  fp += scale;
+  fp += "|trials=" + std::to_string(config.trials);
+  fp += "|rank=" + std::to_string(config.path_rank);
+  fp += "|seed=" + std::to_string(config.seed);
+  fp += config.deterministic_timing ? "|dt=1" : "|dt=0";
+  fp += "|edges=" + std::to_string(config.work_budget.max_edges_scanned);
+  fp += "|pivots=" + std::to_string(config.work_budget.max_lp_pivots);
+  fp += "|spurs=" + std::to_string(config.work_budget.max_spur_searches);
+  return fp;
+}
 
 CityTableResult run_city_table(const RunConfig& config) {
   const auto network = citygen::generate_city(config.city, config.scale, config.seed);
@@ -75,12 +97,29 @@ CityTableResult run_city_table_on(const osm::RoadNetwork& network,
   }
   const std::vector<ForcePathCutProblem>& shared_problems = problems;
 
+  // Checkpointing: a journal (when configured) collects every cleanly
+  // completed cell as it finishes; a resume folds journaled cells back in
+  // without recomputing them.  Quarantined cells are never journaled, so a
+  // resumed run retries exactly the missing + previously poisoned cells.
+  const std::string fingerprint = checkpoint_fingerprint(config);
+  std::unordered_map<std::uint64_t, CellRecord> completed;
+  if (config.resume) {
+    require(!config.checkpoint_path.empty(), "table: resume requires a checkpoint journal path");
+    completed = CheckpointJournal::load(config.checkpoint_path, fingerprint);
+  }
+  std::unique_ptr<CheckpointJournal> journal;
+  if (!config.checkpoint_path.empty()) {
+    journal = std::make_unique<CheckpointJournal>(config.checkpoint_path, fingerprint);
+  }
+
   // Every (scenario, cost, algorithm) task is independent: it gets its own
   // SplitMix64-derived RNG stream and writes only its own outcome slot.
+  // `record` carries exactly the values the reduction folds, so a resumed
+  // cell (record read back from the journal) reduces bit-identically.
   struct TaskOutcome {
-    AttackResult attack;
-    bool verified = false;
-    std::string verify_reason;
+    CellRecord record;
+    bool quarantined = false;
+    std::string error;  // taxonomy string when quarantined
   };
   const std::size_t tasks_per_scenario = kNumCostTypes * kNumAlgorithms;
   std::vector<TaskOutcome> outcomes(scenarios.size() * tasks_per_scenario);
@@ -88,6 +127,18 @@ CityTableResult run_city_table_on(const osm::RoadNetwork& network,
     // Root phase: attribution is the same whether this cell runs on a pool
     // worker or inline on the calling thread.
     obs::ScopedPhase phase("cell", obs::PhaseKind::Root);
+    TaskOutcome& outcome = outcomes[t];
+    if (config.resume) {
+      const auto it = completed.find(t);
+      if (it != completed.end()) {
+        outcome.record = it->second;
+        // Registered lazily so non-resume runs never learn this counter.
+        static const obs::CounterId kResumed =
+            obs::MetricsRegistry::instance().counter("exp.cells_resumed");
+        obs::add(kResumed);
+        return;
+      }
+    }
     static const obs::CounterId kCells = obs::MetricsRegistry::instance().counter("exp.cells_run");
     obs::add(kCells);
     const std::size_t si = t / tasks_per_scenario;
@@ -95,14 +146,32 @@ CityTableResult run_city_table_on(const osm::RoadNetwork& network,
     const std::size_t ai = t % kNumAlgorithms;
     const ForcePathCutProblem& problem = shared_problems[si * kNumCostTypes + ci];
 
-    AttackOptions options;
-    options.rng_seed = derive_seed(config.seed, {si, ci, ai});
-    TaskOutcome& outcome = outcomes[t];
-    outcome.attack = run_attack(kAllAlgorithms[ai], problem, options);
-    if (outcome.attack.status == AttackStatus::Success) {
-      const auto verdict = attack::verify_attack(problem, outcome.attack.removed_edges);
-      outcome.verified = verdict.ok;
-      if (!verdict.ok) outcome.verify_reason = verdict.reason;
+    // Any escape from one cell — injected fault, invariant violation,
+    // budget bug, bad_alloc — quarantines that cell and leaves the rest of
+    // the grid (and the journal) intact.
+    try {
+      MTS_FAULT_POINT("pool.task");
+      AttackOptions options;
+      options.rng_seed = derive_seed(config.seed, {si, ci, ai});
+      options.work_budget = config.work_budget;
+      const AttackResult attack = run_attack(kAllAlgorithms[ai], problem, options);
+      CellRecord& record = outcome.record;
+      record.task = t;
+      record.status = to_string(attack.status);
+      record.fallback_used = attack.fallback_used;
+      record.fallback_reason = attack.fallback_reason;
+      record.seconds = config.deterministic_timing ? 0.0 : attack.seconds;
+      record.removed = attack.num_removed();
+      record.total_cost = attack.total_cost;
+      if (attack.status == AttackStatus::Success) {
+        const auto verdict = attack::verify_attack(problem, attack.removed_edges);
+        record.verified = verdict.ok;
+        if (!verdict.ok) record.verify_reason = verdict.reason;
+      }
+      if (journal != nullptr) journal->append(record);
+    } catch (...) {
+      outcome.quarantined = true;
+      outcome.error = current_exception_taxonomy();
     }
   });
 
@@ -115,17 +184,28 @@ CityTableResult run_city_table_on(const osm::RoadNetwork& network,
     const Algorithm algorithm = kAllAlgorithms[ai];
     const TaskOutcome& outcome = outcomes[t];
     auto& cell = result.cells[ai][ci];
-    if (outcome.attack.status != AttackStatus::Success) {
+    if (outcome.quarantined) {
+      ++cell.quarantined;
       ++cell.attack_failures;
-      std::cerr << "[attack] " << to_string(algorithm)
-                << " status: " << to_string(outcome.attack.status) << '\n';
-    } else if (!outcome.verified) {
+      cell.errors.push_back(outcome.error);
+      std::cerr << "[quarantine] " << to_string(algorithm) << " task " << t << ": "
+                << outcome.error << '\n';
+      continue;
+    }
+    const CellRecord& record = outcome.record;
+    if (record.fallback_used) {
+      ++cell.fallbacks;
+      std::cerr << "[fallback] " << to_string(algorithm) << ": " << record.fallback_reason << '\n';
+    }
+    if (record.status != "success") {
+      ++cell.attack_failures;
+      std::cerr << "[attack] " << to_string(algorithm) << " status: " << record.status << '\n';
+    } else if (!record.verified) {
       ++cell.verification_failures;
-      std::cerr << "[verify] " << to_string(algorithm) << " failed: " << outcome.verify_reason
+      std::cerr << "[verify] " << to_string(algorithm) << " failed: " << record.verify_reason
                 << '\n';
     } else {
-      cell.add(config.deterministic_timing ? 0.0 : outcome.attack.seconds,
-               static_cast<double>(outcome.attack.num_removed()), outcome.attack.total_cost);
+      cell.add(record.seconds, static_cast<double>(record.removed), record.total_cost);
     }
   }
   return result;

@@ -6,6 +6,7 @@
 // attack independently verified.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "attack/algorithms.hpp"
@@ -28,7 +29,22 @@ struct RunConfig {
   /// Report 0.0 for every wall-clock value, so the rendered tables and
   /// JSON are byte-identical across runs and thread counts (MTS_TIMING=0).
   bool deterministic_timing = false;
+  /// When non-empty, each cleanly completed cell is appended to this JSONL
+  /// journal as it finishes (survives a kill mid-grid).
+  std::string checkpoint_path;
+  /// With resume=true, cells already present in the journal are folded in
+  /// from their records instead of being recomputed; only missing (and
+  /// previously quarantined) cells run.  Requires checkpoint_path.
+  bool resume = false;
+  /// Per-attack deterministic work caps (all-zero = unlimited); forwarded
+  /// to AttackOptions::work_budget for every cell.
+  WorkBudget work_budget;
 };
+
+/// Pins every RunConfig knob that changes cell results (not checkpointing
+/// knobs themselves).  Journals written under a different fingerprint are
+/// rejected at load time.
+std::string checkpoint_fingerprint(const RunConfig& config);
 
 /// Aggregate over scenarios for one (algorithm, cost) cell.  The paper
 /// reports plain averages; standard deviations are kept alongside so the
@@ -44,6 +60,13 @@ struct CellStats {
   /// Attack claimed Success but the independent verifier rejected the cut.
   /// Any nonzero value here is a library bug and must stay loud.
   int verification_failures = 0;
+  /// Cell threw (fault injection, invariant violation, OOM): isolated from
+  /// the rest of the grid and counted into attack_failures as well.
+  int quarantined = 0;
+  /// Cells where LP-PathCover degraded to the greedy cover (lp/covering).
+  int fallbacks = 0;
+  /// Error-taxonomy strings of quarantined cells, in scenario order.
+  std::vector<std::string> errors;
 
   void add(double runtime_s, double removed, double cut_cost) {
     runtime.add(runtime_s);

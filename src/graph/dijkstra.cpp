@@ -77,6 +77,9 @@ void run_search(SearchSpace& ws, const DiGraph& g, std::span<const double> weigh
     if (node == options.target) break;
 
     const auto edges = Reverse ? g.in_edges(node) : g.out_edges(node);
+    if (options.budget != nullptr) {
+      options.budget->charge_edges_scanned(edges.size());
+    }
     for (EdgeId e : edges) {
       ++edges_scanned;
       if (!edge_alive(options.filter, e)) continue;

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "core/budget.hpp"
 #include "graph/digraph.hpp"
 #include "graph/edge_filter.hpp"
 #include "graph/path.hpp"
@@ -47,6 +48,10 @@ struct DijkstraOptions {
   /// validated this exact weight vector (e.g. once per Yen query instead
   /// of once per spur search).
   bool assume_valid_weights = false;
+  /// Deterministic work budget charged once per settled node with the edges
+  /// scanned from it (nullptr = unlimited).  Exceeding the cap throws
+  /// BudgetExhausted out of the search; the workspace stays reusable.
+  WorkBudget* budget = nullptr;
 };
 
 /// One-shot weight validation, hoisted out of the relaxation loops: the

@@ -7,6 +7,7 @@
 
 #include "core/check.hpp"
 #include "core/error.hpp"
+#include "core/fault.hpp"
 #include "obs/phase.hpp"
 
 namespace mts {
@@ -103,14 +104,15 @@ class SpurSearcher {
  public:
   SpurSearcher(const DiGraph& g, std::span<const double> weights, NodeId target,
                const EdgeFilter* base_filter, const SearchSpace& reverse_tree,
-               SearchSpace& workspace)
+               SearchSpace& workspace, WorkBudget* budget = nullptr)
       : g_(g),
         weights_(weights),
         target_(target),
         reverse_tree_(reverse_tree),
         workspace_(workspace),
         scratch_filter_(base_filter != nullptr ? *base_filter : EdgeFilter(g.num_edges())),
-        banned_nodes_(g.num_nodes(), 0) {}
+        banned_nodes_(g.num_nodes(), 0),
+        budget_(budget) {}
 
   /// Expands every deviation of `base` (rooted at prefix positions
   /// [0, base.edges.size())) and pushes new simple-path candidates.
@@ -125,6 +127,11 @@ class SpurSearcher {
 
     for (std::size_t i = 0; i < base.edges.size(); ++i) {
       const NodeId spur_node = base_nodes[i];
+      // Nan/Limit have no safe emulation here (a silently truncated spur
+      // sweep could certify a wrong exclusivity answer), so every armed
+      // action escalates to a FaultInjected throw.
+      MTS_FAULT_POINT("yen.spur");
+      if (budget_ != nullptr) budget_->charge_spur_searches(1);
 
       // Admission bound: once the heap already holds `needed` candidates,
       // every future accepted path is at most the bound below, so any spur
@@ -170,6 +177,7 @@ class SpurSearcher {
       spur_options.prune_bound =
           admit == kInfiniteDistance ? kInfiniteDistance : admit - root_length;
       spur_options.assume_valid_weights = true;
+      spur_options.budget = budget_;
       dijkstra(workspace_, g_, weights_, spur_node, spur_options);
       ++searches_;
       static const obs::HistogramId kSpurEdges =
@@ -217,6 +225,7 @@ class SpurSearcher {
   SearchSpace& workspace_;
   EdgeFilter scratch_filter_;
   std::vector<std::uint8_t> banned_nodes_;
+  WorkBudget* budget_ = nullptr;
   std::size_t searches_ = 0;
   std::size_t pruned_ = 0;
 };
@@ -248,11 +257,13 @@ struct YenCounterFlush {
 /// Builds the query's reverse shortest-path tree (exact distances to
 /// `target` under `filter`) in the thread's secondary workspace slot.
 SearchSpace& build_reverse_tree(const DiGraph& g, std::span<const double> weights,
-                                NodeId target, const EdgeFilter* filter) {
+                                NodeId target, const EdgeFilter* filter,
+                                WorkBudget* budget = nullptr) {
   SearchSpace& reverse_tree = thread_search_space(1);
   DijkstraOptions reverse_options;
   reverse_options.filter = filter;
   reverse_options.assume_valid_weights = true;  // validated by the query entry
+  reverse_options.budget = budget;
   reverse_dijkstra(reverse_tree, g, weights, target, reverse_options);
   return reverse_tree;
 }
@@ -270,7 +281,7 @@ std::vector<Path> yen_ksp(const DiGraph& g, std::span<const double> weights, Nod
   validate_weights(g, weights, "yen_ksp");
 
   obs::ScopedPhase phase("yen");
-  SearchSpace& reverse_tree = build_reverse_tree(g, weights, target, options.filter);
+  SearchSpace& reverse_tree = build_reverse_tree(g, weights, target, options.filter, options.budget);
   // The first path falls out of the reverse tree: follow reverse parents
   // forward from the source (its length is recomputed as the forward-order
   // sum, bit-identical to a forward Dijkstra's accumulation).
@@ -279,7 +290,7 @@ std::vector<Path> yen_ksp(const DiGraph& g, std::span<const double> weights, Nod
   accepted.push_back(std::move(*first));
 
   SpurSearcher searcher(g, weights, target, options.filter, reverse_tree,
-                        thread_search_space(0));
+                        thread_search_space(0), options.budget);
   CandidateHeap candidates;
   std::unordered_set<std::uint64_t> seen;
   seen.insert(path_signature(accepted.front()));
@@ -299,14 +310,14 @@ std::vector<Path> yen_ksp(const DiGraph& g, std::span<const double> weights, Nod
 
 std::optional<Path> second_shortest_path(const DiGraph& g, std::span<const double> weights,
                                          NodeId source, NodeId target, const Path& avoid,
-                                         const EdgeFilter* filter) {
+                                         const EdgeFilter* filter, WorkBudget* budget) {
   require(!avoid.empty(), "second_shortest_path: avoid path is empty");
   require(g.edge_from(avoid.edges.front()) == source,
           "second_shortest_path: avoid path does not start at source");
   validate_weights(g, weights, "second_shortest_path");
   obs::ScopedPhase phase("yen");
-  SearchSpace& reverse_tree = build_reverse_tree(g, weights, target, filter);
-  SpurSearcher searcher(g, weights, target, filter, reverse_tree, thread_search_space(0));
+  SearchSpace& reverse_tree = build_reverse_tree(g, weights, target, filter, budget);
+  SpurSearcher searcher(g, weights, target, filter, reverse_tree, thread_search_space(0), budget);
   CandidateHeap candidates;
   std::unordered_set<std::uint64_t> seen;
   seen.insert(path_signature(avoid));

@@ -26,6 +26,10 @@ struct YenOptions {
   const EdgeFilter* filter = nullptr;
   /// Safety cap on total spur searches (0 = unlimited).
   std::size_t max_spur_searches = 0;
+  /// Deterministic work budget, charged one spur search per deviation
+  /// position plus the underlying Dijkstra effort (nullptr = unlimited).
+  /// Exceeding it throws BudgetExhausted (core/budget.hpp).
+  WorkBudget* budget = nullptr;
 };
 
 /// Returns up to `k` simple paths from `source` to `target` in nondecreasing
@@ -41,6 +45,7 @@ std::vector<Path> yen_ksp(const DiGraph& g, std::span<const double> weights, Nod
 /// the current filter for the deviation argument to be exhaustive.
 std::optional<Path> second_shortest_path(const DiGraph& g, std::span<const double> weights,
                                          NodeId source, NodeId target, const Path& avoid,
-                                         const EdgeFilter* filter = nullptr);
+                                         const EdgeFilter* filter = nullptr,
+                                         WorkBudget* budget = nullptr);
 
 }  // namespace mts

@@ -84,10 +84,26 @@ CoveringSolution solve_covering_lp(const CoveringProblem& problem, Rng& rng,
     lp.add_constraint(std::move(indices), std::move(values), Relation::GreaterEqual, 1.0);
   }
   const LpResult lp_result = solve_lp(lp, options.lp);
-  require(lp_result.status == LpStatus::Optimal,
-          "covering LP unexpectedly " + to_string(lp_result.status));
+  if (lp_result.status != LpStatus::Optimal) {
+    // Degradation chain: a covering LP is always feasible and bounded once
+    // every set is non-empty (x = 1 covers; costs > 0), so a non-Optimal
+    // status means the solver gave up (iteration limit) or the tableau went
+    // numerically bad.  Substitute the greedy cover — valid, just without
+    // the LP's certified lower bound — and record why.
+    CoveringSolution fallback = solve_covering_greedy(problem);
+    fallback.fallback_used = true;
+    fallback.fallback_reason = "lp " + to_string(lp_result.status);
+    if (lp_result.status == LpStatus::IterationLimit) {
+      fallback.fallback_reason += " (phase " + std::to_string(lp_result.limit_phase) + ", " +
+                                  std::to_string(lp_result.iterations) + " iterations)";
+    }
+    fallback.bland_engaged = lp_result.bland_engaged;
+    fallback.lp_iterations = lp_result.iterations;
+    return fallback;
+  }
   solution.lp_lower_bound = lp_result.objective;
   solution.lp_iterations = lp_result.iterations;
+  solution.bland_engaged = lp_result.bland_engaged;
 
   const std::size_t n = problem.costs.size();
   std::vector<std::uint8_t> best(n, 0);

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "lp/simplex.hpp"
@@ -31,6 +32,15 @@ struct CoveringSolution {
   double cost = 0.0;
   double lp_lower_bound = 0.0;      // LP optimum: certified lower bound
   std::size_t lp_iterations = 0;
+  /// True when the LP solve failed (iteration limit, numerical poisoning)
+  /// and the greedy cover was substituted; lp_lower_bound is then 0 (no
+  /// certified bound).  See DESIGN.md §10 (degradation chain).
+  bool fallback_used = false;
+  /// Human-readable reason when fallback_used ("lp iteration-limit
+  /// (phase 2, 20000 iterations)", "lp numerical", ...).
+  std::string fallback_reason;
+  /// True when simplex stall detection engaged Bland's anti-cycling rule.
+  bool bland_engaged = false;
 };
 
 struct CoveringOptions {

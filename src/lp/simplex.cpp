@@ -7,6 +7,7 @@
 
 #include "core/check.hpp"
 #include "core/error.hpp"
+#include "core/fault.hpp"
 #include "obs/phase.hpp"
 
 namespace mts {
@@ -23,6 +24,7 @@ std::string to_string(LpStatus status) {
     case LpStatus::Infeasible: return "infeasible";
     case LpStatus::Unbounded: return "unbounded";
     case LpStatus::IterationLimit: return "iteration-limit";
+    case LpStatus::Numerical: return "numerical";
   }
   return "unknown";
 }
@@ -122,13 +124,30 @@ bool invariant_checks_enabled(const LpOptions& options) {
 /// `degenerate` accumulates the number of zero-progress (stalled) pivots.
 PhaseOutcome run_phase(Tableau& t, std::vector<std::size_t>& basis,
                        const std::vector<std::uint8_t>& allowed, const LpOptions& options,
-                       std::size_t& iterations, std::size_t& degenerate) {
+                       std::size_t& iterations, std::size_t& degenerate, bool& bland_engaged) {
   const bool validate = invariant_checks_enabled(options);
   std::size_t stalls = 0;
   while (true) {
     if (iterations >= options.max_iterations) return PhaseOutcome::IterationLimit;
+    switch (MTS_FAULT_ACTION("lp.pivot")) {
+      case fault::Action::Throw:
+        fault::throw_injected("lp.pivot", fault::Action::Throw);
+      case fault::Action::Nan:
+        // Poison one RHS entry; the solve still terminates (NaN comparisons
+        // are all false) and either the post-solve finiteness validation
+        // reports LpStatus::Numerical or, in MTS_ENABLE_DCHECKS builds,
+        // check_invariants throws InvariantViolation first.
+        if (!t.rhs().empty()) t.rhs()[0] = std::numeric_limits<double>::quiet_NaN();
+        break;
+      case fault::Action::Limit:
+        return PhaseOutcome::IterationLimit;
+      case fault::Action::None:
+        break;
+    }
+    if (options.budget != nullptr) options.budget->charge_lp_pivots(1);
 
     const bool use_bland = stalls >= options.bland_after_stalls;
+    if (use_bland) bland_engaged = true;
     std::size_t entering = t.cols();
     double best = -options.tolerance;
     for (std::size_t c = 0; c < t.cols(); ++c) {
@@ -290,10 +309,13 @@ LpResult solve_lp(const LpProblem& problem, const LpOptions& options) {
       tableau.obj_value() -= tableau.rhs()[r];
     }
     std::vector<std::uint8_t> allowed(total_cols, 1);
-    const auto outcome = run_phase(tableau, basis, allowed, options, iterations, degenerate);
+    const auto outcome =
+        run_phase(tableau, basis, allowed, options, iterations, degenerate, result.bland_engaged);
     result.iterations = iterations;
+    result.degenerate_pivots = degenerate;
     if (outcome == PhaseOutcome::IterationLimit) {
       result.status = LpStatus::IterationLimit;
+      result.limit_phase = 1;
       return result;
     }
     // Phase-1 objective value = -obj_value() (obj_value accumulates -z).
@@ -333,10 +355,15 @@ LpResult solve_lp(const LpProblem& problem, const LpOptions& options) {
   for (std::size_t c = 0; c < total_cols; ++c) {
     if (is_artificial[c]) allowed[c] = 0;
   }
-  const auto outcome = run_phase(tableau, basis, allowed, options, iterations, degenerate);
+  const auto outcome =
+      run_phase(tableau, basis, allowed, options, iterations, degenerate, result.bland_engaged);
   result.iterations = iterations;
+  result.degenerate_pivots = degenerate;
   switch (outcome) {
-    case PhaseOutcome::IterationLimit: result.status = LpStatus::IterationLimit; return result;
+    case PhaseOutcome::IterationLimit:
+      result.status = LpStatus::IterationLimit;
+      result.limit_phase = 2;
+      return result;
     case PhaseOutcome::Unbounded: result.status = LpStatus::Unbounded; return result;
     case PhaseOutcome::Optimal: break;
   }
@@ -347,6 +374,11 @@ LpResult solve_lp(const LpProblem& problem, const LpOptions& options) {
     if (basis[r] < n) result.x[basis[r]] = tableau.rhs()[r];
   }
   result.objective = -tableau.obj_value();
+  // Terminated-but-poisoned solves (NaN/inf anywhere in the answer) must not
+  // masquerade as Optimal; callers fall back on Numerical.
+  bool finite = std::isfinite(result.objective);
+  for (const double v : result.x) finite = finite && std::isfinite(v);
+  if (!finite) result.status = LpStatus::Numerical;
   return result;
 }
 

@@ -19,11 +19,16 @@
 #include <string>
 #include <vector>
 
+#include "core/budget.hpp"
+
 namespace mts {
 
 enum class Relation { LessEqual, Equal, GreaterEqual };
 
-enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+/// Numerical = the solve terminated but produced a non-finite objective or
+/// solution vector (poisoned input, catastrophic cancellation); callers
+/// treat it like IterationLimit and fall back (see lp/covering.cpp).
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit, Numerical };
 
 struct LpConstraint {
   // Sparse row: parallel index/value arrays.
@@ -53,6 +58,9 @@ struct LpOptions {
   /// InvariantViolation on corruption.  Always treated as true in
   /// MTS_ENABLE_DCHECKS builds (Debug / MTS_SANITIZE); opt-in elsewhere.
   bool check_invariants = false;
+  /// Deterministic work budget charged one pivot at a time (nullptr =
+  /// unlimited); exceeding it throws BudgetExhausted (core/budget.hpp).
+  WorkBudget* budget = nullptr;
 };
 
 struct LpResult {
@@ -60,6 +68,15 @@ struct LpResult {
   double objective = 0.0;
   std::vector<double> x;  // size num_vars when status == Optimal
   std::size_t iterations = 0;
+  /// Which simplex phase hit the iteration cap (0 = none, 1, or 2).  Lets
+  /// fallback decisions and reports distinguish a phase-1 stall (couldn't
+  /// even prove feasibility) from a phase-2 stall (feasible but unoptimized).
+  int limit_phase = 0;
+  /// Zero-progress pivots across both phases.
+  std::size_t degenerate_pivots = 0;
+  /// True when stall detection switched pricing from Dantzig to Bland's
+  /// anti-cycling rule at any point during the solve.
+  bool bland_engaged = false;
 };
 
 /// Solves `problem`; never throws on solvable-but-degenerate input, throws

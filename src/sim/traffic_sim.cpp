@@ -22,6 +22,7 @@ struct TrafficSimulation::ActiveVehicle {
   EdgeId current_edge = EdgeId::invalid();
   double remaining_on_edge_m = 0.0;
   double next_reroute_s = 0.0;
+  int stranded_ticks = 0;  // consecutive ticks with no route
   bool departed = false;
   bool done = false;
 };
@@ -144,10 +145,21 @@ SimResult TrafficSimulation::run() {
               vehicle.plan_cursor = 0;
               ++outcome.reroutes;
             } else {
-              break;  // currently stranded; retry next tick
+              // No route under the current closures: retry next tick, but
+              // write the vehicle off once the cap is hit so an unreachable
+              // destination stops burning a shortest-path query per tick.
+              ++vehicle.stranded_ticks;
+              if (options_.max_stranded_ticks > 0 &&
+                  vehicle.stranded_ticks >= options_.max_stranded_ticks) {
+                outcome.terminally_stranded = true;
+                vehicle.done = true;
+                --remaining;
+              }
+              break;
             }
             if (vehicle.plan.empty()) break;
           }
+          vehicle.stranded_ticks = 0;
           vehicle.current_edge = vehicle.plan[vehicle.plan_cursor++];
           vehicle.remaining_on_edge_m = network_.segment(vehicle.current_edge).length_m;
           ++occupancy_[vehicle.current_edge.value()];

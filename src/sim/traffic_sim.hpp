@@ -45,6 +45,11 @@ struct SimOptions {
   /// Gridlock guard: the BPR multiplier is capped here (occupancy is not
   /// flow, so an uncapped polynomial would produce unphysical crawls).
   double max_congestion_factor = 8.0;
+  /// Consecutive ticks a vehicle may sit routeless before it is written off
+  /// as terminally stranded (0 = keep retrying until max_time_s).  Without
+  /// the cap a vehicle whose destination was cut off re-runs a full
+  /// shortest-path query every tick for the rest of the simulation.
+  int max_stranded_ticks = 600;
 };
 
 /// A scheduled road closure (the attacker blocking a segment).
@@ -55,6 +60,9 @@ struct Closure {
 
 struct VehicleOutcome {
   bool arrived = false;
+  /// Gave up after max_stranded_ticks consecutive routeless ticks (a
+  /// terminal outcome; the vehicle stops consuming simulation work).
+  bool terminally_stranded = false;
   double depart_time_s = 0.0;
   double arrival_time_s = 0.0;
   double travel_time_s = 0.0;  // only meaningful when arrived

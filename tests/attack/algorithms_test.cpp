@@ -207,5 +207,24 @@ TEST(RunAttack, ResultsAreDeterministicForFixedSeed) {
   EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
 }
 
+TEST_P(AllAlgorithms, TinyWorkBudgetYieldsStructuredExhaustion) {
+  // A one-edge Dijkstra cap cannot even finish the first oracle query; the
+  // exhaustion must surface as a structured status, never an exception.
+  auto wg = test::make_grid(4, 4, 1.0, 1.37);
+  const NodeId s(0);
+  const NodeId t(15);
+  const auto ranked = yen_ksp(wg.g, wg.weights, s, t, 8);
+  ASSERT_GE(ranked.size(), 8u);
+  std::vector<double> costs(wg.g.num_edges(), 1.0);
+  const auto problem = make_problem(wg.g, wg.weights, costs, s, t, ranked[7]);
+
+  AttackOptions options;
+  options.work_budget.max_edges_scanned = 1;
+  const auto result = run_attack(GetParam(), problem, options);
+  EXPECT_EQ(result.status, AttackStatus::BudgetExhausted);
+  EXPECT_STREQ(to_string(result.status), "budget-exhausted");
+  EXPECT_TRUE(result.removed_edges.empty());
+}
+
 }  // namespace
 }  // namespace mts::attack

@@ -133,5 +133,49 @@ TEST_F(CliTest, DanglingFlagRejected) {
   EXPECT_NE(err_.str().find("--flag value"), std::string::npos);
 }
 
+TEST_F(CliTest, GenerateRejectsNegativeSeed) {
+  EXPECT_EQ(run({"generate", "--city", "chicago", "--seed", "-1", "--out", osm_path_}), 1);
+  EXPECT_NE(err_.str().find("--seed"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateRejectsNonNumericSeed) {
+  EXPECT_EQ(run({"generate", "--city", "chicago", "--seed", "7x", "--out", osm_path_}), 1);
+  EXPECT_NE(err_.str().find("--seed expects an integer"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateRejectsNonNumericScale) {
+  EXPECT_EQ(run({"generate", "--city", "chicago", "--scale", "big", "--out", osm_path_}), 1);
+  EXPECT_NE(err_.str().find("--scale expects a number"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateRejectsNonPositiveScale) {
+  EXPECT_EQ(run({"generate", "--city", "chicago", "--scale", "0", "--out", osm_path_}), 1);
+  EXPECT_NE(err_.str().find("--scale"), std::string::npos);
+}
+
+TEST_F(CliTest, AttackRejectsZeroRank) {
+  generate();
+  EXPECT_EQ(run({"attack", "--osm", osm_path_, "--rank", "0"}), 1);
+  EXPECT_NE(err_.str().find("--rank"), std::string::npos);
+}
+
+TEST_F(CliTest, AttackRejectsNonPositiveBudget) {
+  generate();
+  EXPECT_EQ(run({"attack", "--osm", osm_path_, "--budget", "0"}), 1);
+  EXPECT_NE(err_.str().find("--budget"), std::string::npos);
+}
+
+TEST_F(CliTest, InterdictRejectsNonNumericBudget) {
+  generate();
+  EXPECT_EQ(run({"interdict", "--osm", osm_path_, "--budget", "ten"}), 1);
+  EXPECT_NE(err_.str().find("--budget expects a number"), std::string::npos);
+}
+
+TEST_F(CliTest, IsolateRejectsNegativeRadius) {
+  generate();
+  EXPECT_EQ(run({"isolate", "--osm", osm_path_, "--radius", "-5"}), 1);
+  EXPECT_NE(err_.str().find("--radius"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mts::cli

@@ -141,6 +141,28 @@ TEST(Covering, LpNearOptimalOnRandomInstances) {
   EXPECT_GE(greedy_optimal, kInstances / 2);
 }
 
+TEST(Covering, LpIterationLimitFallsBackToGreedy) {
+  // A one-iteration LP cap cannot finish phase 1, so the solver degrades to
+  // the greedy cover and says so instead of failing the whole attack.
+  const auto problem = small_instance();
+  Rng rng(1);
+  CoveringOptions options;
+  options.lp.max_iterations = 1;
+  const auto solution = solve_covering_lp(problem, rng, options);
+  ASSERT_TRUE(solution.feasible);
+  EXPECT_TRUE(covers_everything(problem, solution.chosen));
+  EXPECT_TRUE(solution.fallback_used);
+  EXPECT_NE(solution.fallback_reason.find("iteration-limit"), std::string::npos)
+      << solution.fallback_reason;
+  EXPECT_NE(solution.fallback_reason.find("phase"), std::string::npos) << solution.fallback_reason;
+  // No certified bound without an LP optimum.
+  EXPECT_DOUBLE_EQ(solution.lp_lower_bound, 0.0);
+  // The substituted cover is exactly the greedy one.
+  const auto greedy = solve_covering_greedy(problem);
+  EXPECT_EQ(solution.chosen, greedy.chosen);
+  EXPECT_DOUBLE_EQ(solution.cost, greedy.cost);
+}
+
 TEST(Covering, PruneDropsRedundantElements) {
   // Greedy on this instance could take both 0 and 1; pruning keeps one.
   CoveringProblem problem;

@@ -224,5 +224,65 @@ TEST(Simplex, TableauInvariantsHoldOnMixedRelations) {
   EXPECT_EQ(solve_lp(infeasible, checked).status, LpStatus::Infeasible);
 }
 
+/// Multi-row >= instance: phase 1 has several artificials to drive out, so
+/// a one-iteration cap cannot possibly finish feasibility.
+LpProblem covering_like_lp() {
+  LpProblem lp;
+  lp.num_vars = 4;
+  lp.objective = {2.0, 2.0, 1.5, 1.5};
+  lp.add_constraint({0, 2}, {1.0, 1.0}, Relation::GreaterEqual, 1.0);
+  lp.add_constraint({0, 1}, {1.0, 1.0}, Relation::GreaterEqual, 1.0);
+  lp.add_constraint({1, 3}, {1.0, 1.0}, Relation::GreaterEqual, 1.0);
+  return lp;
+}
+
+TEST(Simplex, IterationLimitReportsPhaseOne) {
+  LpOptions options;
+  options.max_iterations = 1;
+  const auto result = solve_lp(covering_like_lp(), options);
+  ASSERT_EQ(result.status, LpStatus::IterationLimit);
+  EXPECT_EQ(result.limit_phase, 1);
+  EXPECT_EQ(result.iterations, 1u);
+}
+
+TEST(Simplex, IterationLimitReportsPhaseTwo) {
+  // All-<= rows with positive rhs need no artificials, so phase 1 is
+  // skipped entirely and the cap lands in phase 2.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-3.0, -5.0};
+  lp.add_constraint({0}, {1.0}, Relation::LessEqual, 4.0);
+  lp.add_constraint({1}, {2.0}, Relation::LessEqual, 12.0);
+  lp.add_constraint({0, 1}, {3.0, 2.0}, Relation::LessEqual, 18.0);
+  LpOptions options;
+  options.max_iterations = 1;
+  const auto result = solve_lp(lp, options);
+  ASSERT_EQ(result.status, LpStatus::IterationLimit);
+  EXPECT_EQ(result.limit_phase, 2);
+  EXPECT_EQ(result.iterations, 1u);
+}
+
+TEST(Simplex, WorkBudgetChargesPivotsAndThrows) {
+  WorkBudget budget;
+  budget.max_lp_pivots = 2;
+  LpOptions options;
+  options.budget = &budget;
+  EXPECT_THROW(solve_lp(covering_like_lp(), options), BudgetExhausted);
+  EXPECT_GT(budget.lp_pivots, budget.max_lp_pivots);
+
+  // The same solve fits comfortably under a generous cap and charges its
+  // true pivot count.
+  WorkBudget roomy;
+  roomy.max_lp_pivots = 10000;
+  LpOptions relaxed;
+  relaxed.budget = &roomy;
+  const auto result = solve_lp(covering_like_lp(), relaxed);
+  ASSERT_EQ(result.status, LpStatus::Optimal);
+  // One charge per loop entry: every pivot plus the final optimality check
+  // of each phase.
+  EXPECT_GE(roomy.lp_pivots, result.iterations);
+  EXPECT_LE(roomy.lp_pivots, result.iterations + 2);
+}
+
 }  // namespace
 }  // namespace mts

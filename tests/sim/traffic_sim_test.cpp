@@ -133,6 +133,51 @@ TEST(TrafficSim, FullBlockadeStrandsVehicle) {
   (void)t;
 }
 
+TEST(TrafficSim, StrandedRetryCapWritesVehicleOffEarly) {
+  // A vehicle whose destination is cut off stops re-querying routes after
+  // max_stranded_ticks and becomes terminally stranded — the simulation
+  // then ends instead of burning a shortest-path query per tick until
+  // max_time_s.
+  const auto& network = test_network();
+  const auto poi = network.pois().front();
+  const auto [s, t] = pick_od(network);
+  (void)t;
+
+  SimOptions options;
+  options.max_time_s = 3600.0;
+  options.max_stranded_ticks = 5;
+  TrafficSimulation sim(network, options);
+  sim.add_vehicle({s, poi.node, 0.0, true});
+  for (EdgeId e : network.graph().in_edges(poi.node)) sim.add_closure(e, 0.0);
+  const auto result = sim.run();
+  const auto victim = result.victim_outcome();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_FALSE(victim->arrived);
+  EXPECT_TRUE(victim->terminally_stranded);
+  EXPECT_EQ(result.stranded, 1u);
+  EXPECT_LT(result.simulated_time_s, options.max_time_s);
+}
+
+TEST(TrafficSim, ZeroStrandedCapKeepsRetryingUntilMaxTime) {
+  const auto& network = test_network();
+  const auto poi = network.pois().front();
+  const auto [s, t] = pick_od(network);
+  (void)t;
+
+  SimOptions options;
+  options.max_time_s = 60.0;  // short horizon: retry-forever is the point
+  options.max_stranded_ticks = 0;
+  TrafficSimulation sim(network, options);
+  sim.add_vehicle({s, poi.node, 0.0, true});
+  for (EdgeId e : network.graph().in_edges(poi.node)) sim.add_closure(e, 0.0);
+  const auto result = sim.run();
+  const auto victim = result.victim_outcome();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_FALSE(victim->arrived);
+  EXPECT_FALSE(victim->terminally_stranded);
+  EXPECT_EQ(result.stranded, 1u);
+}
+
 TEST(TrafficSim, ForcePathCutAttackRealizesForcedRoute) {
   // End-to-end: a Force Path Cut plan applied as live closures makes the
   // simulated, dynamically-rerouting victim drive exactly p*.

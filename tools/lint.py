@@ -26,6 +26,13 @@ Rules (see DESIGN.md "Correctness tooling"):
                    and src/obs/ — all reported durations must flow through
                    mts::Stopwatch/reported_seconds so MTS_TIMING=0 stays
                    authoritative (deterministic output depends on it)
+  no-bare-catch    every `catch (...)` in library code must rethrow
+                   (`throw;`), capture std::current_exception() for a later
+                   rethrow, or record the failure through
+                   mts::current_exception_taxonomy() — silently swallowing
+                   an unknown exception hides injected faults and real bugs
+                   alike (src/core/error.cpp, the taxonomy implementation,
+                   is the one legitimate bare sink)
   no-search-alloc  the point-to-point search engines (dijkstra/astar/
                    bidirectional + search_space itself) must not size a
                    container to num_nodes per call — per-search storage
@@ -140,6 +147,8 @@ class Linter:
         for path in self.files(LIB_DIRS, CXX_SUFFIXES):
             stripped = strip_code(path.read_text())
             stripped = re.sub(r"=\s*delete\b", "", stripped)
+            # Preprocessor lines (#include <new>) are not expressions.
+            stripped = re.sub(r"(?m)^\s*#.*$", "", stripped)
             for lineno, line in self.match_lines(stripped, new_pattern):
                 self.report(path, lineno, "no-naked-new",
                             f"naked new; use containers/std::make_unique: {line}")
@@ -175,6 +184,40 @@ class Linter:
                 self.report(path, lineno, "no-const-cast-top",
                             f"const_cast on .top()/.front(); pop via std::pop_heap "
                             f"on a vector instead: {line}")
+
+    def check_no_bare_catch(self) -> None:
+        # A bare catch that neither rethrows nor records the failure turns
+        # injected faults (and genuine bugs) into silent wrong answers.  The
+        # handler must contain `throw;`, std::current_exception() (deferred
+        # rethrow, as the thread pool does), or current_exception_taxonomy()
+        # (the error-taxonomy recorder).  core/error.cpp implements the
+        # taxonomy's own dispatch ladder, so it is whitelisted.
+        allowed = self.root / "src" / "core" / "error.cpp"
+        pattern = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
+        ok_body = re.compile(r"\bthrow\s*;|\bcurrent_exception")
+        for path in self.files(LIB_DIRS, CXX_SUFFIXES):
+            if path == allowed:
+                continue
+            stripped = strip_code(path.read_text())
+            for match in pattern.finditer(stripped):
+                lineno = stripped.count("\n", 0, match.start()) + 1
+                open_brace = stripped.find("{", match.end())
+                body = ""
+                if open_brace != -1:
+                    depth = 0
+                    for j in range(open_brace, len(stripped)):
+                        if stripped[j] == "{":
+                            depth += 1
+                        elif stripped[j] == "}":
+                            depth -= 1
+                            if depth == 0:
+                                body = stripped[open_brace + 1:j]
+                                break
+                if not ok_body.search(body):
+                    self.report(path, lineno, "no-bare-catch",
+                                "catch (...) must rethrow or record the error "
+                                "(throw; / std::current_exception() / "
+                                "mts::current_exception_taxonomy())")
 
     def check_no_raw_clock(self) -> None:
         # Every duration the repo reports must pass through core/timer.hpp
@@ -265,6 +308,7 @@ class Linter:
         self.check_no_naked_new()
         self.check_no_float()
         self.check_require_throws()
+        self.check_no_bare_catch()
         self.check_no_const_cast_top()
         self.check_no_raw_clock()
         self.check_no_using_namespace()
