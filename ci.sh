@@ -15,6 +15,12 @@
 # ThreadSanitizer (the data-race gate for core/thread_pool,
 # exp/table_runner, and obs/metrics).
 #
+# The extra `tidy` leg (not in the default set; hosted CI runs it as its
+# own matrix job) configures the dev preset for compile_commands.json and
+# runs the baseline-gated clang-tidy sweep (tools/run_clang_tidy.py, see
+# DESIGN.md §11).  Without a clang-tidy on PATH it reports skipped unless
+# MTS_TIDY_STRICT=1 (CI sets it so a missing tool can never silently pass).
+#
 # Usage: ./ci.sh [preset ...]     (default: dev asan tsan)
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -27,6 +33,26 @@ fi
 JOBS="${JOBS:-$(nproc)}"
 
 for preset in "${PRESETS[@]}"; do
+  if [ "$preset" = tidy ]; then
+    echo "==== [tidy] configure (dev preset, for compile_commands.json) ===="
+    cmake --preset dev
+
+    echo "==== [tidy] clang-tidy gate (baseline: tools/clang_tidy_baseline.txt) ===="
+    rc=0
+    python3 tools/run_clang_tidy.py --build build-dev \
+      --report build-dev/tidy_report.txt || rc=$?
+    if [ "$rc" = 77 ]; then
+      if [ "${MTS_TIDY_STRICT:-0}" = 1 ]; then
+        echo "ci: tidy leg skipped but MTS_TIDY_STRICT=1 — failing" >&2
+        exit 1
+      fi
+      echo "ci: tidy skipped (no clang-tidy on this machine)"
+    elif [ "$rc" != 0 ]; then
+      exit "$rc"
+    fi
+    continue
+  fi
+
   echo "==== [$preset] configure ===="
   cmake --preset "$preset"
 

@@ -5,3 +5,11 @@ function(mts_library_warnings target)
   target_compile_options(${target} PRIVATE
     -Wall -Wextra -Wshadow -Wconversion -Wpedantic)
 endfunction()
+
+# Clang Thread Safety Analysis (see DESIGN.md §11 and core/annotations.hpp):
+# every preset compiled with clang treats a thread-safety finding as a hard
+# error.  GCC has no equivalent analysis, so its builds rely on the TSan CI
+# leg for the dynamic half of the same guarantee.
+if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  add_compile_options(-Wthread-safety -Werror=thread-safety)
+endif()

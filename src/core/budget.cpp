@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "core/env.hpp"
+
 namespace mts {
 
 WorkBudget WorkBudget::parse(std::string_view spec) {
@@ -46,7 +48,7 @@ WorkBudget WorkBudget::parse(std::string_view spec) {
 }
 
 WorkBudget WorkBudget::from_environment() {
-  const char* raw = std::getenv("MTS_BUDGET");
+  const char* raw = env_raw("MTS_BUDGET");
   if (raw == nullptr || *raw == '\0') return WorkBudget{};
   return parse(raw);
 }

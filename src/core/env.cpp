@@ -11,7 +11,7 @@
 namespace mts {
 
 std::int64_t env_int(const std::string& name, std::int64_t fallback) {
-  const char* raw = std::getenv(name.c_str());
+  const char* raw = env_raw(name.c_str());
   if (raw == nullptr || *raw == '\0') return fallback;
   char* end = nullptr;
   const long long parsed = std::strtoll(raw, &end, 10);
@@ -20,7 +20,7 @@ std::int64_t env_int(const std::string& name, std::int64_t fallback) {
 }
 
 double env_double(const std::string& name, double fallback) {
-  const char* raw = std::getenv(name.c_str());
+  const char* raw = env_raw(name.c_str());
   if (raw == nullptr || *raw == '\0') return fallback;
   char* end = nullptr;
   const double parsed = std::strtod(raw, &end);
@@ -29,7 +29,7 @@ double env_double(const std::string& name, double fallback) {
 }
 
 std::string env_string(const std::string& name, const std::string& fallback) {
-  const char* raw = std::getenv(name.c_str());
+  const char* raw = env_raw(name.c_str());
   if (raw == nullptr || *raw == '\0') return fallback;
   return raw;
 }

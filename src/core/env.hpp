@@ -25,9 +25,19 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 
 namespace mts {
+
+/// The repo's single raw environment read (lint rule no-raw-getenv): every
+/// MTS_* knob flows through here, so determinism-sensitive configuration
+/// has exactly one entry point.  Returns nullptr when unset.  Header-only
+/// on purpose — the obs layer sits below mts_core in the link order and
+/// may only use header-only core facilities.
+inline const char* env_raw(const char* name) {
+  return std::getenv(name);  // mts-lint: allow(no-raw-getenv) the one entry point
+}
 
 /// Reads an integer environment variable, falling back to `fallback` when
 /// unset or unparsable.

@@ -1,8 +1,9 @@
 #include "core/fault.hpp"
 
 #include <cstdlib>
-#include <mutex>
 
+#include "core/env.hpp"
+#include "core/mutex.hpp"
 #include "obs/metrics.hpp"
 
 namespace mts::fault {
@@ -43,12 +44,17 @@ Action parse_action(std::string_view token) {
 }  // namespace
 
 struct FaultRegistry::Impl {
-  mutable std::mutex mutex;                // guards registration/arming
-  std::array<Point, kMaxPoints> points;    // stable storage; hit() is lock-free
+  mutable Mutex mutex;  // guards registration/arming
+  // Stable storage with a split protection protocol: Point::name is written
+  // once under `mutex` (find_or_add) before `count` is published with a
+  // release store; the Point atomics (hits/fire_at/action) are lock-free on
+  // the hit() fast path.  Per-field guards inside an array element are not
+  // expressible to the analysis, so the array itself stays unannotated.
+  std::array<Point, kMaxPoints> points;
   std::atomic<std::size_t> count{0};
 
-  std::size_t find_or_add(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mutex);
+  std::size_t find_or_add(std::string_view name) MTS_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
     const std::size_t n = count.load(std::memory_order_relaxed);
     for (std::size_t i = 0; i < n; ++i) {
       if (points[i].name == name) return i;
@@ -141,7 +147,7 @@ void FaultRegistry::arm_from_spec(std::string_view spec) {
 
 void FaultRegistry::reset() {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  MutexLock lock(im.mutex);
   const std::size_t n = im.count.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < n; ++i) {
     im.points[i].hits.store(0, std::memory_order_relaxed);
@@ -153,7 +159,7 @@ void FaultRegistry::reset() {
 
 std::vector<std::string> FaultRegistry::point_names() const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  MutexLock lock(im.mutex);
   const std::size_t n = im.count.load(std::memory_order_relaxed);
   std::vector<std::string> names;
   names.reserve(n);
@@ -173,7 +179,7 @@ bool env_armed() {
   // runs with MTS_FAULTS unset flip g_faults_override to 0 so every later
   // faults_enabled() is the single relaxed load.
   static const bool armed = [] {
-    const char* raw = std::getenv("MTS_FAULTS");
+    const char* raw = env_raw("MTS_FAULTS");
     if (raw == nullptr || *raw == '\0') {
       g_faults_override.store(0, std::memory_order_relaxed);
       return false;

@@ -46,7 +46,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   work_ready_.notify_all();
@@ -58,10 +58,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Job* job = nullptr;
     {
-      std::unique_lock lock(mutex_);
-      work_ready_.wait(lock, [&] {
-        return stop_ || (job_ != nullptr && generation_ != seen_generation);
-      });
+      MutexLock lock(mutex_);
+      while (!(stop_ || (job_ != nullptr && generation_ != seen_generation))) {
+        work_ready_.wait(lock);
+      }
       if (stop_) return;
       seen_generation = generation_;
       job = job_;
@@ -76,7 +76,7 @@ void ThreadPool::worker_loop() {
     }
     run_job(*job);
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (--job->remaining_workers == 0) work_done_.notify_all();
     }
   }
@@ -93,7 +93,7 @@ void ThreadPool::run_job(Job& job) {
       (*job.fn)(i);
       ++executed;
     } catch (...) {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (!job.error) job.error = std::current_exception();
       job.failed.store(true);
     }
@@ -115,7 +115,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     return;
   }
 
-  std::lock_guard submit_lock(submit_mutex_);  // one job at a time
+  MutexLock submit_lock(submit_mutex_);  // one job at a time
   Job job;
   job.n = n;
   job.fn = &fn;
@@ -123,15 +123,15 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     job.submit_s = obs::MetricsRegistry::instance().seconds_since_epoch();
   }
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &job;
     ++generation_;
   }
   work_ready_.notify_all();
   run_job(job);  // the calling thread is the pool's last worker
   {
-    std::unique_lock lock(mutex_);
-    work_done_.wait(lock, [&] { return job.remaining_workers == 0; });
+    MutexLock lock(mutex_);
+    while (job.remaining_workers != 0) work_done_.wait(lock);
     job_ = nullptr;
   }
   if (job.error) std::rethrow_exception(job.error);
@@ -141,14 +141,28 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
 
 namespace {
 
-std::atomic<std::size_t> g_thread_override{0};
-std::mutex g_pool_mutex;
-std::unique_ptr<ThreadPool> g_pool;  // guarded by g_pool_mutex
+// Function-local statics rather than namespace-scope globals (lint rule
+// no-mutable-global): construction is lazy and race-free, and there is no
+// static-initialization-order coupling with other translation units.
+std::atomic<std::size_t>& thread_override() {
+  static std::atomic<std::size_t> count{0};
+  return count;
+}
+
+struct GlobalPool {
+  Mutex mutex;
+  std::unique_ptr<ThreadPool> pool MTS_GUARDED_BY(mutex);
+};
+
+GlobalPool& global_pool() {
+  static GlobalPool instance;
+  return instance;
+}
 
 }  // namespace
 
 std::size_t num_threads() {
-  const std::size_t override_count = g_thread_override.load();
+  const std::size_t override_count = thread_override().load();
   if (override_count != 0) return override_count;
   const std::int64_t env = env_int("MTS_THREADS", 0);
   if (env > 0) return static_cast<std::size_t>(env);
@@ -156,11 +170,11 @@ std::size_t num_threads() {
   return hardware == 0 ? 1 : hardware;
 }
 
-void set_num_threads(std::size_t n) { g_thread_override.store(n); }
+void set_num_threads(std::size_t n) { thread_override().store(n); }
 
 ThreadResolution thread_resolution() {
   ThreadResolution resolution;
-  const std::size_t override_count = g_thread_override.load();
+  const std::size_t override_count = thread_override().load();
   if (override_count != 0) {
     resolution.requested = override_count;
   } else {
@@ -182,13 +196,14 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
     obs::add(tasks_counter(), n);
     return;
   }
+  GlobalPool& global = global_pool();
   ThreadPool* pool = nullptr;
   {
-    std::lock_guard lock(g_pool_mutex);
-    if (!g_pool || g_pool->num_threads() != threads) {
-      g_pool = std::make_unique<ThreadPool>(threads);
+    MutexLock lock(global.mutex);
+    if (!global.pool || global.pool->num_threads() != threads) {
+      global.pool = std::make_unique<ThreadPool>(threads);
     }
-    pool = g_pool.get();
+    pool = global.pool.get();
   }
   pool->parallel_for(n, fn);
 }

@@ -18,14 +18,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/annotations.hpp"
+#include "core/mutex.hpp"
 
 namespace mts {
 
@@ -46,7 +47,8 @@ class ThreadPool {
   /// is rethrown here (the remaining indices still drain, un-run).  Nested
   /// use — calling parallel_for from inside a task — is a precondition
   /// violation: the pool is fixed-size, so nesting would deadlock.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn)
+      MTS_EXCLUDES(submit_mutex_, mutex_);
 
  private:
   struct Job {
@@ -54,22 +56,27 @@ class ThreadPool {
     const std::function<void(std::size_t)>* fn = nullptr;
     double submit_s = 0.0;  // metrics epoch timestamp; 0 when metrics are off
     std::atomic<std::size_t> next{0};
-    std::atomic<bool> failed{false};    // set once error is captured
-    std::size_t remaining_workers = 0;  // guarded by mutex_
-    std::exception_ptr error;           // first failure, guarded by mutex_
+    std::atomic<bool> failed{false};  // set once error is captured
+    // The analysis cannot name the owning pool's mutex_ from a nested
+    // struct, so these two carry the guard as a comment: both are written
+    // only with ThreadPool::mutex_ held (worker registration in
+    // worker_loop, error capture in run_job) and read by the caller after
+    // the work_done_ wait under the same lock.
+    std::size_t remaining_workers = 0;  // guarded by ThreadPool::mutex_
+    std::exception_ptr error;           // first failure, guarded by ThreadPool::mutex_
   };
 
-  void worker_loop();
-  void run_job(Job& job);
+  void worker_loop() MTS_EXCLUDES(mutex_);
+  void run_job(Job& job) MTS_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::mutex submit_mutex_;  // serializes concurrent top-level parallel_for
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  Job* job_ = nullptr;  // guarded by mutex_
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
+  Mutex submit_mutex_;  // serializes concurrent top-level parallel_for
+  Mutex mutex_;
+  CondVar work_ready_;
+  CondVar work_done_;
+  Job* job_ MTS_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t generation_ MTS_GUARDED_BY(mutex_) = 0;
+  bool stop_ MTS_GUARDED_BY(mutex_) = false;
 };
 
 /// Thread count the global pool will use: the set_num_threads() override if

@@ -11,7 +11,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <cstdlib>
+
+#include "core/env.hpp"
 
 namespace mts {
 
@@ -22,7 +23,7 @@ inline std::atomic<int> g_timing_override{-1};
 
 inline bool timing_enabled_from_env() {
   static const bool enabled = [] {
-    const char* raw = std::getenv("MTS_TIMING");
+    const char* raw = env_raw("MTS_TIMING");
     return raw == nullptr || *raw == '\0' || !(raw[0] == '0' && raw[1] == '\0');
   }();
   return enabled;

@@ -184,6 +184,9 @@ CheckpointJournal::CheckpointJournal(const std::string& path, const std::string&
     }
   }
 
+  // No other thread can hold a reference during construction; the lock is
+  // taken anyway so the guarded-member accesses are analysis-clean.
+  MutexLock lock(mutex_);
   out_.open(p, std::ios::app);
   require(out_.good(), "checkpoint: cannot open journal " + path);
   if (need_header) {
@@ -194,7 +197,7 @@ CheckpointJournal::CheckpointJournal(const std::string& path, const std::string&
 
 void CheckpointJournal::append(const CellRecord& record) {
   const std::string line = format_record(record);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   out_ << line << '\n';
   out_.flush();
 }

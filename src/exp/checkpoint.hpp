@@ -19,9 +19,11 @@
 
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "core/annotations.hpp"
+#include "core/mutex.hpp"
 
 namespace mts::exp {
 
@@ -54,7 +56,7 @@ class CheckpointJournal {
 
   /// Appends one record and flushes, so a kill at any point loses at most
   /// the record being written.  Thread-safe.
-  void append(const CellRecord& record);
+  void append(const CellRecord& record) MTS_EXCLUDES(mutex_);
 
   /// Parses the journal at `path` into task -> record.  Returns an empty
   /// map when the file does not exist.  Throws InvalidInput when the header
@@ -64,9 +66,9 @@ class CheckpointJournal {
                                                             const std::string& fingerprint);
 
  private:
-  std::mutex mutex_;
-  std::ofstream out_;
-  std::string path_;
+  Mutex mutex_;
+  std::ofstream out_ MTS_GUARDED_BY(mutex_);  // writer stream shared by all cells
+  const std::string path_;                    // immutable after construction
 };
 
 }  // namespace mts::exp

@@ -114,6 +114,9 @@ CityTableResult run_city_table_on(const osm::RoadNetwork& network,
 
   // Every (scenario, cost, algorithm) task is independent: it gets its own
   // SplitMix64-derived RNG stream and writes only its own outcome slot.
+  // The slots carry no MTS_GUARDED_BY annotation (DESIGN.md §11) on
+  // purpose: writes are index-disjoint, and parallel_for's join barrier
+  // (core/thread_pool, annotated) publishes them to the reduction below.
   // `record` carries exactly the values the reduction folds, so a resumed
   // cell (record read back from the journal) reduces bit-identically.
   struct TaskOutcome {

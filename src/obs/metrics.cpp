@@ -4,13 +4,13 @@
 #include <array>
 #include <chrono>
 #include <cmath>
-#include <cstdlib>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <unordered_map>
 
+#include "core/env.hpp"
 #include "core/error.hpp"
+#include "core/mutex.hpp"
 
 namespace mts::obs {
 
@@ -19,12 +19,12 @@ namespace detail {
 bool env_flag(const char* name) {
   // Cached per name: the obs knobs are read at most twice (metrics, trace)
   // and never change mid-process except through the programmatic overrides.
-  static std::mutex mutex;
+  static Mutex mutex;
   static std::map<std::string, bool> cache;
-  std::lock_guard lock(mutex);
+  MutexLock lock(mutex);
   const auto it = cache.find(name);
   if (it != cache.end()) return it->second;
-  const char* raw = std::getenv(name);
+  const char* raw = env_raw(name);
   const bool on = raw != nullptr && *raw != '\0' && !(raw[0] == '0' && raw[1] == '\0');
   cache.emplace(name, on);
   return on;
@@ -89,14 +89,14 @@ struct MetricsRegistry::Shard {
   // Phases and trace are structurally mutable (map growth, vector append),
   // so they sit behind a shard-local mutex.  The owning thread is all but
   // alone on it: contention only happens against a concurrent snapshot.
-  mutable std::mutex mutex;
-  std::unordered_map<std::string, PhaseAccum> phases;
-  std::vector<TraceEvent> trace;
+  mutable Mutex mutex;
+  std::unordered_map<std::string, PhaseAccum> phases MTS_GUARDED_BY(mutex);
+  std::vector<TraceEvent> trace MTS_GUARDED_BY(mutex);
   std::atomic<std::uint64_t> trace_dropped{0};
 
   std::uint32_t tid = 0;
 
-  void zero() {
+  void zero() MTS_EXCLUDES(mutex) {
     for (auto& c : counters) c.store(0, std::memory_order_relaxed);
     for (auto& h : histograms) {
       h.count.store(0, std::memory_order_relaxed);
@@ -105,7 +105,7 @@ struct MetricsRegistry::Shard {
       h.max.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
       for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
     }
-    std::lock_guard lock(mutex);
+    MutexLock lock(mutex);
     phases.clear();
     trace.clear();
     trace_dropped.store(0, std::memory_order_relaxed);
@@ -114,12 +114,14 @@ struct MetricsRegistry::Shard {
 
 class MetricsRegistry::Impl {
  public:
-  // Guards registration tables, the shard list, and the epoch.
-  mutable std::mutex mutex;
-  std::vector<std::string> counter_names;
-  std::vector<std::string> histogram_names;
-  std::vector<std::unique_ptr<Shard>> shards;
-  Clock::time_point epoch = Clock::now();
+  // Guards registration tables, the shard list, and the epoch.  The Shard
+  // objects the list owns have their own per-shard mutex; only the vector
+  // (growth in local_shard) is protected here.
+  mutable Mutex mutex;
+  std::vector<std::string> counter_names MTS_GUARDED_BY(mutex);
+  std::vector<std::string> histogram_names MTS_GUARDED_BY(mutex);
+  std::vector<std::unique_ptr<Shard>> shards MTS_GUARDED_BY(mutex);
+  Clock::time_point epoch MTS_GUARDED_BY(mutex) = Clock::now();
 };
 
 MetricsRegistry::MetricsRegistry() : impl_(std::make_unique<Impl>()) {}
@@ -135,7 +137,7 @@ MetricsRegistry::Shard& MetricsRegistry::local_shard() {
   // discarding them, so cached pointers stay valid for the process.
   static thread_local Shard* t_shard = nullptr;
   if (t_shard != nullptr) return *t_shard;
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   auto shard = std::make_unique<Shard>();
   shard->tid = static_cast<std::uint32_t>(impl_->shards.size());
   t_shard = shard.get();
@@ -144,7 +146,7 @@ MetricsRegistry::Shard& MetricsRegistry::local_shard() {
 }
 
 CounterId MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   auto& names = impl_->counter_names;
   for (std::size_t i = 0; i < names.size(); ++i) {
     if (names[i] == name) return {static_cast<std::uint32_t>(i)};
@@ -155,7 +157,7 @@ CounterId MetricsRegistry::counter(std::string_view name) {
 }
 
 HistogramId MetricsRegistry::histogram(std::string_view name) {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   auto& names = impl_->histogram_names;
   for (std::size_t i = 0; i < names.size(); ++i) {
     if (names[i] == name) return {static_cast<std::uint32_t>(i)};
@@ -184,7 +186,7 @@ void MetricsRegistry::observe(HistogramId id, double value) {
 
 void MetricsRegistry::record_phase(const std::string& path, double seconds) {
   Shard& shard = local_shard();
-  std::lock_guard lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   PhaseAccum& accum = shard.phases[path];
   ++accum.count;
   accum.seconds += seconds;
@@ -192,7 +194,7 @@ void MetricsRegistry::record_phase(const std::string& path, double seconds) {
 
 void MetricsRegistry::record_trace_event(const char* name, double ts_s, double dur_s) {
   Shard& shard = local_shard();
-  std::lock_guard lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   if (shard.trace.size() >= kMaxTraceEventsPerShard) {
     accumulate(shard.trace_dropped, std::uint64_t{1});
     return;
@@ -201,12 +203,17 @@ void MetricsRegistry::record_trace_event(const char* name, double ts_s, double d
 }
 
 double MetricsRegistry::seconds_since_epoch() const {
+  // Latent race surfaced by the thread-safety annotations: epoch is written
+  // by reset() under the registry mutex, so an unlocked read here could see
+  // a torn time_point on a concurrent reset.  Take the lock (cold path:
+  // only reached with metrics enabled).
+  MutexLock lock(impl_->mutex);
   return std::chrono::duration<double>(Clock::now() - impl_->epoch).count();
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
 
   snap.counters.resize(impl_->counter_names.size());
   for (std::size_t i = 0; i < snap.counters.size(); ++i) {
@@ -237,7 +244,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
       }
     }
     snap.trace_events_dropped += shard->trace_dropped.load(std::memory_order_relaxed);
-    std::lock_guard shard_lock(shard->mutex);
+    MutexLock shard_lock(shard->mutex);
+    // Per-path fold into an ordered std::map; visit order cannot change
+    // the merged result.  mts-lint: allow(no-unordered-output)
     for (const auto& [path, accum] : shard->phases) {
       PhaseAccum& merged = merged_phases[path];
       merged.count += accum.count;
@@ -267,16 +276,16 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 
 std::vector<TraceEvent> MetricsRegistry::trace_events() const {
   std::vector<TraceEvent> events;
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   for (const auto& shard : impl_->shards) {
-    std::lock_guard shard_lock(shard->mutex);
+    MutexLock shard_lock(shard->mutex);
     events.insert(events.end(), shard->trace.begin(), shard->trace.end());
   }
   return events;
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   for (const auto& shard : impl_->shards) shard->zero();
   impl_->epoch = Clock::now();
 }

@@ -30,6 +30,18 @@ TEST(Env, DoubleParsesValue) {
   unsetenv("MTS_TEST_DBL");
 }
 
+// env_raw is the repo's single audited getenv entry point (the
+// no-raw-getenv lint rule routes every other caller through it); it must
+// behave exactly like the libc read it wraps.
+TEST(Env, RawReadsTheEnvironment) {
+  setenv("MTS_TEST_RAW", "route-based", 1);
+  const char* value = env_raw("MTS_TEST_RAW");
+  ASSERT_NE(value, nullptr);
+  EXPECT_STREQ(value, "route-based");
+  unsetenv("MTS_TEST_RAW");
+  EXPECT_EQ(env_raw("MTS_TEST_RAW"), nullptr);
+}
+
 TEST(Env, BenchEnvDefaults) {
   unsetenv("MTS_SCALE");
   unsetenv("MTS_TRIALS");

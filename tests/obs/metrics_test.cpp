@@ -163,6 +163,25 @@ TEST_F(MetricsTest, ConcurrentRecordingSumsExactly) {
   EXPECT_DOUBLE_EQ(hist->sum, static_cast<double>(kThreads * kIterations));
 }
 
+// Regression for a race surfaced by the thread-safety annotations:
+// seconds_since_epoch() used to read the registry epoch without the lock
+// while reset() rewrote it, so a concurrent reset could hand out a torn
+// time_point.  Under TSan this loop is the proof the fix holds; the name
+// keeps it inside the ci.sh tsan sweep (ConcurrentRecording filter).
+TEST_F(MetricsTest, ConcurrentRecordingEpochResetRace) {
+  auto& registry = MetricsRegistry::instance();
+  constexpr int kIterations = 2000;
+  std::thread resetter([&] {
+    for (int i = 0; i < kIterations; ++i) registry.reset();
+  });
+  for (int i = 0; i < kIterations; ++i) {
+    // Never negative: both epoch writes and reads are now serialized on
+    // the registry mutex, and the epoch only moves forward.
+    EXPECT_GE(registry.seconds_since_epoch(), 0.0);
+  }
+  resetter.join();
+}
+
 TEST_F(MetricsTest, TraceImpliesMetrics) {
   set_metrics_enabled(false);
   set_trace_enabled(true);

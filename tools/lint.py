@@ -38,9 +38,39 @@ Rules (see DESIGN.md "Correctness tooling"):
                    container to num_nodes per call — per-search storage
                    lives in the epoch-stamped SearchSpace precisely so the
                    Yen/oracle hot loops stop allocating (DESIGN.md §9)
+  no-raw-getenv    no direct std::getenv in library code — every MTS_* knob
+                   flows through mts::env_raw / env_int / env_string
+                   (core/env.hpp), the single audited entry point for
+                   environment-dependent behaviour
+  no-mutable-global
+                   no mutable namespace-scope state in library code outside
+                   the registered enabled-flag singletons (obs/fault/timer
+                   overrides) — hidden globals are where cross-thread and
+                   cross-run nondeterminism breeds.  thread_local state and
+                   const/constexpr values are exempt; everything else
+                   belongs behind a function-local static accessor
+                   (core/thread_pool.cpp's global_pool() is the pattern)
+  no-unordered-output
+                   no range-for iteration over a std::unordered_map/set in
+                   library code — byte-deterministic stdout/CSV/JSON
+                   depends on ordered emission, and hash-order iteration is
+                   the classic leak.  Provably order-insensitive folds
+                   (e.g. merging into a std::map) carry a suppression
   ci-workflow      .github/workflows/ci.yml parses as YAML and carries a
-                   job matrix covering every ci.sh leg (dev, asan, tsan),
-                   so the hosted gate can never silently drop a preset
+                   job matrix covering every ci.sh leg (dev, asan, tsan)
+                   plus the tidy gate, so the hosted gate can never
+                   silently drop a preset
+
+Suppressions: a line (or the line directly above it) containing
+`mts-lint: allow(<rule>)` exempts that line from <rule>.  Every suppression
+must state its justification in the same comment; DESIGN.md §11 documents
+the policy.
+
+Incremental mode: `--files a.cpp b.hpp` restricts every file-scoped rule to
+the given paths (pre-commit hooks and editor integrations stay fast as the
+repo grows); the ci-workflow rule then runs only when the workflow file is
+among them.  Violations are reported in stable (path, line, rule) order in
+both modes.
 """
 
 from __future__ import annotations
@@ -104,12 +134,53 @@ def strip_code(text: str) -> str:
     return "".join(out)
 
 
+# Registered mutable-global singletons: the lazily-initialized enabled
+# flags of the observability/fault/timing layers.  Everything else at
+# namespace scope must be const, thread_local, or refactored behind a
+# function-local static accessor.
+MUTABLE_GLOBAL_ALLOW = {
+    ("src/obs/metrics.hpp", "g_metrics_override"),
+    ("src/obs/metrics.hpp", "g_trace_override"),
+    ("src/core/fault.hpp", "g_faults_override"),
+    ("src/core/timer.hpp", "g_timing_override"),
+}
+
+SUPPRESS_RE = re.compile(r"mts-lint:\s*allow\(([a-z0-9-]+)\)")
+
+
 class Linter:
-    def __init__(self, root: Path) -> None:
+    def __init__(self, root: Path, only_files: list[Path] | None = None) -> None:
         self.root = root
         self.violations: list[tuple[Path, int, str, str]] = []
+        self.only_files: set[Path] | None = None
+        if only_files is not None:
+            self.only_files = set()
+            for p in only_files:
+                resolved = p if p.is_absolute() else (root / p)
+                self.only_files.add(resolved.resolve())
+        self._suppression_cache: dict[Path, dict[int, set[str]]] = {}
+
+    def suppressions(self, path: Path) -> dict[int, set[str]]:
+        """Line -> rules allowed there, from `mts-lint: allow(rule)` comments
+        (a comment suppresses its own line and the line below it)."""
+        cached = self._suppression_cache.get(path)
+        if cached is not None:
+            return cached
+        allowed: dict[int, set[str]] = {}
+        if not path.is_file():
+            self._suppression_cache[path] = allowed
+            return allowed
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            for match in SUPPRESS_RE.finditer(line):
+                rule = match.group(1)
+                allowed.setdefault(lineno, set()).add(rule)
+                allowed.setdefault(lineno + 1, set()).add(rule)
+        self._suppression_cache[path] = allowed
+        return allowed
 
     def report(self, path: Path, line: int, rule: str, message: str) -> None:
+        if rule in self.suppressions(path).get(line, set()):
+            return
         self.violations.append((path, line, rule, message))
 
     def files(self, dirs: list[str], suffixes: set[str]) -> list[Path]:
@@ -118,6 +189,8 @@ class Linter:
             base = self.root / d
             if base.is_dir():
                 found.extend(p for p in sorted(base.rglob("*")) if p.suffix in suffixes)
+        if self.only_files is not None:
+            found = [p for p in found if p.resolve() in self.only_files]
         return found
 
     def match_lines(self, stripped: str, pattern: re.Pattern[str]):
@@ -260,8 +333,81 @@ class Linter:
                             f"per-call num_nodes-sized allocation in a search engine; "
                             f"use the SearchSpace workspace: {line}")
 
+    def check_no_raw_getenv(self) -> None:
+        # Every environment read flows through core/env.hpp (env_raw and the
+        # typed helpers built on it): MTS_* knobs decide output-affecting
+        # behaviour, so their one entry point must stay auditable.  The
+        # env_raw implementation itself carries the suppression comment.
+        pattern = re.compile(r"\b(?:std\s*::\s*)?(?:secure_)?getenv\s*\(")
+        for path in self.files(LIB_DIRS, CXX_SUFFIXES):
+            for lineno, line in self.match_lines(strip_code(path.read_text()), pattern):
+                self.report(path, lineno, "no-raw-getenv",
+                            f"raw getenv; use mts::env_raw / env_int / env_string "
+                            f"(core/env.hpp): {line}")
+
+    def check_no_mutable_global(self) -> None:
+        # Namespace-scope mutable state is where cross-thread races and
+        # cross-run nondeterminism breed.  Heuristic: clang-format keeps
+        # namespace-scope declarations at column 0 (namespaces do not
+        # indent), so a column-0 variable declaration without
+        # const/constexpr is a mutable global.  thread_local is exempt
+        # (per-thread, no cross-thread visibility); function declarations
+        # are excluded by the `(`-free requirement (one-line declarations
+        # only, like every rule here).
+        decl = re.compile(
+            r"^(?:inline\s+|static\s+)*"
+            r"(?:[A-Za-z_][\w:]*(?:\s*<[^;=]*>)?[\s&*]+)+"
+            r"(?P<name>\w+)\s*(?:\{[^{}]*\})?\s*(?:=[^;]*)?;")
+        skip = re.compile(
+            r"\b(?:const|constexpr|constinit|thread_local|using|typedef|extern|"
+            r"return|friend|namespace|struct|class|enum|template|operator)\b")
+        for path in self.files(LIB_DIRS, CXX_SUFFIXES):
+            rel = str(path.relative_to(self.root))
+            stripped = strip_code(path.read_text())
+            stripped = re.sub(r"(?m)^\s*#.*$", "", stripped)
+            for lineno, line in enumerate(stripped.splitlines(), start=1):
+                if not line or line[0] in " \t}":
+                    continue
+                if "(" in line or skip.search(line):
+                    continue
+                match = decl.match(line)
+                if not match:
+                    continue
+                name = match.group("name")
+                if (rel, name) in MUTABLE_GLOBAL_ALLOW:
+                    continue
+                self.report(path, lineno, "no-mutable-global",
+                            f"mutable namespace-scope state '{name}'; make it "
+                            f"const, thread_local, or a function-local static "
+                            f"behind an accessor: {line.strip()}")
+
+    def check_no_unordered_output(self) -> None:
+        # Hash-order iteration is the classic byte-determinism leak: an
+        # unordered_map walked into a table/CSV/JSON writer emits rows in a
+        # different order per process.  Heuristic: flag every range-for over
+        # a name declared as std::unordered_map/set in the same file;
+        # provably order-insensitive folds carry a suppression comment with
+        # justification (the snapshot() phase merge in obs/metrics.cpp is
+        # the exemplar).
+        decl = re.compile(r"std\s*::\s*unordered_(?:map|set)\s*<[^;{}()]*>\s+(\w+)")
+        for path in self.files(LIB_DIRS, CXX_SUFFIXES):
+            stripped = strip_code(path.read_text())
+            names = set(decl.findall(stripped))
+            if not names:
+                continue
+            alternation = "|".join(re.escape(n) for n in sorted(names))
+            loop = re.compile(
+                r"for\s*\([^;()]*:\s*[\w.\->]*\b(?:" + alternation + r")\s*\)")
+            for lineno, line in self.match_lines(stripped, loop):
+                self.report(path, lineno, "no-unordered-output",
+                            f"iteration over an unordered container; emit through "
+                            f"an ordered structure (or justify with a suppression "
+                            f"if the fold is order-insensitive): {line}")
+
     def check_ci_workflow(self) -> None:
         workflow = self.root / ".github" / "workflows" / "ci.yml"
+        if self.only_files is not None and workflow.resolve() not in self.only_files:
+            return
         if not workflow.is_file():
             self.report(workflow, 1, "ci-workflow", "missing .github/workflows/ci.yml")
             return
@@ -295,6 +441,12 @@ class Linter:
         if missing:
             self.report(workflow, 1, "ci-workflow",
                         f"job matrix does not cover ci.sh leg(s): {', '.join(sorted(missing))}")
+        # The static-analysis gate must stay in hosted CI too: either its own
+        # job or a matrix leg named tidy (./ci.sh tidy).
+        if "tidy" not in jobs and "tidy" not in presets:
+            self.report(workflow, 1, "ci-workflow",
+                        "workflow has no tidy leg (clang-tidy gate): add a `tidy` "
+                        "job or matrix preset running ./ci.sh tidy")
 
     # --------------------------------------------------------------------
 
@@ -313,7 +465,13 @@ class Linter:
         self.check_no_raw_clock()
         self.check_no_using_namespace()
         self.check_no_search_alloc()
+        self.check_no_raw_getenv()
+        self.check_no_mutable_global()
+        self.check_no_unordered_output()
         self.check_ci_workflow()
+        # Stable output order regardless of rule execution order, so diffs
+        # of lint output (and the fixture tests) are deterministic.
+        self.violations.sort(key=lambda v: (str(v[0]), v[1], v[2], v[3]))
         for path, lineno, rule, message in self.violations:
             rel = path.relative_to(self.root)
             print(f"{rel}:{lineno}: [{rule}] {message}")
@@ -329,8 +487,13 @@ def main() -> int:
     parser.add_argument("--root", type=Path,
                         default=Path(__file__).resolve().parent.parent,
                         help="repository root (default: parent of tools/)")
+    parser.add_argument("--files", nargs="+", type=Path, default=None,
+                        metavar="PATH",
+                        help="incremental mode: lint only these files (paths "
+                             "relative to --root or absolute); directory-scoped "
+                             "rules skip files outside the given set")
     args = parser.parse_args()
-    return Linter(args.root.resolve()).run()
+    return Linter(args.root.resolve(), only_files=args.files).run()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""clang-tidy gate: fail only on findings not in the checked-in baseline.
+
+Runs clang-tidy (config: the repo's .clang-tidy) over every library TU in a
+compile_commands.json build tree, in parallel, and compares the findings
+against tools/clang_tidy_baseline.txt.  A finding is keyed as
+`path [check-name]` — line numbers are deliberately not part of the key so
+unrelated edits cannot churn the baseline.
+
+Exit codes:
+  0   gate passed (no findings outside the baseline)
+  1   new findings (printed, and written to --report if given)
+  2   infrastructure error (bad build dir, clang-tidy crashed, ...)
+  77  skipped: no clang-tidy on this machine (ctest SKIP_RETURN_CODE)
+
+Workflow:
+  * CI / ctest entry `tidy`:  run_clang_tidy.py --build <dir>
+  * accept a grandfathered finding:  --update-baseline (then commit the
+    file; the PR review owns the justification)
+  * prove the gate bites:  --self-test compiles a TU with a deliberate
+    bugprone-use-after-move and asserts the gate fails on it (runs by
+    default before the repo scan; it is cheap and guards against a
+    misconfigured .clang-tidy silently passing everything)
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SKIP_EXIT = 77
+
+# Newest first; plain `clang-tidy` wins so an explicit PATH choice is obeyed.
+CANDIDATE_NAMES = ["clang-tidy"] + [f"clang-tidy-{v}" for v in range(21, 13, -1)]
+
+DIAG_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): (?P<message>.*?) \[(?P<checks>[A-Za-z0-9.,_-]+)\]$")
+
+
+def find_clang_tidy() -> str | None:
+    override = os.environ.get("CLANG_TIDY")
+    if override:
+        return override if shutil.which(override) else None
+    for name in CANDIDATE_NAMES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+class Finding:
+    """One diagnostic, keyed for baseline comparison as `path [check]`."""
+
+    def __init__(self, path: str, line: int, check: str, message: str) -> None:
+        self.path = path
+        self.line = line
+        self.check = check
+        self.message = message
+
+    def key(self) -> str:
+        return f"{self.path} [{self.check}]"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+def parse_output(stdout: str, root: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for raw_line in stdout.splitlines():
+        match = DIAG_RE.match(raw_line.strip())
+        if not match:
+            continue
+        path = Path(match.group("path"))
+        if not path.is_absolute():
+            path = (root / path).resolve()
+        try:
+            rel = str(path.resolve().relative_to(root.resolve()))
+        except ValueError:
+            continue  # system header or generated file outside the repo
+        for check in match.group("checks").split(","):
+            findings.append(Finding(rel, int(match.group("line")), check,
+                                    match.group("message")))
+    return findings
+
+
+def run_one(tidy: str, build_dir: Path, source: str, root: Path) -> tuple[list[Finding], str]:
+    proc = subprocess.run(
+        [tidy, "-p", str(build_dir), "--quiet", source],
+        capture_output=True, text=True, check=False)
+    # clang-tidy exits 1 when it emits warnings; only treat hard crashes /
+    # config errors (no parseable output, nonzero exit) as infrastructure.
+    findings = parse_output(proc.stdout, root)
+    error = ""
+    if proc.returncode != 0 and not findings:
+        error = f"{source}: clang-tidy exit {proc.returncode}\n{proc.stderr.strip()}"
+    return findings, error
+
+
+def library_sources(build_dir: Path, root: Path) -> list[str]:
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        raise RuntimeError(
+            f"{db_path} not found — configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON "
+            f"(the CMake presets set it)")
+    entries = json.loads(db_path.read_text())
+    sources: list[str] = []
+    lib_root = (root / "src").resolve()
+    for entry in entries:
+        file_path = Path(entry["file"])
+        if not file_path.is_absolute():
+            file_path = Path(entry["directory"]) / file_path
+        file_path = file_path.resolve()
+        if lib_root in file_path.parents:
+            sources.append(str(file_path))
+    return sorted(set(sources))
+
+
+def load_baseline(path: Path) -> set[str]:
+    if not path.is_file():
+        return set()
+    keys: set[str] = set()
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            keys.add(line)
+    return keys
+
+
+BASELINE_HEADER = """\
+# clang-tidy baseline: grandfathered findings the `tidy` gate tolerates.
+# One `path [check-name]` key per line; regenerate with
+#   tools/run_clang_tidy.py --build <dir> --update-baseline
+# Shrinking this file is always welcome; growing it needs a review-approved
+# justification in the PR that grows it.
+"""
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    keys = sorted({f.key() for f in findings})
+    path.write_text(BASELINE_HEADER + "".join(k + "\n" for k in keys))
+
+
+def self_test(tidy: str, root: Path) -> None:
+    """A deliberate bugprone finding must fail the gate machinery."""
+    snippet = (
+        "#include <string>\n"
+        "#include <utility>\n"
+        "int main() {\n"
+        "  std::string name = \"mts\";\n"
+        "  std::string moved = std::move(name);\n"
+        "  return static_cast<int>(name.size() + moved.size());\n"
+        "}\n")
+    with tempfile.TemporaryDirectory(prefix="mts-tidy-selftest-") as tmp:
+        tmp_path = Path(tmp)
+        (tmp_path / "use_after_move.cpp").write_text(snippet)
+        shutil.copy(root / ".clang-tidy", tmp_path / ".clang-tidy")
+        (tmp_path / "compile_commands.json").write_text(json.dumps([{
+            "directory": str(tmp_path),
+            "command": "c++ -std=c++20 -c use_after_move.cpp",
+            "file": str(tmp_path / "use_after_move.cpp"),
+        }]))
+        findings, error = run_one(tidy, tmp_path, str(tmp_path / "use_after_move.cpp"),
+                                  tmp_path)
+        if error:
+            raise RuntimeError(f"self-test infrastructure failure: {error}")
+        if not any(f.check == "bugprone-use-after-move" for f in findings):
+            raise RuntimeError(
+                "self-test FAILED: the deliberate bugprone-use-after-move was not "
+                "reported — the gate would silently pass real bugs "
+                f"(got: {[f.check for f in findings] or 'no findings'})")
+    print("tidy: self-test ok (deliberate bugprone finding is caught)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build", type=Path, required=True,
+                        help="build tree containing compile_commands.json")
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent)
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline file (default: tools/clang_tidy_baseline.txt)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run's findings")
+    parser.add_argument("--report", type=Path, default=None,
+                        help="write the full finding list here (CI failure artifact)")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--self-test", action="store_true",
+                        help="only run the deliberate-finding self-test")
+    parser.add_argument("--no-self-test", action="store_true",
+                        help="skip the self-test before the repo scan")
+    args = parser.parse_args()
+
+    root = args.root.resolve()
+    baseline_path = args.baseline or root / "tools" / "clang_tidy_baseline.txt"
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        print("tidy: skipped — no clang-tidy on PATH (set CLANG_TIDY to override); "
+              "the hosted CI tidy job is the authoritative gate", file=sys.stderr)
+        return SKIP_EXIT
+
+    try:
+        if not args.no_self_test:
+            self_test(tidy, root)
+        if args.self_test:
+            return 0
+
+        sources = library_sources(args.build.resolve(), root)
+        if not sources:
+            raise RuntimeError("no src/ translation units in compile_commands.json")
+        print(f"tidy: {tidy} over {len(sources)} TUs, {args.jobs} jobs")
+
+        all_findings: list[Finding] = []
+        errors: list[str] = []
+        with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+            futures = [pool.submit(run_one, tidy, args.build.resolve(), s, root)
+                       for s in sources]
+            for future in concurrent.futures.as_completed(futures):
+                findings, error = future.result()
+                all_findings.extend(findings)
+                if error:
+                    errors.append(error)
+        if errors:
+            print("\n".join(errors), file=sys.stderr)
+            return 2
+    except RuntimeError as err:
+        print(f"tidy: {err}", file=sys.stderr)
+        return 2
+
+    # The same (path, check) pair can fire on many lines; report each line
+    # but gate on the deduplicated key.
+    all_findings.sort(key=lambda f: (f.path, f.line, f.check))
+    if args.update_baseline:
+        write_baseline(baseline_path, all_findings)
+        print(f"tidy: baseline updated with {len({f.key() for f in all_findings})} "
+              f"key(s) -> {baseline_path}")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    new = [f for f in all_findings if f.key() not in baseline]
+    stale = baseline - {f.key() for f in all_findings}
+
+    if args.report:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text("".join(f.render() + "\n" for f in all_findings))
+
+    for finding in new:
+        print(finding.render())
+    if stale:
+        print(f"tidy: note: {len(stale)} baseline key(s) no longer fire — "
+              f"consider --update-baseline to shrink the file", file=sys.stderr)
+    if new:
+        print(f"tidy: {len(new)} finding(s) not in baseline "
+              f"({len(all_findings)} total, baseline {len(baseline)})", file=sys.stderr)
+        return 1
+    print(f"tidy: ok ({len(all_findings)} finding(s), all baselined)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
