@@ -32,6 +32,42 @@ fi
 
 JOBS="${JOBS:-$(nproc)}"
 
+# Service smoke shared by the dev and asan legs: start `mts routed` on an
+# ephemeral port, replay load against it, then prove the SIGTERM drain —
+# the daemon must answer everything it parsed and exit 0.  Extra env (e.g.
+# MTS_FAULTS=routed.request:...) applies to the daemon only.
+routed_smoke() {
+  local preset="$1"; shift
+  local mts="build-$preset/src/cli/mts"
+  local dir
+  dir="$(mktemp -d)"
+  "$mts" generate --city chicago --scale 0.15 --seed 5 --out "$dir/city.osm"
+  env "$@" "$mts" routed --osm "$dir/city.osm" --port 0 --port-file "$dir/port" \
+    --threads 4 2> "$dir/routed.err" &
+  local daemon=$!
+  for _ in $(seq 1 100); do
+    [ -s "$dir/port" ] && break
+    kill -0 "$daemon" 2>/dev/null || { cat "$dir/routed.err" >&2; return 1; }
+    sleep 0.1
+  done
+  [ -s "$dir/port" ] || { echo "ci: routed never wrote its port file" >&2; return 1; }
+
+  for mix in route kalt attack; do
+    "$mts" loadgen --port-file "$dir/port" --requests 500 --connections 4 \
+      --mix "$mix" --rank 2 ||
+      { echo "ci: loadgen mix=$mix failed" >&2; kill "$daemon" 2>/dev/null; return 1; }
+  done
+
+  kill -TERM "$daemon"
+  local rc=0
+  wait "$daemon" || rc=$?
+  rm -rf "$dir"
+  if [ "$rc" != 0 ]; then
+    echo "ci: routed did not drain cleanly on SIGTERM (exit $rc)" >&2
+    return 1
+  fi
+}
+
 for preset in "${PRESETS[@]}"; do
   if [ "$preset" = tidy ]; then
     echo "==== [tidy] configure (dev preset, for compile_commands.json) ===="
@@ -58,17 +94,20 @@ for preset in "${PRESETS[@]}"; do
 
   if [ "$preset" = tsan ]; then
     echo "==== [$preset] build (parallel suites) ===="
-    cmake --build --preset "$preset" -j "$JOBS" --target test_core test_integration test_obs
+    cmake --build --preset "$preset" -j "$JOBS" --target test_core test_integration test_obs test_net
 
-    echo "==== [$preset] ctest (ThreadPool + ParallelDeterminism + MetricsRegistry + SearchSpace + Fault/Checkpoint) ===="
+    echo "==== [$preset] ctest (ThreadPool + ParallelDeterminism + MetricsRegistry + SearchSpace + Fault/Checkpoint + TaskQueue/RoutedE2e) ===="
     # MTS_THREADS=4 forces real concurrency even on small CI hosts, so TSan
     # actually sees the threads it is supposed to check.  ConcurrentRecording
     # is the obs/metrics sharded-registry race gate; SearchSpaceThreads races
     # the per-thread search workspace reuse path (graph/search_space.hpp);
     # Fault/Checkpoint race the quarantine + journal-append paths of the
-    # parallel harness (exp/table_runner, exp/checkpoint).
+    # parallel harness (exp/table_runner, exp/checkpoint); TaskQueue/RoutedE2e
+    # race the daemon's reader threads, queue workers, and drain paths
+    # (core/thread_pool, net/server) — this leg is what caught the EOF-close
+    # vs shutdown_read fd race.
     MTS_THREADS=4 ctest --preset "$preset" -j "$JOBS" \
-      -R 'ThreadPool|ParallelDeterminism|ConcurrentRecording|SearchSpace|Fault|Checkpoint'
+      -R 'ThreadPool|ParallelDeterminism|ConcurrentRecording|SearchSpace|Fault|Checkpoint|TaskQueue|RoutedE2e'
     continue
   fi
 
@@ -94,6 +133,13 @@ for preset in "${PRESETS[@]}"; do
           MTS_PATH_RANK=10 MTS_SEED=11 MTS_TIMING=0 \
           ./bench/table02_boston_length > /dev/null)
     done
+
+    # The routed.request point fires inside a live daemon under ASan: the
+    # injected fault must surface as one structured `err ... fault-injected:`
+    # response (loadgen still completes with zero drops) and the drain must
+    # stay clean.
+    echo "==== [$preset] routed fault-injection smoke (MTS_FAULTS=routed.request) ===="
+    routed_smoke "$preset" MTS_FAULTS=routed.request:after=25:throw
   fi
 
   if [ "$preset" = dev ]; then
@@ -110,6 +156,17 @@ for preset in "${PRESETS[@]}"; do
     # gated).
     echo "==== [$preset] bench_gate (counter regression) ===="
     ctest --preset "$preset" -R '^bench_gate$' --output-on-failure
+
+    # Service smoke: routed + loadgen end to end over all three request
+    # mixes, then the SIGTERM drain contract (see routed_smoke above).
+    echo "==== [$preset] routed/loadgen smoke ===="
+    routed_smoke "$preset"
+
+    # Brief protocol fuzz callout: byte-mutation fuzz of the wire parser
+    # (also part of the full sweep; isolated here so a framing regression
+    # fails with an obvious label).
+    echo "==== [$preset] protocol fuzz ===="
+    ctest --preset "$preset" -R 'ProtocolFuzz' --output-on-failure
   fi
 done
 

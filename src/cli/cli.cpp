@@ -1,8 +1,13 @@
 #include "cli/cli.hpp"
 
+#include <atomic>
+#include <csignal>
+#include <fstream>
+#include <initializer_list>
 #include <map>
 #include <optional>
 #include <ostream>
+#include <string_view>
 
 #include "attack/algorithms.hpp"
 #include "attack/area_isolation.hpp"
@@ -10,11 +15,16 @@
 #include "attack/models.hpp"
 #include "attack/verify.hpp"
 #include "citygen/generate.hpp"
+#include "core/budget.hpp"
+#include "core/env.hpp"
 #include "core/error.hpp"
 #include "core/table.hpp"
 #include "exp/json_report.hpp"
 #include "exp/scenario.hpp"
 #include "graph/metrics.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
+#include "net/snapshot.hpp"
 #include "obs/metrics.hpp"
 #include "osm/xml.hpp"
 #include "viz/geojson.hpp"
@@ -24,15 +34,35 @@ namespace mts::cli {
 
 namespace {
 
-/// Flag map: "--key value" pairs after the subcommand.
+/// Flag map: "--key value" pairs after the subcommand.  Every subcommand
+/// declares the flags it accepts; an unknown or mistyped flag is rejected
+/// with the exact offending token instead of silently parsing as its
+/// default (`mts attack --algoritm greedy-edge` used to run the default
+/// algorithm without a word of complaint).
 class Flags {
  public:
-  Flags(const std::vector<std::string>& args, std::size_t start) {
+  Flags(const std::vector<std::string>& args, std::size_t start, const char* command,
+        std::initializer_list<std::string_view> allowed) {
     for (std::size_t i = start; i < args.size(); i += 2) {
       if (args[i].rfind("--", 0) != 0 || i + 1 >= args.size()) {
         throw InvalidInput("expected --flag value pairs, got '" + args[i] + "'");
       }
-      values_[args[i].substr(2)] = args[i + 1];
+      const std::string key = args[i].substr(2);
+      bool known = false;
+      for (const std::string_view candidate : allowed) known = known || candidate == key;
+      if (!known) {
+        std::string message =
+            "unknown flag '" + args[i] + "' for '" + command + "' (allowed:";
+        for (const std::string_view candidate : allowed) {
+          message += " --";
+          message += candidate;
+        }
+        message += ')';
+        throw InvalidInput(message);
+      }
+      if (!values_.emplace(key, args[i + 1]).second) {
+        throw InvalidInput("duplicate flag '" + args[i] + "'");
+      }
     }
   }
 
@@ -286,6 +316,135 @@ int cmd_interdict(const Flags& flags, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// ---- routed / loadgen ------------------------------------------------------
+
+/// Signal-to-serve-loop bridge (function-local static per lint rule
+/// no-mutable-global).  The handler only stores into a lock-free atomic;
+/// the accept loop polls it every 200 ms.
+std::atomic<bool>& routed_stop_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+void handle_stop_signal(int) { routed_stop_flag().store(true); }
+
+net::WeightKind parse_wire_weight(const std::string& name) {
+  if (name == "time") return net::WeightKind::Time;
+  if (name == "length") return net::WeightKind::Length;
+  throw InvalidInput("unknown weight '" + name + "' (time|length)");
+}
+
+/// Client-side port resolution: --port-file (written by `mts routed`),
+/// else --port, else MTS_PORT.  `require_positive` demands a concrete port
+/// (the client side; the server accepts 0 = ephemeral and treats
+/// --port-file as its *output*).
+std::uint16_t resolve_port(const Flags& flags, bool require_positive) {
+  long port = flags.get_int("port", env_int("MTS_PORT", 0));
+  if (require_positive) {
+    const std::string port_file = flags.get("port-file", "");
+    if (!port_file.empty()) {
+      std::ifstream file(port_file);
+      if (!(file >> port)) {
+        throw InvalidInput("--port-file " + port_file + " is unreadable or not a port number");
+      }
+    }
+  }
+  if (port < 0 || port > 65535 || (require_positive && port == 0)) {
+    throw InvalidInput("--port must be in [" + std::string(require_positive ? "1" : "0") +
+                       ", 65535], got " + std::to_string(port));
+  }
+  return static_cast<std::uint16_t>(port);
+}
+
+int cmd_routed(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::string obs_base = flags.get("obs", "");
+  if (!obs_base.empty()) obs::set_metrics_enabled(true);
+
+  net::RoutedOptions options;
+  options.host = flags.get("host", "127.0.0.1");
+  options.port = resolve_port(flags, /*require_positive=*/false);
+  const long threads = flags.get_int("threads", 0);
+  if (threads < 0) throw InvalidInput("--threads must be >= 0");
+  options.threads = static_cast<std::size_t>(threads);
+  const std::string budget_spec = flags.get("budget", "");
+  options.request_budget =
+      budget_spec.empty() ? WorkBudget::from_environment() : WorkBudget::parse(budget_spec);
+
+  const net::Snapshot snapshot = net::Snapshot::load(flags.require_flag("osm"));
+  net::RoutedServer server(snapshot, options);
+  server.start();
+
+  const std::string port_file = flags.get("port-file", "");
+  if (!port_file.empty()) {
+    std::ofstream file(port_file);
+    require(file.good(), "cannot write --port-file " + port_file);
+    file << server.port() << "\n";
+  }
+  err << "[routed] serving " << snapshot.num_nodes() << " nodes / " << snapshot.num_edges()
+      << " edges on " << options.host << ":" << server.port() << "\n";
+
+  routed_stop_flag().store(false);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  server.serve(&routed_stop_flag());
+
+  const net::RoutedStats stats = server.stats();
+  out << "routed: connections=" << stats.connections << " requests=" << stats.requests
+      << " ok=" << stats.responses_ok << " errors=" << stats.responses_error
+      << " protocol_errors=" << stats.protocol_errors << "\n";
+  if (!obs_base.empty()) exp::save_observability(obs_base);
+  return 0;
+}
+
+int cmd_loadgen(const Flags& flags, std::ostream& out) {
+  const std::string obs_base = flags.get("obs", "");
+  if (!obs_base.empty()) obs::set_metrics_enabled(true);
+
+  net::LoadgenOptions options;
+  const long requests = flags.get_int("requests", 1000);
+  if (requests < 1) throw InvalidInput("--requests must be >= 1");
+  options.requests = static_cast<std::uint64_t>(requests);
+  const long connections = flags.get_int("connections", 4);
+  if (connections < 1) throw InvalidInput("--connections must be >= 1");
+  options.connections = static_cast<std::size_t>(connections);
+  const long window = flags.get_int("window", 16);
+  if (window < 1) throw InvalidInput("--window must be >= 1");
+  options.window = static_cast<std::size_t>(window);
+  options.seed = parse_seed(flags);
+  options.mix = net::parse_mix(flags.get("mix", "route"));
+  options.weight = parse_wire_weight(flags.get("weight", "time"));
+  const long k = flags.get_int("k", 4);
+  if (k < 1 || k > static_cast<long>(net::kMaxAlternatives)) {
+    throw InvalidInput("--k must be in [1, " + std::to_string(net::kMaxAlternatives) + "]");
+  }
+  options.kalt_k = static_cast<std::uint32_t>(k);
+  const long rank = flags.get_int("rank", 8);
+  if (rank < 1 || rank > static_cast<long>(net::kMaxPathRank)) {
+    throw InvalidInput("--rank must be in [1, " + std::to_string(net::kMaxPathRank) + "]");
+  }
+  options.attack_rank = static_cast<std::uint32_t>(rank);
+
+  const std::string host = flags.get("host", "127.0.0.1");
+  const std::uint16_t port = resolve_port(flags, /*require_positive=*/true);
+  const net::LoadReport report = net::run_loadgen(host, port, options);
+
+  out << "loadgen: sent=" << report.sent << " completed=" << report.completed
+      << " ok=" << report.ok << " errors=" << report.errors << " dropped=" << report.dropped
+      << "\n";
+  out << "latency_ms: p50=" << format_fixed(report.p50_s * 1e3, 3)
+      << " p99=" << format_fixed(report.p99_s * 1e3, 3)
+      << " mean=" << format_fixed(report.mean_s * 1e3, 3)
+      << " max=" << format_fixed(report.max_s * 1e3, 3)
+      << " wall_s=" << format_fixed(report.wall_s, 3) << " qps=" << format_fixed(report.qps, 1)
+      << "\n";
+  if (report.failed_connections > 0) {
+    out << "failures: " << report.failed_connections
+        << " connection(s) died (first: " << report.first_failure << ")\n";
+  }
+  if (!obs_base.empty()) exp::save_observability(obs_base);
+  return (report.dropped == 0 && report.failed_connections == 0) ? 0 : 1;
+}
+
 }  // namespace
 
 std::string usage() {
@@ -298,6 +457,12 @@ std::string usage() {
          "             [--trace BASE]  (writes BASE_metrics.json + BASE_trace.json)\n"
          "  isolate    --osm FILE.osm [--hospital NAME] [--radius M] [--cost C]\n"
          "  interdict  --osm FILE.osm [--hospital NAME] [--budget B] [--weight W] [--cost C]\n"
+         "  routed     --osm FILE.osm [--host H] [--port P] [--port-file F] [--threads N]\n"
+         "             [--budget edges=N,pivots=N,spurs=N] [--obs BASE]\n"
+         "             serves route/kalt/attack queries; SIGINT/SIGTERM drains and exits\n"
+         "  loadgen    --port P | --port-file F [--host H] [--requests N] [--connections C]\n"
+         "             [--window W] [--seed N] [--mix route|kalt|attack|mixed] [--k K]\n"
+         "             [--rank R] [--weight W] [--obs BASE]\n"
          "  help\n";
 }
 
@@ -307,12 +472,37 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
       out << usage();
       return args.empty() ? 1 : 0;
     }
-    const Flags flags(args, 1);
-    if (args[0] == "generate") return cmd_generate(flags, out);
-    if (args[0] == "info") return cmd_info(flags, out);
-    if (args[0] == "attack") return cmd_attack(flags, out, err);
-    if (args[0] == "isolate") return cmd_isolate(flags, out);
-    if (args[0] == "interdict") return cmd_interdict(flags, out, err);
+    if (args[0] == "generate") {
+      return cmd_generate(Flags(args, 1, "generate", {"city", "scale", "seed", "out"}), out);
+    }
+    if (args[0] == "info") {
+      return cmd_info(Flags(args, 1, "info", {"osm"}), out);
+    }
+    if (args[0] == "attack") {
+      return cmd_attack(Flags(args, 1, "attack",
+                              {"osm", "hospital", "algorithm", "weight", "cost", "rank", "seed",
+                               "budget", "svg", "geojson", "trace"}),
+                        out, err);
+    }
+    if (args[0] == "isolate") {
+      return cmd_isolate(Flags(args, 1, "isolate", {"osm", "hospital", "radius", "cost"}), out);
+    }
+    if (args[0] == "interdict") {
+      return cmd_interdict(
+          Flags(args, 1, "interdict", {"osm", "hospital", "budget", "weight", "cost", "seed"}),
+          out, err);
+    }
+    if (args[0] == "routed") {
+      return cmd_routed(Flags(args, 1, "routed",
+                              {"osm", "host", "port", "port-file", "threads", "budget", "obs"}),
+                        out, err);
+    }
+    if (args[0] == "loadgen") {
+      return cmd_loadgen(Flags(args, 1, "loadgen",
+                               {"host", "port", "port-file", "requests", "connections", "window",
+                                "seed", "mix", "k", "rank", "weight", "obs"}),
+                         out);
+    }
     err << "error: unknown command '" << args[0] << "'\n" << usage();
     return 1;
   } catch (const std::exception& ex) {

@@ -1,7 +1,10 @@
 #include "core/env.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
+
+#include "core/error.hpp"
 
 #include "core/fault.hpp"
 #include "core/thread_pool.hpp"
@@ -28,6 +31,19 @@ double env_double(const std::string& name, double fallback) {
   return parsed;
 }
 
+std::size_t env_threads() {
+  const char* raw = env_raw("MTS_THREADS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || errno == ERANGE || parsed < 0 || parsed > 1'000'000) {
+    throw InvalidInput("MTS_THREADS: expected a non-negative thread count, got '" +
+                       std::string(raw) + "'");
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
 std::string env_string(const std::string& name, const std::string& fallback) {
   const char* raw = env_raw(name.c_str());
   if (raw == nullptr || *raw == '\0') return fallback;
@@ -40,7 +56,7 @@ BenchEnv BenchEnv::from_environment() {
   env.trials = static_cast<int>(env_int("MTS_TRIALS", env.trials));
   env.seed = static_cast<std::uint64_t>(env_int("MTS_SEED", static_cast<std::int64_t>(env.seed)));
   env.path_rank = static_cast<int>(env_int("MTS_PATH_RANK", env.path_rank));
-  env.threads = static_cast<int>(env_int("MTS_THREADS", env.threads));
+  env.threads = static_cast<int>(env_threads());
   env.timing = env_int("MTS_TIMING", env.timing ? 1 : 0) != 0;
   env.checkpoint = env_string("MTS_CHECKPOINT", env.checkpoint);
   // Force the one-time MTS_FAULTS parse now: a malformed spec must abort at

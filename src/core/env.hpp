@@ -43,6 +43,13 @@ inline const char* env_raw(const char* name) {
 /// unset or unparsable.
 std::int64_t env_int(const std::string& name, std::int64_t fallback);
 
+/// Strictly-validated MTS_THREADS read: unset or empty means 0 (= hardware
+/// concurrency); anything else must be a fully-consumed non-negative
+/// integer.  Negative counts, trailing junk ("4x"), and non-numeric values
+/// throw InvalidInput naming the offending value instead of silently
+/// falling back — a typo'd thread count must never change results quietly.
+std::size_t env_threads();
+
 /// Reads a floating-point environment variable with fallback.
 double env_double(const std::string& name, double fallback);
 

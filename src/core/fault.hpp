@@ -69,11 +69,12 @@ inline bool faults_enabled() {
 
 /// Every fault point compiled into the library.  Tests and the CI smoke leg
 /// iterate this list; keep it in sync with the MTS_FAULT_POINT/ACTION sites.
-inline constexpr std::array<const char*, 4> kKnownPoints = {
-    "lp.pivot",      // simplex.cpp, once per pivot
-    "yen.spur",      // yen.cpp, once per spur search
-    "oracle.solve",  // oracle.cpp, once per exclusivity query
-    "pool.task",     // table_runner.cpp, once per grid cell task
+inline constexpr std::array<const char*, 5> kKnownPoints = {
+    "lp.pivot",        // simplex.cpp, once per pivot
+    "yen.spur",        // yen.cpp, once per spur search
+    "oracle.solve",    // oracle.cpp, once per exclusivity query
+    "pool.task",       // table_runner.cpp, once per grid cell task
+    "routed.request",  // net/engine.cpp, once per routed request
 };
 
 struct PointId {

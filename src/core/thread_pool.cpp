@@ -137,6 +137,78 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   if (job.error) std::rethrow_exception(job.error);
 }
 
+// ---- TaskQueue -------------------------------------------------------------
+
+TaskQueue::TaskQueue(std::size_t num_workers) {
+  require(num_workers >= 1, "TaskQueue: num_workers must be >= 1");
+  workers_.reserve(num_workers);
+  for (std::size_t worker = 0; worker < num_workers; ++worker) {
+    workers_.emplace_back([this, worker] { worker_loop(worker); });
+  }
+}
+
+TaskQueue::~TaskQueue() { close(); }
+
+bool TaskQueue::submit(Task task) {
+  require(static_cast<bool>(task), "TaskQueue::submit: empty task");
+  {
+    MutexLock lock(mutex_);
+    if (closed_) return false;
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+  return true;
+}
+
+void TaskQueue::close() {
+  bool join_here = false;
+  {
+    MutexLock lock(mutex_);
+    closed_ = true;
+    if (!joined_) {
+      joined_ = true;
+      join_here = true;
+    }
+  }
+  work_ready_.notify_all();
+  if (join_here) {
+    // Workers drain the queue before exiting, so joining == draining.
+    for (std::thread& worker : workers_) worker.join();
+  }
+}
+
+void TaskQueue::worker_loop(std::size_t worker) {
+  for (;;) {
+    Task task;
+    {
+      MutexLock lock(mutex_);
+      while (queue_.empty() && !closed_) work_ready_.wait(lock);
+      if (queue_.empty()) return;  // closed and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task(worker);
+      MutexLock lock(mutex_);
+      ++tasks_run_;
+    } catch (...) {
+      MutexLock lock(mutex_);
+      ++tasks_run_;
+      task_errors_.push_back(current_exception_taxonomy());
+    }
+  }
+}
+
+std::uint64_t TaskQueue::tasks_run() const {
+  MutexLock lock(mutex_);
+  return tasks_run_;
+}
+
+std::vector<std::string> TaskQueue::task_errors() const {
+  MutexLock lock(mutex_);
+  return task_errors_;
+}
+
 // ---- Global pool -----------------------------------------------------------
 
 namespace {
@@ -164,8 +236,11 @@ GlobalPool& global_pool() {
 std::size_t num_threads() {
   const std::size_t override_count = thread_override().load();
   if (override_count != 0) return override_count;
-  const std::int64_t env = env_int("MTS_THREADS", 0);
-  if (env > 0) return static_cast<std::size_t>(env);
+  // env_threads() rejects negative or malformed MTS_THREADS with
+  // InvalidInput instead of letting a bogus value slide into the pool-size
+  // cast (or silently fall back to hardware concurrency).
+  const std::size_t env = env_threads();
+  if (env > 0) return env;
   const unsigned hardware = std::thread::hardware_concurrency();
   return hardware == 0 ? 1 : hardware;
 }
@@ -178,8 +253,7 @@ ThreadResolution thread_resolution() {
   if (override_count != 0) {
     resolution.requested = override_count;
   } else {
-    const std::int64_t env = env_int("MTS_THREADS", 0);
-    if (env > 0) resolution.requested = static_cast<std::size_t>(env);
+    resolution.requested = env_threads();
   }
   resolution.effective = num_threads();
   return resolution;

@@ -20,8 +20,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -77,6 +79,56 @@ class ThreadPool {
   Job* job_ MTS_GUARDED_BY(mutex_) = nullptr;
   std::uint64_t generation_ MTS_GUARDED_BY(mutex_) = 0;
   bool stop_ MTS_GUARDED_BY(mutex_) = false;
+};
+
+/// Unbounded FIFO queue with dedicated workers, for latency-oriented
+/// service work (the routed daemon) as opposed to parallel_for's
+/// throughput loops.  Tasks receive their worker index so callers can keep
+/// per-worker state (e.g. one net::QueryEngine per worker) without any
+/// sharing.  Tasks must not throw; one that does is swallowed and its
+/// quarantine taxonomy recorded (a service must survive a bad request).
+class TaskQueue {
+ public:
+  using Task = std::function<void(std::size_t worker)>;
+
+  /// Spawns `num_workers` dedicated threads (>= 1 required).  Unlike
+  /// ThreadPool, the constructing thread never runs tasks.
+  explicit TaskQueue(std::size_t num_workers);
+
+  /// close() + join.
+  ~TaskQueue();
+
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  /// Enqueues a task.  Returns false — dropping the task — once close()
+  /// has begun, so producers racing a shutdown get a definite answer.
+  bool submit(Task task) MTS_EXCLUDES(mutex_);
+
+  /// Stops accepting new tasks, waits for every already-queued task to
+  /// finish, and joins the workers.  Idempotent; safe to call once from
+  /// any single thread while others are still submitting.
+  void close() MTS_EXCLUDES(mutex_);
+
+  [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
+
+  /// Total tasks executed so far.
+  [[nodiscard]] std::uint64_t tasks_run() const MTS_EXCLUDES(mutex_);
+
+  /// Taxonomy strings ("<category>: <message>") of tasks that threw.
+  [[nodiscard]] std::vector<std::string> task_errors() const MTS_EXCLUDES(mutex_);
+
+ private:
+  void worker_loop(std::size_t worker) MTS_EXCLUDES(mutex_);
+
+  std::vector<std::thread> workers_;
+  mutable Mutex mutex_;
+  CondVar work_ready_;
+  std::deque<Task> queue_ MTS_GUARDED_BY(mutex_);
+  bool closed_ MTS_GUARDED_BY(mutex_) = false;
+  bool joined_ MTS_GUARDED_BY(mutex_) = false;
+  std::uint64_t tasks_run_ MTS_GUARDED_BY(mutex_) = 0;
+  std::vector<std::string> task_errors_ MTS_GUARDED_BY(mutex_);
 };
 
 /// Thread count the global pool will use: the set_num_threads() override if

@@ -74,6 +74,7 @@ std::vector<Scenario> sample_scenarios(const osm::RoadNetwork& network,
     // its own slot; the other trials keep their RNG streams and results.
     try {
       slots[i] = sample_scenario(network, weights, i % hospitals, trial_rng, options);
+      if (slots[i]) slots[i]->trial = i;
     } catch (...) {
       std::cerr << "[quarantine] scenario trial " << i << ": " << current_exception_taxonomy()
                 << '\n';

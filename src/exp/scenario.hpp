@@ -22,6 +22,11 @@ using mts::Path;
 using mts::Rng;
 
 struct Scenario {
+  /// Original trial index this scenario was sampled as.  A quarantined
+  /// trial drops out of the returned vector, so position is NOT a stable
+  /// identity — anything keyed on the trial (per-cell RNG streams, the
+  /// checkpoint journal's task ids) must use this index instead.
+  std::size_t trial = 0;
   NodeId source;
   NodeId target;             // the hospital's POI node
   std::string hospital;

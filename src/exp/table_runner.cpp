@@ -101,6 +101,10 @@ CityTableResult run_city_table_on(const osm::RoadNetwork& network,
   // completed cell as it finishes; a resume folds journaled cells back in
   // without recomputing them.  Quarantined cells are never journaled, so a
   // resumed run retries exactly the missing + previously poisoned cells.
+  // Journal task ids are keyed on the scenario's ORIGINAL trial index, not
+  // its position in `scenarios`: a trial quarantined during sampling shifts
+  // the survivors down, and position-keyed ids would replay the wrong
+  // trial's cells on resume.
   const std::string fingerprint = checkpoint_fingerprint(config);
   std::unordered_map<std::uint64_t, CellRecord> completed;
   if (config.resume) {
@@ -131,8 +135,11 @@ CityTableResult run_city_table_on(const osm::RoadNetwork& network,
     // worker or inline on the calling thread.
     obs::ScopedPhase phase("cell", obs::PhaseKind::Root);
     TaskOutcome& outcome = outcomes[t];
+    const std::size_t si = t / tasks_per_scenario;
+    const std::size_t trial = scenarios[si].trial;
+    const std::size_t stable_task = trial * tasks_per_scenario + t % tasks_per_scenario;
     if (config.resume) {
-      const auto it = completed.find(t);
+      const auto it = completed.find(stable_task);
       if (it != completed.end()) {
         outcome.record = it->second;
         // Registered lazily so non-resume runs never learn this counter.
@@ -144,7 +151,6 @@ CityTableResult run_city_table_on(const osm::RoadNetwork& network,
     }
     static const obs::CounterId kCells = obs::MetricsRegistry::instance().counter("exp.cells_run");
     obs::add(kCells);
-    const std::size_t si = t / tasks_per_scenario;
     const std::size_t ci = (t % tasks_per_scenario) / kNumAlgorithms;
     const std::size_t ai = t % kNumAlgorithms;
     const ForcePathCutProblem& problem = shared_problems[si * kNumCostTypes + ci];
@@ -155,11 +161,11 @@ CityTableResult run_city_table_on(const osm::RoadNetwork& network,
     try {
       MTS_FAULT_POINT("pool.task");
       AttackOptions options;
-      options.rng_seed = derive_seed(config.seed, {si, ci, ai});
+      options.rng_seed = derive_seed(config.seed, {trial, ci, ai});
       options.work_budget = config.work_budget;
       const AttackResult attack = run_attack(kAllAlgorithms[ai], problem, options);
       CellRecord& record = outcome.record;
-      record.task = t;
+      record.task = stable_task;
       record.status = to_string(attack.status);
       record.fallback_used = attack.fallback_used;
       record.fallback_reason = attack.fallback_reason;
@@ -191,7 +197,9 @@ CityTableResult run_city_table_on(const osm::RoadNetwork& network,
       ++cell.quarantined;
       ++cell.attack_failures;
       cell.errors.push_back(outcome.error);
-      std::cerr << "[quarantine] " << to_string(algorithm) << " task " << t << ": "
+      const std::size_t stable_task =
+          scenarios[t / tasks_per_scenario].trial * tasks_per_scenario + t % tasks_per_scenario;
+      std::cerr << "[quarantine] " << to_string(algorithm) << " task " << stable_task << ": "
                 << outcome.error << '\n';
       continue;
     }

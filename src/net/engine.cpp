@@ -1,0 +1,180 @@
+#include "net/engine.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attack/algorithms.hpp"
+#include "attack/problem.hpp"
+#include "attack/verify.hpp"
+#include "core/error.hpp"
+#include "core/fault.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/path.hpp"
+#include "graph/yen.hpp"
+
+namespace mts::net {
+
+namespace {
+
+Response ok_response(std::uint64_t id, const char* verb) {
+  Response response;
+  response.id = id;
+  response.ok = true;
+  response.verb = verb;
+  return response;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const Snapshot& snapshot, const WorkBudget& budget_template)
+    : snapshot_(&snapshot), budget_template_(budget_template) {}
+
+Response QueryEngine::handle(const Request& request) {
+  try {
+    MTS_FAULT_POINT("routed.request");
+    WorkBudget budget = budget_template_;
+    return dispatch(request, budget);
+  } catch (...) {
+    Response response;
+    response.id = request.id;
+    response.ok = false;
+    response.error = current_exception_taxonomy();
+    return response;
+  }
+}
+
+Response QueryEngine::dispatch(const Request& request, WorkBudget& budget) {
+  switch (request.verb) {
+    case Verb::Ping:
+      return ok_response(request.id, "pong");
+    case Verb::Graph: {
+      Response response = ok_response(request.id, "graph");
+      response.fields.emplace_back("nodes", std::to_string(snapshot_->num_nodes()));
+      response.fields.emplace_back("edges", std::to_string(snapshot_->num_edges()));
+      response.fields.emplace_back("pois", std::to_string(snapshot_->num_pois()));
+      return response;
+    }
+    case Verb::Route:
+      return route(request, budget);
+    case Verb::Kalt:
+      return alternatives(request, budget);
+    case Verb::Attack:
+      return attack(request, budget);
+  }
+  throw InvalidInput("unhandled request verb");
+}
+
+void QueryEngine::check_endpoints(const Request& request) const {
+  const std::size_t num_nodes = snapshot_->num_nodes();
+  if (request.source >= num_nodes) {
+    throw InvalidInput("source node " + std::to_string(request.source) +
+                       " out of range (graph has " + std::to_string(num_nodes) + " nodes)");
+  }
+  if (request.target >= num_nodes) {
+    throw InvalidInput("target node " + std::to_string(request.target) +
+                       " out of range (graph has " + std::to_string(num_nodes) + " nodes)");
+  }
+}
+
+Response QueryEngine::route(const Request& request, WorkBudget& budget) {
+  check_endpoints(request);
+  const NodeId source(request.source);
+  const NodeId target(request.target);
+  const auto& weights = snapshot_->weights(request.weight == WeightKind::Time);
+
+  Response response = ok_response(request.id, "route");
+  if (source == target) {
+    response.fields.emplace_back("found", "1");
+    response.fields.emplace_back("dist", "0");
+    response.fields.emplace_back("hops", "0");
+    return response;
+  }
+
+  DijkstraOptions options;
+  options.target = target;
+  if (budget.limited()) options.budget = &budget;
+  workspace_.begin(snapshot_->num_nodes());
+  dijkstra(workspace_, snapshot_->graph(), weights, source, options);
+  const std::optional<Path> path = extract_path(snapshot_->graph(), workspace_, source, target);
+
+  response.fields.emplace_back("found", path ? "1" : "0");
+  response.fields.emplace_back("dist", format_wire_double(path ? path->length : kInfiniteDistance));
+  response.fields.emplace_back("hops", std::to_string(path ? path->edges.size() : 0));
+  return response;
+}
+
+Response QueryEngine::alternatives(const Request& request, WorkBudget& budget) {
+  check_endpoints(request);
+  if (request.source == request.target) {
+    throw InvalidInput("kalt requires distinct endpoints, got node " +
+                       std::to_string(request.source) + " twice");
+  }
+  const auto& weights = snapshot_->weights(request.weight == WeightKind::Time);
+
+  YenOptions options;
+  if (budget.limited()) options.budget = &budget;
+  const std::vector<Path> paths =
+      yen_ksp(snapshot_->graph(), weights, NodeId(request.source), NodeId(request.target),
+              request.k, options);
+
+  Response response = ok_response(request.id, "kalt");
+  response.fields.emplace_back("paths", std::to_string(paths.size()));
+  response.fields.emplace_back("best",
+                               format_wire_double(paths.empty() ? 0.0 : paths.front().length));
+  response.fields.emplace_back("worst",
+                               format_wire_double(paths.empty() ? 0.0 : paths.back().length));
+  return response;
+}
+
+Response QueryEngine::attack(const Request& request, WorkBudget& budget) {
+  check_endpoints(request);
+  if (request.source == request.target) {
+    throw InvalidInput("attack requires distinct endpoints, got node " +
+                       std::to_string(request.source) + " twice");
+  }
+  const auto& weights = snapshot_->weights(request.weight == WeightKind::Time);
+
+  YenOptions yen_options;
+  if (budget.limited()) yen_options.budget = &budget;
+  std::vector<Path> ranked = yen_ksp(snapshot_->graph(), weights, NodeId(request.source),
+                                     NodeId(request.target), request.rank, yen_options);
+
+  Response response = ok_response(request.id, "attack");
+  if (ranked.size() < request.rank) {
+    // Fewer simple paths exist than the requested rank: nothing to force.
+    response.fields.emplace_back("status", "rank-unavailable");
+    response.fields.emplace_back("removed", "0");
+    response.fields.emplace_back("cost", "0");
+    return response;
+  }
+
+  attack::ForcePathCutProblem problem;
+  problem.graph = &snapshot_->graph();
+  problem.weights = weights;
+  problem.costs = snapshot_->uniform_costs();
+  problem.source = NodeId(request.source);
+  problem.target = NodeId(request.target);
+  problem.p_star = std::move(ranked.back());
+  ranked.pop_back();
+  problem.seed_paths = std::move(ranked);
+
+  attack::AttackOptions attack_options;
+  attack_options.rng_seed = request.id;  // deterministic per request
+  attack_options.work_budget = budget;   // carries the work already charged by Yen
+  const attack::AttackResult result = run_attack(request.algorithm, problem, attack_options);
+
+  if (result.status == attack::AttackStatus::Success) {
+    const attack::VerifyReport report = verify_attack(problem, result.removed_edges);
+    if (!report.ok) {
+      throw InvariantViolation("attack verification failed: " + report.reason);
+    }
+  }
+
+  response.fields.emplace_back("status", attack::to_string(result.status));
+  response.fields.emplace_back("removed", std::to_string(result.num_removed()));
+  response.fields.emplace_back("cost", format_wire_double(result.total_cost));
+  return response;
+}
+
+}  // namespace mts::net

@@ -1,0 +1,47 @@
+// Per-worker query engine: the mutable half of the routed process shape.
+//
+// A QueryEngine owns everything one worker thread needs to answer a
+// request — reusable epoch-stamped search workspaces and per-request
+// work-budget copies — while all graph bytes stay in the shared immutable
+// net::Snapshot.  One engine per worker, never shared: handle() may be
+// called from exactly one thread at a time.
+//
+// Every request failure is converted into a structured `err` response
+// carrying the PR 5 quarantine taxonomy ("budget-exhausted: ...",
+// "fault-injected: ...", "invalid-input: ..."), so a request can never
+// crash the daemon or poison another worker.
+#pragma once
+
+#include <cstdint>
+
+#include "core/budget.hpp"
+#include "graph/search_space.hpp"
+#include "net/protocol.hpp"
+#include "net/snapshot.hpp"
+
+namespace mts::net {
+
+class QueryEngine {
+ public:
+  /// `snapshot` must outlive the engine; `budget_template` is copied into
+  /// every request (all-zero caps = unlimited).
+  QueryEngine(const Snapshot& snapshot, const WorkBudget& budget_template);
+
+  /// Answers one request.  Never throws: failures become `err` responses
+  /// tagged with the error taxonomy.  The `routed.request` fault point
+  /// fires here (once per request hit) when armed.
+  Response handle(const Request& request);
+
+ private:
+  Response dispatch(const Request& request, WorkBudget& budget);
+  Response route(const Request& request, WorkBudget& budget);
+  Response alternatives(const Request& request, WorkBudget& budget);
+  Response attack(const Request& request, WorkBudget& budget);
+  void check_endpoints(const Request& request) const;
+
+  const Snapshot* snapshot_;
+  WorkBudget budget_template_;
+  SearchSpace workspace_;  // reused across route queries, one per engine
+};
+
+}  // namespace mts::net

@@ -1,0 +1,45 @@
+#include "net/framing.hpp"
+
+#include "core/error.hpp"
+
+namespace mts::net {
+
+LineFramer::LineFramer(std::size_t max_line_bytes) : max_line_bytes_(max_line_bytes) {
+  require(max_line_bytes_ >= 2, "LineFramer: max_line_bytes must be >= 2");
+}
+
+void LineFramer::feed(std::string_view bytes) {
+  // Compact lazily: only when the consumed prefix dominates the buffer, so
+  // steady-state feeds are an append plus an occasional O(n) shift.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+  // An unterminated tail beyond the cap can never become a valid line; fail
+  // now instead of buffering an attacker-controlled endless line.
+  if (buffer_.find('\n', consumed_) == std::string::npos &&
+      partial_bytes() > max_line_bytes_) {
+    throw InvalidInput("oversized frame: " + std::to_string(partial_bytes()) +
+                       " bytes without a line terminator (cap " +
+                       std::to_string(max_line_bytes_) + ")");
+  }
+}
+
+bool LineFramer::next_line(std::string& line) {
+  const std::size_t newline = buffer_.find('\n', consumed_);
+  if (newline == std::string::npos) return false;
+  std::size_t end = newline;
+  if (end > consumed_ && buffer_[end - 1] == '\r') --end;
+  const std::size_t length = end - consumed_;
+  if (length > max_line_bytes_) {
+    consumed_ = newline + 1;  // drop the line, keep the stream parsable
+    throw InvalidInput("oversized frame: line of " + std::to_string(length) +
+                       " bytes (cap " + std::to_string(max_line_bytes_) + ")");
+  }
+  line.assign(buffer_, consumed_, length);
+  consumed_ = newline + 1;
+  return true;
+}
+
+}  // namespace mts::net

@@ -1,0 +1,53 @@
+// Line framing for the routed wire protocol.
+//
+// The protocol is one request or response per '\n'-terminated line.  TCP
+// delivers byte streams, not lines, so the reader side accumulates chunks
+// in a LineFramer and pops complete lines as they form.  The framer is
+// where torn lines (a request split across reads), pipelined bursts (many
+// requests in one read), and oversized garbage are normalized before the
+// parser ever sees a byte.
+//
+// Lines are treated as opaque byte strings: the framer passes through any
+// content (including invalid UTF-8 and NUL bytes) unchanged and leaves
+// token validation to net/protocol.  A trailing '\r' is stripped so
+// clients may speak either '\n' or '\r\n'.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace mts::net {
+
+/// Default cap on a single line, chosen far above any legitimate request
+/// or response (the longest is a kalt response listing path lengths).
+inline constexpr std::size_t kMaxLineBytes = 4096;
+
+/// Incremental splitter of a byte stream into '\n'-terminated lines.
+/// Not thread-safe: one framer per connection direction.
+class LineFramer {
+ public:
+  explicit LineFramer(std::size_t max_line_bytes = kMaxLineBytes);
+
+  /// Appends raw bytes from the stream.  Throws InvalidInput once the
+  /// unterminated tail exceeds the line cap (an attacker streaming an
+  /// endless line must not grow the buffer unboundedly); the framer is
+  /// unusable afterwards and the connection should be dropped.
+  void feed(std::string_view bytes);
+
+  /// Pops the next complete line (terminator and any trailing '\r'
+  /// removed) into `line`.  Returns false when no full line is buffered.
+  bool next_line(std::string& line);
+
+  /// Bytes of the current unterminated tail (a torn line in flight).
+  [[nodiscard]] std::size_t partial_bytes() const { return buffer_.size() - consumed_; }
+
+  [[nodiscard]] std::size_t max_line_bytes() const { return max_line_bytes_; }
+
+ private:
+  std::size_t max_line_bytes_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  // prefix of buffer_ already returned as lines
+};
+
+}  // namespace mts::net

@@ -1,0 +1,254 @@
+#include "net/loadgen.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "core/timer.hpp"
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+#include "obs/metrics.hpp"
+
+namespace mts::net {
+
+namespace {
+
+obs::CounterId sent_counter() {
+  static const obs::CounterId id =
+      obs::MetricsRegistry::instance().counter("loadgen.requests_sent");
+  return id;
+}
+
+obs::CounterId ok_counter() {
+  static const obs::CounterId id =
+      obs::MetricsRegistry::instance().counter("loadgen.responses_ok");
+  return id;
+}
+
+obs::CounterId error_counter() {
+  static const obs::CounterId id =
+      obs::MetricsRegistry::instance().counter("loadgen.responses_error");
+  return id;
+}
+
+obs::HistogramId latency_histogram() {
+  static const obs::HistogramId id =
+      obs::MetricsRegistry::instance().histogram("loadgen.request_latency_s");
+  return id;
+}
+
+/// Per-connection replay state and results.
+struct ConnectionRun {
+  std::vector<const Request*> assigned;
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::vector<double> latencies_s;  // raw seconds, gated at report time
+  std::string failure;              // taxonomy when the connection died
+};
+
+/// Number of nodes served by the daemon, via a `graph` request on a
+/// dedicated control connection.
+std::size_t query_num_nodes(const std::string& host, std::uint16_t port) {
+  const Socket control = connect_to(host, port);
+  Request probe;
+  probe.verb = Verb::Graph;
+  probe.id = 0;
+  control.write_all(serialize_request(probe) + "\n");
+  LineFramer framer;
+  std::vector<char> buffer(512);
+  std::string line;
+  for (;;) {
+    const std::size_t received = control.read_some(buffer.data(), buffer.size());
+    if (received == 0) throw Error("loadgen: daemon closed the control connection");
+    framer.feed(std::string_view(buffer.data(), received));
+    if (framer.next_line(line)) break;
+  }
+  const Response response = parse_response(line);
+  if (!response.ok) throw Error("loadgen: graph probe failed: " + response.error);
+  const std::string nodes = response.field("nodes");
+  require(!nodes.empty(), "loadgen: graph response missing nodes=");
+  return static_cast<std::size_t>(std::stoull(nodes));
+}
+
+void replay_connection(const std::string& host, std::uint16_t port, std::size_t window,
+                       ConnectionRun& run) {
+  try {
+    const Socket socket = connect_to(host, port);
+    const Stopwatch watch;
+    LineFramer framer;
+    std::vector<char> buffer(8192);
+    std::string line;
+    std::map<std::uint64_t, double> in_flight_start_s;
+    std::size_t next = 0;
+    std::uint64_t completed = 0;
+
+    while (completed < run.assigned.size()) {
+      // Top up the window, batching the burst into one write.
+      std::string burst;
+      while (next < run.assigned.size() && in_flight_start_s.size() < window) {
+        const Request& request = *run.assigned[next];
+        burst += serialize_request(request);
+        burst += '\n';
+        in_flight_start_s.emplace(request.id, watch.seconds());
+        ++next;
+        ++run.sent;
+      }
+      if (!burst.empty()) {
+        socket.write_all(burst);
+        obs::add(sent_counter(),
+                 static_cast<std::uint64_t>(std::count(burst.begin(), burst.end(), '\n')));
+      }
+
+      const std::size_t received = socket.read_some(buffer.data(), buffer.size());
+      if (received == 0) {
+        run.failure = "error: daemon closed the connection mid-load";
+        return;  // the remaining in-flight requests count as dropped
+      }
+      framer.feed(std::string_view(buffer.data(), received));
+      while (framer.next_line(line)) {
+        const Response response = parse_response(line);
+        const auto started = in_flight_start_s.find(response.id);
+        require(started != in_flight_start_s.end(),
+                "loadgen: response id " + std::to_string(response.id) + " was never sent");
+        const double latency_s = watch.seconds() - started->second;
+        in_flight_start_s.erase(started);
+        run.latencies_s.push_back(latency_s);
+        obs::observe(latency_histogram(), reported_seconds(latency_s));
+        if (response.ok) {
+          ++run.ok;
+          obs::add(ok_counter());
+        } else {
+          ++run.errors;
+          obs::add(error_counter());
+        }
+        ++completed;
+      }
+    }
+  } catch (...) {
+    run.failure = current_exception_taxonomy();
+  }
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t index = static_cast<std::size_t>(position);
+  return sorted[index];
+}
+
+}  // namespace
+
+const char* to_string(Mix mix) {
+  switch (mix) {
+    case Mix::Route: return "route";
+    case Mix::Kalt: return "kalt";
+    case Mix::Attack: return "attack";
+    case Mix::Mixed: return "mixed";
+  }
+  return "?";
+}
+
+Mix parse_mix(std::string_view token) {
+  if (token == "route") return Mix::Route;
+  if (token == "kalt") return Mix::Kalt;
+  if (token == "attack") return Mix::Attack;
+  if (token == "mixed") return Mix::Mixed;
+  throw InvalidInput("unknown mix '" + std::string(token) + "' (route|kalt|attack|mixed)");
+}
+
+std::vector<Request> synthesize_requests(const LoadgenOptions& options, std::size_t num_nodes) {
+  require(num_nodes >= 2, "synthesize_requests: graph must have >= 2 nodes");
+  std::vector<Request> requests;
+  requests.reserve(options.requests);
+  Rng rng(derive_seed(options.seed, {0x6c67656eULL}));  // "lgen" stream
+  for (std::uint64_t i = 0; i < options.requests; ++i) {
+    Request request;
+    request.id = i + 1;
+    request.weight = options.weight;
+    request.source = static_cast<std::uint32_t>(rng.uniform_index(num_nodes));
+    do {
+      request.target = static_cast<std::uint32_t>(rng.uniform_index(num_nodes));
+    } while (request.target == request.source);
+    Mix kind = options.mix;
+    if (kind == Mix::Mixed) {
+      // Service-shaped blend: mostly routes, some alternatives, rare attacks.
+      const double draw = rng.uniform();
+      kind = draw < 0.80 ? Mix::Route : (draw < 0.95 ? Mix::Kalt : Mix::Attack);
+    }
+    switch (kind) {
+      case Mix::Route:
+        request.verb = Verb::Route;
+        break;
+      case Mix::Kalt:
+        request.verb = Verb::Kalt;
+        request.k = options.kalt_k;
+        break;
+      case Mix::Attack:
+        request.verb = Verb::Attack;
+        request.rank = options.attack_rank;
+        request.algorithm = attack::Algorithm::GreedyPathCover;
+        break;
+      case Mix::Mixed:
+        throw InvariantViolation("mixed kind must have been resolved");
+    }
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+LoadReport run_loadgen(const std::string& host, std::uint16_t port,
+                       const LoadgenOptions& options) {
+  require(options.connections >= 1, "loadgen: connections must be >= 1");
+  require(options.window >= 1, "loadgen: window must be >= 1");
+  const std::size_t num_nodes = query_num_nodes(host, port);
+  const std::vector<Request> requests = synthesize_requests(options, num_nodes);
+
+  std::vector<ConnectionRun> runs(options.connections);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    runs[i % runs.size()].assigned.push_back(&requests[i]);
+  }
+
+  const Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(runs.size());
+  for (ConnectionRun& run : runs) {
+    threads.emplace_back(
+        [&host, port, &options, &run] { replay_connection(host, port, options.window, run); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double wall_s = wall.seconds();
+
+  LoadReport report;
+  std::vector<double> latencies;
+  for (const ConnectionRun& run : runs) {
+    report.sent += run.sent;
+    report.ok += run.ok;
+    report.errors += run.errors;
+    latencies.insert(latencies.end(), run.latencies_s.begin(), run.latencies_s.end());
+    if (!run.failure.empty()) {
+      ++report.failed_connections;
+      if (report.first_failure.empty()) report.first_failure = run.failure;
+    }
+  }
+  report.completed = report.ok + report.errors;
+  report.dropped = report.sent - report.completed;
+  std::sort(latencies.begin(), latencies.end());
+  report.wall_s = reported_seconds(wall_s);
+  report.qps =
+      reported_seconds(wall_s > 0.0 ? static_cast<double>(report.completed) / wall_s : 0.0);
+  report.p50_s = reported_seconds(percentile(latencies, 0.50));
+  report.p99_s = reported_seconds(percentile(latencies, 0.99));
+  report.max_s = reported_seconds(latencies.empty() ? 0.0 : latencies.back());
+  double sum = 0.0;
+  for (const double latency : latencies) sum += latency;
+  report.mean_s = reported_seconds(
+      latencies.empty() ? 0.0 : sum / static_cast<double>(latencies.size()));
+  return report;
+}
+
+}  // namespace mts::net

@@ -1,0 +1,70 @@
+// Deterministic load generator for the routed daemon.
+//
+// Synthesizes a reproducible request stream (fixed seed => byte-identical
+// requests, independent of timing or connection count), replays it over N
+// concurrent connections with a bounded in-flight window per connection,
+// and reports latency percentiles and throughput.  Latency values pass
+// through reported_seconds(), so MTS_TIMING=0 zeroes every duration in the
+// report while counts stay exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace mts::net {
+
+/// Which request types the stream contains.  Mixed is the service smoke:
+/// mostly routes, some k-alternative queries, occasional attacks.
+enum class Mix : std::uint8_t { Route, Kalt, Attack, Mixed };
+
+const char* to_string(Mix mix);
+
+/// Parses "route" | "kalt" | "attack" | "mixed"; throws InvalidInput
+/// naming the offending token otherwise.
+Mix parse_mix(std::string_view token);
+
+struct LoadgenOptions {
+  std::uint64_t requests = 1000;
+  std::size_t connections = 4;
+  std::size_t window = 16;  // max in-flight requests per connection
+  std::uint64_t seed = 7;
+  Mix mix = Mix::Route;
+  std::uint32_t kalt_k = 4;       // k for kalt requests
+  std::uint32_t attack_rank = 8;  // forced path rank for attack requests
+  WeightKind weight = WeightKind::Time;
+};
+
+struct LoadReport {
+  std::uint64_t sent = 0;
+  std::uint64_t completed = 0;  // responses received (ok + errors)
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;   // structured `err` responses
+  std::uint64_t dropped = 0;  // sent but never answered (connection died)
+  std::uint64_t failed_connections = 0;
+  std::string first_failure;  // taxonomy of the first connection failure
+  double wall_s = 0.0;
+  double qps = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  double mean_s = 0.0;
+  double max_s = 0.0;
+};
+
+/// The deterministic request stream: request i has id i+1, endpoints drawn
+/// from mts::Rng seeded by `options.seed` alone.  Identical inputs produce
+/// an identical vector on every machine and run.
+std::vector<Request> synthesize_requests(const LoadgenOptions& options, std::size_t num_nodes);
+
+/// Connects to a running routed daemon, replays the synthesized stream,
+/// and blocks until every request is answered or its connection dies.  A
+/// connection dying mid-load (e.g. the daemon draining on SIGTERM) is not
+/// an exception — it surfaces as dropped > 0 plus first_failure, so the
+/// caller decides whether a partial replay is a failure.  Throws Error
+/// only when the daemon is unreachable up front.
+LoadReport run_loadgen(const std::string& host, std::uint16_t port,
+                       const LoadgenOptions& options);
+
+}  // namespace mts::net

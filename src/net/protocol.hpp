@@ -1,0 +1,104 @@
+// The routed wire protocol: line-delimited text requests and responses.
+//
+// One request per line, space-separated tokens, every request carrying a
+// client-chosen id echoed in its response so pipelined requests may be
+// answered out of order:
+//
+//   ping   <id>
+//   graph  <id>
+//   route  <id> <src> <dst> [time|length]
+//   kalt   <id> <src> <dst> <k> [time|length]
+//   attack <id> <src> <dst> <rank> <algorithm> [time|length]
+//
+// Responses:
+//
+//   ok  <id> pong
+//   ok  <id> graph nodes=N edges=M pois=P
+//   ok  <id> route found=F dist=D hops=H
+//   ok  <id> kalt paths=N best=B worst=W
+//   ok  <id> attack status=S removed=N cost=C
+//   err <id> <category>: <message>
+//
+// Parsing is strict in the CLI-validation style: every numeric token must
+// be fully consumed, ids/nodes fit their integer types, unknown verbs and
+// trailing junk are rejected with the exact offending token, and the error
+// category on the wire is the quarantine taxonomy of PR 5
+// (core/error.hpp), so a client can tell a budget exhaustion from a fault
+// injection from malformed input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "attack/algorithms.hpp"
+
+namespace mts::net {
+
+/// Which weight vector a query runs under (paper: TIME and LENGTH).
+enum class WeightKind : std::uint8_t { Time, Length };
+
+const char* to_string(WeightKind kind);
+
+enum class Verb : std::uint8_t { Ping, Graph, Route, Kalt, Attack };
+
+const char* to_string(Verb verb);
+
+/// Protocol caps: a request beyond these is rejected at parse time, before
+/// any search runs (they bound per-request work independently of budgets).
+inline constexpr std::uint32_t kMaxAlternatives = 64;
+inline constexpr std::uint32_t kMaxPathRank = 512;
+
+/// One parsed request line.
+struct Request {
+  Verb verb = Verb::Ping;
+  std::uint64_t id = 0;
+  std::uint32_t source = 0;  // route/kalt/attack
+  std::uint32_t target = 0;  // route/kalt/attack
+  std::uint32_t k = 0;       // kalt: number of alternatives, in [1, kMaxAlternatives]
+  std::uint32_t rank = 0;    // attack: forced path rank, in [1, kMaxPathRank]
+  attack::Algorithm algorithm = attack::Algorithm::GreedyPathCover;  // attack
+  WeightKind weight = WeightKind::Time;
+
+  friend bool operator==(const Request& a, const Request& b) {
+    return a.verb == b.verb && a.id == b.id && a.source == b.source && a.target == b.target &&
+           a.k == b.k && a.rank == b.rank && a.algorithm == b.algorithm && a.weight == b.weight;
+  }
+};
+
+/// One response line.  Payload fields are ordered key=value pairs so
+/// serialization is deterministic and clients can read values generically.
+struct Response {
+  std::uint64_t id = 0;
+  bool ok = false;
+  std::string verb;   // ok responses: "pong", "graph", "route", "kalt", "attack"
+  std::string error;  // err responses: "<category>: <message>"
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  /// Value of `key` in fields, or "" when absent.
+  [[nodiscard]] std::string field(std::string_view key) const;
+};
+
+/// Parses one request line.  Throws InvalidInput naming the offending
+/// token on any violation; never accepts a line it cannot round-trip.
+Request parse_request(std::string_view line);
+
+/// Canonical wire form of `request` (no terminator; the transport appends
+/// '\n').  parse_request(serialize_request(r)) == r for every valid r.
+std::string serialize_request(const Request& request);
+
+/// Parses one response line (the loadgen side).  Throws InvalidInput on
+/// malformed input.
+Response parse_response(std::string_view line);
+
+/// Wire form of `response` (no terminator).
+std::string serialize_response(const Response& response);
+
+/// Formats a double for the wire exactly like the JSON reports ("%.9g"),
+/// so responses are byte-deterministic across platforms that agree on
+/// printf semantics.
+std::string format_wire_double(double value);
+
+}  // namespace mts::net

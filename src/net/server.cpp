@@ -1,0 +1,236 @@
+#include "net/server.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+#include "net/engine.hpp"
+#include "net/protocol.hpp"
+#include "obs/metrics.hpp"
+
+namespace mts::net {
+
+namespace {
+
+obs::CounterId requests_counter() {
+  static const obs::CounterId id = obs::MetricsRegistry::instance().counter("routed.requests");
+  return id;
+}
+
+obs::CounterId ok_counter() {
+  static const obs::CounterId id = obs::MetricsRegistry::instance().counter("routed.responses_ok");
+  return id;
+}
+
+obs::CounterId error_counter() {
+  static const obs::CounterId id =
+      obs::MetricsRegistry::instance().counter("routed.responses_error");
+  return id;
+}
+
+obs::CounterId connections_counter() {
+  static const obs::CounterId id = obs::MetricsRegistry::instance().counter("routed.connections");
+  return id;
+}
+
+obs::CounterId protocol_errors_counter() {
+  static const obs::CounterId id =
+      obs::MetricsRegistry::instance().counter("routed.protocol_errors");
+  return id;
+}
+
+obs::HistogramId latency_histogram() {
+  static const obs::HistogramId id =
+      obs::MetricsRegistry::instance().histogram("routed.request_latency_s");
+  return id;
+}
+
+}  // namespace
+
+RoutedServer::RoutedServer(const Snapshot& snapshot, RoutedOptions options)
+    : snapshot_(&snapshot), options_(std::move(options)) {}
+
+RoutedServer::~RoutedServer() {
+  if (queue_ && !drained_) {
+    request_stop();
+    serve(nullptr);  // listener already stopped accepting; runs the drain
+  }
+}
+
+void RoutedServer::start() {
+  require(!queue_, "RoutedServer::start called twice");
+  const std::size_t workers = options_.threads != 0 ? options_.threads : mts::num_threads();
+  listener_ = Listener::bind(options_.host, options_.port);
+  engines_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    engines_.push_back(std::make_unique<QueryEngine>(*snapshot_, options_.request_budget));
+  }
+  queue_ = std::make_unique<TaskQueue>(workers);
+}
+
+std::uint16_t RoutedServer::port() const {
+  require(listener_.valid(), "RoutedServer::port before start()");
+  return listener_.port();
+}
+
+void RoutedServer::serve(const std::atomic<bool>* external_stop) {
+  require(queue_ != nullptr, "RoutedServer::serve before start()");
+  while (!stop_.load() && !(external_stop != nullptr && external_stop->load())) {
+    std::optional<Socket> accepted = listener_.accept_for(200);
+    if (!accepted) continue;
+    auto connection = std::make_shared<Connection>();
+    connection->socket = std::move(*accepted);
+    connections_count_.fetch_add(1);
+    obs::add(connections_counter());
+    MutexLock lock(connections_mutex_);
+    connections_.push_back(connection);
+    readers_.emplace_back([this, connection] { reader_loop(connection); });
+  }
+
+  // Drain: stop accepting, wake every reader, let each wait for its own
+  // pending responses, then retire the queue.
+  stop_.store(true);
+  listener_.close();
+  std::vector<std::thread> readers;
+  {
+    MutexLock lock(connections_mutex_);
+    for (const auto& connection : connections_) {
+      // The connection mutex orders this against the reader's own close():
+      // a reader that already hit EOF may be closing the fd right now.
+      MutexLock connection_lock(connection->mutex);
+      connection->socket.shutdown_read();
+    }
+    readers.swap(readers_);
+  }
+  for (std::thread& reader : readers) reader.join();
+  queue_->close();
+  {
+    MutexLock lock(connections_mutex_);
+    connections_.clear();
+  }
+  drained_ = true;
+}
+
+void RoutedServer::reader_loop(const std::shared_ptr<Connection>& connection) {
+  LineFramer framer(options_.max_line_bytes);
+  std::vector<char> buffer(4096);
+  std::string line;
+  bool readable = true;
+  while (readable) {
+    std::size_t received = 0;
+    try {
+      received = connection->socket.read_some(buffer.data(), buffer.size());
+    } catch (const std::exception&) {
+      break;  // hard socket error: treat as EOF and drain what we owe
+    }
+    if (received == 0) break;
+    try {
+      framer.feed(std::string_view(buffer.data(), received));
+    } catch (const InvalidInput& oversized) {
+      // Unterminated over-limit line: there is no line boundary left to
+      // resync on, so answer once and hang up.
+      protocol_errors_.fetch_add(1);
+      obs::add(protocol_errors_counter());
+      Response response;
+      response.error = std::string("invalid-input: ") + oversized.what();
+      write_response(*connection, serialize_response(response) + "\n");
+      readable = false;
+    }
+    for (;;) {
+      try {
+        if (!framer.next_line(line)) break;
+      } catch (const InvalidInput& oversized) {
+        // Oversized but terminated: the framer already advanced past it.
+        protocol_errors_.fetch_add(1);
+        obs::add(protocol_errors_counter());
+        Response response;
+        response.error = std::string("invalid-input: ") + oversized.what();
+        write_response(*connection, serialize_response(response) + "\n");
+        continue;
+      }
+      if (line.empty()) continue;  // blank lines are keep-alive no-ops
+      handle_line(connection, line);
+    }
+  }
+  // EOF (or shutdown_read): every parsed request still owes a response.
+  MutexLock lock(connection->mutex);
+  while (connection->pending != 0) connection->drained.wait(lock);
+  connection->socket.close();  // under the mutex: races the drain's shutdown_read
+}
+
+void RoutedServer::handle_line(const std::shared_ptr<Connection>& connection,
+                               const std::string& line) {
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const InvalidInput& error) {
+    protocol_errors_.fetch_add(1);
+    obs::add(protocol_errors_counter());
+    Response response;
+    response.error = std::string("invalid-input: ") + error.what();
+    write_response(*connection, serialize_response(response) + "\n");
+    return;
+  }
+
+  requests_.fetch_add(1);
+  obs::add(requests_counter());
+  {
+    MutexLock lock(connection->mutex);
+    ++connection->pending;
+  }
+  const double enqueue_s =
+      obs::metrics_enabled() ? obs::MetricsRegistry::instance().seconds_since_epoch() : 0.0;
+  const bool submitted = queue_->submit([this, connection, request, enqueue_s](std::size_t worker) {
+    const Response response = engines_[worker]->handle(request);
+    if (response.ok) {
+      responses_ok_.fetch_add(1);
+      obs::add(ok_counter());
+    } else {
+      responses_error_.fetch_add(1);
+      obs::add(error_counter());
+    }
+    write_response(*connection, serialize_response(response) + "\n");
+    if (enqueue_s > 0.0) {
+      const double latency_s =
+          obs::MetricsRegistry::instance().seconds_since_epoch() - enqueue_s;
+      obs::observe(latency_histogram(), reported_seconds(latency_s));
+    }
+    MutexLock lock(connection->mutex);
+    if (--connection->pending == 0) connection->drained.notify_all();
+  });
+  if (!submitted) {
+    // Queue already closed (shutdown race): answer inline so the request
+    // is still never dropped.
+    Response response;
+    response.id = request.id;
+    response.error = "error: server shutting down";
+    responses_error_.fetch_add(1);
+    obs::add(error_counter());
+    write_response(*connection, serialize_response(response) + "\n");
+    MutexLock lock(connection->mutex);
+    if (--connection->pending == 0) connection->drained.notify_all();
+  }
+}
+
+void RoutedServer::write_response(Connection& connection, const std::string& wire_line) {
+  MutexLock lock(connection.mutex);
+  if (!connection.socket.valid()) return;
+  try {
+    connection.socket.write_all(wire_line);
+  } catch (const std::exception&) {
+    // Peer hung up without reading its answers; nothing left to deliver.
+  }
+}
+
+RoutedStats RoutedServer::stats() const {
+  RoutedStats stats;
+  stats.connections = connections_count_.load();
+  stats.requests = requests_.load();
+  stats.responses_ok = responses_ok_.load();
+  stats.responses_error = responses_error_.load();
+  stats.protocol_errors = protocol_errors_.load();
+  return stats;
+}
+
+}  // namespace mts::net

@@ -1,0 +1,116 @@
+// The routed daemon: one immutable Snapshot, N queue workers, a line
+// protocol over loopback TCP.
+//
+// Process shape (DESIGN.md §12): the accept loop and one reader thread per
+// connection parse request lines and enqueue them on a core::TaskQueue;
+// each queue worker owns a private QueryEngine, so all mutable search
+// state is per-worker and the Snapshot is the only shared data (read-only
+// by contract).  Responses carry the request id, so pipelined requests may
+// complete out of order; each connection serializes its socket writes
+// under a per-connection mutex.
+//
+// Shutdown is a drain, not an abort: request_stop() (or the external stop
+// flag flipping) closes the listener, half-closes every connection's read
+// side so its reader wakes with EOF, waits for every already-parsed
+// request to be answered and written, then joins the queue.  In-flight
+// requests are never dropped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/budget.hpp"
+#include "core/mutex.hpp"
+#include "core/thread_pool.hpp"
+#include "net/framing.hpp"
+#include "net/snapshot.hpp"
+#include "net/socket.hpp"
+
+namespace mts::net {
+
+class QueryEngine;
+
+struct RoutedOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; read the choice via port()
+  std::size_t threads = 0;  // queue workers; 0 = mts::num_threads()
+  std::size_t max_line_bytes = kMaxLineBytes;
+  /// Per-request work caps, copied into every request (all-zero =
+  /// unlimited).  Exhaustion produces an `err ... budget-exhausted:`
+  /// response, never a dead worker.
+  WorkBudget request_budget;
+};
+
+struct RoutedStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t responses_ok = 0;
+  std::uint64_t responses_error = 0;
+  std::uint64_t protocol_errors = 0;
+};
+
+class RoutedServer {
+ public:
+  /// `snapshot` must outlive the server.
+  RoutedServer(const Snapshot& snapshot, RoutedOptions options);
+
+  /// Drains and joins if serve() was not allowed to finish its own drain.
+  ~RoutedServer();
+
+  RoutedServer(const RoutedServer&) = delete;
+  RoutedServer& operator=(const RoutedServer&) = delete;
+
+  /// Binds the listener and spawns the queue workers.  After start()
+  /// returns, port() is the bound port and clients may connect.
+  void start();
+
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Runs the accept loop until request_stop() is called or the optional
+  /// external flag (e.g. a signal handler's) becomes true, then drains:
+  /// every request parsed before the drain began is answered.  Returns
+  /// after the drain completes.
+  void serve(const std::atomic<bool>* external_stop = nullptr);
+
+  /// Thread-safe, idempotent stop signal; serve() notices within its
+  /// accept timeout (200 ms).
+  void request_stop() { stop_.store(true); }
+
+  [[nodiscard]] RoutedStats stats() const;
+
+ private:
+  struct Connection {
+    Socket socket;
+    Mutex mutex;  // serializes socket writes; guards pending
+    CondVar drained;
+    std::uint64_t pending MTS_GUARDED_BY(mutex) = 0;  // parsed, not yet written
+  };
+
+  void reader_loop(const std::shared_ptr<Connection>& connection);
+  void handle_line(const std::shared_ptr<Connection>& connection, const std::string& line);
+  void write_response(Connection& connection, const std::string& wire_line);
+
+  const Snapshot* snapshot_;
+  RoutedOptions options_;
+  Listener listener_;
+  std::unique_ptr<TaskQueue> queue_;
+  std::vector<std::unique_ptr<QueryEngine>> engines_;  // one per queue worker
+  std::atomic<bool> stop_{false};
+  bool drained_ = false;  // serve()/dtor only (single-threaded use)
+
+  Mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_ MTS_GUARDED_BY(connections_mutex_);
+  std::vector<std::thread> readers_ MTS_GUARDED_BY(connections_mutex_);
+
+  std::atomic<std::uint64_t> connections_count_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> responses_ok_{0};
+  std::atomic<std::uint64_t> responses_error_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+}  // namespace mts::net

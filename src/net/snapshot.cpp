@@ -1,0 +1,19 @@
+#include "net/snapshot.hpp"
+
+#include <utility>
+
+#include "osm/xml.hpp"
+
+namespace mts::net {
+
+Snapshot::Snapshot(osm::RoadNetwork network)
+    : network_(std::move(network)),
+      time_weights_(attack::make_weights(network_, attack::WeightType::Time)),
+      length_weights_(attack::make_weights(network_, attack::WeightType::Length)),
+      uniform_costs_(attack::make_costs(network_, attack::CostType::Uniform)) {}
+
+Snapshot Snapshot::load(const std::string& osm_path) {
+  return Snapshot(osm::RoadNetwork::build(osm::load_osm_xml(osm_path)));
+}
+
+}  // namespace mts::net

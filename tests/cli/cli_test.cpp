@@ -177,5 +177,73 @@ TEST_F(CliTest, IsolateRejectsNegativeRadius) {
   EXPECT_NE(err_.str().find("--radius"), std::string::npos);
 }
 
+// Regression tests for the silent-default flag bug: a typo'd flag used to
+// fall through to every get()'s default.  Now Flags rejects it up front
+// with the exact offending token, for every subcommand.
+
+TEST_F(CliTest, TypoedFlagRejectedWithExactToken) {
+  EXPECT_EQ(run({"attack", "--osm", osm_path_, "--algoritm", "greedy-pathcover"}), 1);
+  EXPECT_NE(err_.str().find("unknown flag '--algoritm' for 'attack'"), std::string::npos)
+      << err_.str();
+}
+
+TEST_F(CliTest, UnknownFlagRejectedForEverySubcommand) {
+  for (const char* command :
+       {"generate", "info", "attack", "isolate", "interdict", "routed", "loadgen"}) {
+    EXPECT_EQ(run({command, "--bogus", "1"}), 1) << command;
+    EXPECT_NE(err_.str().find(std::string("unknown flag '--bogus' for '") + command + "'"),
+              std::string::npos)
+        << command << ": " << err_.str();
+  }
+}
+
+TEST_F(CliTest, UnknownFlagErrorListsAllowedFlags) {
+  EXPECT_EQ(run({"generate", "--bogus", "1"}), 1);
+  EXPECT_NE(err_.str().find("allowed:"), std::string::npos) << err_.str();
+  EXPECT_NE(err_.str().find("--seed"), std::string::npos) << err_.str();
+  EXPECT_NE(err_.str().find("--out"), std::string::npos) << err_.str();
+}
+
+TEST_F(CliTest, DuplicateFlagRejected) {
+  EXPECT_EQ(run({"generate", "--city", "chicago", "--city", "boston", "--out", osm_path_}), 1);
+  EXPECT_NE(err_.str().find("duplicate flag '--city'"), std::string::npos) << err_.str();
+}
+
+TEST_F(CliTest, RoutedRejectsNegativeThreads) {
+  EXPECT_EQ(run({"routed", "--osm", osm_path_, "--threads", "-4"}), 1);
+  EXPECT_NE(err_.str().find("--threads"), std::string::npos) << err_.str();
+}
+
+TEST_F(CliTest, RoutedRejectsOutOfRangePort) {
+  EXPECT_EQ(run({"routed", "--osm", osm_path_, "--port", "70000"}), 1);
+  EXPECT_NE(err_.str().find("--port"), std::string::npos) << err_.str();
+}
+
+TEST_F(CliTest, LoadgenRequiresConcretePort) {
+  // No --port, no --port-file, MTS_PORT unset: the client must not guess.
+  EXPECT_EQ(run({"loadgen", "--requests", "1"}), 1);
+  EXPECT_NE(err_.str().find("--port"), std::string::npos) << err_.str();
+}
+
+TEST_F(CliTest, LoadgenRejectsUnreadablePortFile) {
+  EXPECT_EQ(run({"loadgen", "--port-file", (dir_ / "nope.port").string()}), 1);
+  EXPECT_NE(err_.str().find("--port-file"), std::string::npos) << err_.str();
+}
+
+TEST_F(CliTest, LoadgenRejectsBadMix) {
+  EXPECT_EQ(run({"loadgen", "--port", "1", "--mix", "chaos"}), 1);
+  EXPECT_NE(err_.str().find("unknown mix 'chaos'"), std::string::npos) << err_.str();
+}
+
+TEST_F(CliTest, LoadgenRejectsKBeyondProtocolCap) {
+  EXPECT_EQ(run({"loadgen", "--port", "1", "--k", "65"}), 1);
+  EXPECT_NE(err_.str().find("--k must be in [1, 64]"), std::string::npos) << err_.str();
+}
+
+TEST_F(CliTest, LoadgenRejectsRankBeyondProtocolCap) {
+  EXPECT_EQ(run({"loadgen", "--port", "1", "--rank", "513"}), 1);
+  EXPECT_NE(err_.str().find("--rank must be in [1, 512]"), std::string::npos) << err_.str();
+}
+
 }  // namespace
 }  // namespace mts::cli

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
+
+#include "core/error.hpp"
 
 namespace mts {
 namespace {
@@ -40,6 +43,49 @@ TEST(Env, RawReadsTheEnvironment) {
   EXPECT_STREQ(value, "route-based");
   unsetenv("MTS_TEST_RAW");
   EXPECT_EQ(env_raw("MTS_TEST_RAW"), nullptr);
+}
+
+// env_threads is the strict MTS_THREADS reader: a malformed thread count
+// must be an error, never a silent fall-through to the hardware default
+// (a negative value used to flow into a pool-size cast).
+TEST(Env, ThreadsUnsetOrEmptyMeansAuto) {
+  unsetenv("MTS_THREADS");
+  EXPECT_EQ(env_threads(), 0u);
+  setenv("MTS_THREADS", "", 1);
+  EXPECT_EQ(env_threads(), 0u);
+  unsetenv("MTS_THREADS");
+}
+
+TEST(Env, ThreadsParsesPositiveCount) {
+  setenv("MTS_THREADS", "8", 1);
+  EXPECT_EQ(env_threads(), 8u);
+  unsetenv("MTS_THREADS");
+}
+
+TEST(Env, ThreadsRejectsNegative) {
+  setenv("MTS_THREADS", "-2", 1);
+  EXPECT_THROW(env_threads(), InvalidInput);
+  try {
+    env_threads();
+  } catch (const InvalidInput& e) {
+    EXPECT_NE(std::string(e.what()).find("-2"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("MTS_THREADS"), std::string::npos) << e.what();
+  }
+  unsetenv("MTS_THREADS");
+}
+
+TEST(Env, ThreadsRejectsGarbageAndTrailingJunk) {
+  for (const char* bad : {"four", "4x", "4 2", "0x4", "1e3", "99999999999999999999"}) {
+    setenv("MTS_THREADS", bad, 1);
+    EXPECT_THROW(env_threads(), InvalidInput) << "accepted MTS_THREADS=" << bad;
+  }
+  unsetenv("MTS_THREADS");
+}
+
+TEST(Env, ThreadsRejectsAbsurdCount) {
+  setenv("MTS_THREADS", "99999999", 1);
+  EXPECT_THROW(env_threads(), InvalidInput);
+  unsetenv("MTS_THREADS");
 }
 
 TEST(Env, BenchEnvDefaults) {

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -88,6 +89,74 @@ TEST(ThreadPool, GlobalParallelForCoversRangeAtEveryThreadCount) {
     }
   }
   set_num_threads(0);
+}
+
+TEST(ThreadPool, MalformedThreadEnvIsAnErrorNotAFallback) {
+  // Regression: a bad MTS_THREADS used to fall back silently (and a
+  // negative one flowed into the pool-size cast).  num_threads() now goes
+  // through env_threads(), which rejects with the offending value.
+  ASSERT_EQ(setenv("MTS_THREADS", "-3", 1), 0);
+  set_num_threads(0);
+  EXPECT_THROW(num_threads(), InvalidInput);
+  ASSERT_EQ(setenv("MTS_THREADS", "lots", 1), 0);
+  EXPECT_THROW(num_threads(), InvalidInput);
+  ASSERT_EQ(unsetenv("MTS_THREADS"), 0);
+  EXPECT_GE(num_threads(), 1u);
+}
+
+TEST(TaskQueue, RunsSubmittedTasksOnWorkerThreads) {
+  TaskQueue queue(3);
+  EXPECT_EQ(queue.num_workers(), 3u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> ran{0};
+  std::atomic<bool> on_caller{false};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(queue.submit([&](std::size_t worker) {
+      EXPECT_LT(worker, 3u);
+      if (std::this_thread::get_id() == caller) on_caller.store(true);
+      ran.fetch_add(1);
+    }));
+  }
+  queue.close();
+  EXPECT_EQ(ran.load(), 100);
+  // Unlike ThreadPool(1), TaskQueue workers are always dedicated threads:
+  // the submitting thread (a connection reader) must never run queries.
+  EXPECT_FALSE(on_caller.load());
+  EXPECT_EQ(queue.tasks_run(), 100u);
+}
+
+TEST(TaskQueue, CloseDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    TaskQueue queue(2);
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(queue.submit([&](std::size_t) { ran.fetch_add(1); }));
+    }
+    // Destructor closes; every already-submitted task must still run.
+  }
+  EXPECT_EQ(ran.load(), 500);
+}
+
+TEST(TaskQueue, SubmitAfterCloseIsRefused) {
+  TaskQueue queue(1);
+  queue.close();
+  EXPECT_FALSE(queue.submit([](std::size_t) {}));
+  queue.close();  // idempotent
+}
+
+TEST(TaskQueue, TaskExceptionsAreQuarantinedAsTaxonomy) {
+  TaskQueue queue(2);
+  std::atomic<int> ran{0};
+  queue.submit([](std::size_t) { throw InvalidInput("bad request 7"); });
+  queue.submit([&](std::size_t) { ran.fetch_add(1); });
+  queue.close();
+  // The throwing task neither killed its worker nor leaked the exception.
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(queue.tasks_run(), 2u);
+  const std::vector<std::string> errors = queue.task_errors();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("invalid-input"), std::string::npos) << errors[0];
+  EXPECT_NE(errors[0].find("bad request 7"), std::string::npos) << errors[0];
 }
 
 TEST(ThreadPool, PerIndexResultsIdenticalAcrossThreadCounts) {

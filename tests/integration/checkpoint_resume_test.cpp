@@ -218,6 +218,35 @@ TEST_F(CheckpointResumeTest, FaultedRunPlusResumeIsByteIdenticalAtEveryThreadCou
   }
 }
 
+TEST_F(CheckpointResumeTest, TrialDroppedDuringSamplingResumesByteIdentically) {
+  // A yen.spur fault during scenario *sampling* (not an attack cell) drops a
+  // whole trial, shifting the survivors down the scenarios vector.  Journal
+  // task ids are keyed on the original trial index, so the faulted run's
+  // records must replay into the right cells and the disarmed resume must
+  // reduce to the exact clean-run bytes.  (Position-keyed ids replayed the
+  // wrong trial's cells and double-counted the survivor.)
+  const auto dir = fresh_dir("mts_checkpoint_dropped_trial");
+  const std::string journal = (dir / "journal.jsonl").string();
+  const auto clean = run_city_table(small_config());
+  const std::string clean_json = to_json(clean);
+
+  fault::FaultRegistry::instance().arm("yen.spur", 25, fault::Action::Throw);
+  RunConfig faulted = small_config();
+  faulted.checkpoint_path = journal;
+  const auto partial = run_city_table(faulted);
+  ASSERT_LT(partial.scenarios_run, small_config().trials)
+      << "fault did not fire during scenario sampling; pick a smaller `after`";
+  EXPECT_NE(to_json(partial), clean_json);
+
+  fault::FaultRegistry::instance().reset();
+  RunConfig resume = small_config();
+  resume.checkpoint_path = journal;
+  resume.resume = true;
+  const auto resumed = run_city_table(resume);
+  EXPECT_EQ(to_json(resumed), clean_json);
+  EXPECT_EQ(csv_of(resumed), csv_of(clean));
+}
+
 TEST_F(CheckpointResumeTest, ResumeOfCompleteJournalRecomputesNothing) {
   const auto dir = fresh_dir("mts_checkpoint_full");
   const std::string journal = (dir / "journal.jsonl").string();

@@ -1,0 +1,118 @@
+#include "net/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/error.hpp"
+
+namespace mts::net {
+namespace {
+
+TEST(LineFramer, SplitsPipelinedBurstIntoLines) {
+  LineFramer framer;
+  framer.feed("ping 1\ngraph 2\nroute 3 0 5\n");
+  std::string line;
+  ASSERT_TRUE(framer.next_line(line));
+  EXPECT_EQ(line, "ping 1");
+  ASSERT_TRUE(framer.next_line(line));
+  EXPECT_EQ(line, "graph 2");
+  ASSERT_TRUE(framer.next_line(line));
+  EXPECT_EQ(line, "route 3 0 5");
+  EXPECT_FALSE(framer.next_line(line));
+  EXPECT_EQ(framer.partial_bytes(), 0u);
+}
+
+TEST(LineFramer, ReassemblesTornLinesAcrossFeeds) {
+  LineFramer framer;
+  std::string line;
+  framer.feed("rou");
+  EXPECT_FALSE(framer.next_line(line));
+  EXPECT_EQ(framer.partial_bytes(), 3u);
+  framer.feed("te 7 1");
+  EXPECT_FALSE(framer.next_line(line));
+  framer.feed("2 34\npi");
+  ASSERT_TRUE(framer.next_line(line));
+  EXPECT_EQ(line, "route 7 12 34");
+  EXPECT_FALSE(framer.next_line(line));
+  framer.feed("ng 8\n");
+  ASSERT_TRUE(framer.next_line(line));
+  EXPECT_EQ(line, "ping 8");
+}
+
+TEST(LineFramer, SingleByteFeedsWork) {
+  LineFramer framer;
+  std::string line;
+  const std::string wire = "kalt 9 3 4 2\n";
+  for (const char c : wire) framer.feed(std::string_view(&c, 1));
+  ASSERT_TRUE(framer.next_line(line));
+  EXPECT_EQ(line, "kalt 9 3 4 2");
+}
+
+TEST(LineFramer, StripsCarriageReturn) {
+  LineFramer framer;
+  std::string line;
+  framer.feed("ping 1\r\nping 2\n");
+  ASSERT_TRUE(framer.next_line(line));
+  EXPECT_EQ(line, "ping 1");
+  ASSERT_TRUE(framer.next_line(line));
+  EXPECT_EQ(line, "ping 2");
+}
+
+TEST(LineFramer, PassesThroughBinaryBytes) {
+  // The framer treats content as opaque: invalid UTF-8 and NULs survive
+  // until the protocol parser rejects them.
+  LineFramer framer;
+  std::string line;
+  const std::string hostile = std::string("a\xff\xfe") + '\0' + "b\n";
+  framer.feed(hostile);
+  ASSERT_TRUE(framer.next_line(line));
+  EXPECT_EQ(line, hostile.substr(0, hostile.size() - 1));
+}
+
+TEST(LineFramer, EmptyLinesAreDelivered) {
+  LineFramer framer;
+  std::string line;
+  framer.feed("\n\nping 1\n");
+  ASSERT_TRUE(framer.next_line(line));
+  EXPECT_EQ(line, "");
+  ASSERT_TRUE(framer.next_line(line));
+  EXPECT_EQ(line, "");
+  ASSERT_TRUE(framer.next_line(line));
+  EXPECT_EQ(line, "ping 1");
+}
+
+TEST(LineFramer, OversizedTerminatedLineThrowsButStreamRecovers) {
+  LineFramer framer(16);
+  std::string line;
+  framer.feed(std::string(40, 'x') + "\nping 1\n");
+  EXPECT_THROW(framer.next_line(line), InvalidInput);
+  // The oversized line was discarded; the stream stays parsable.
+  ASSERT_TRUE(framer.next_line(line));
+  EXPECT_EQ(line, "ping 1");
+}
+
+TEST(LineFramer, UnterminatedOversizedTailThrowsOnFeed) {
+  LineFramer framer(16);
+  framer.feed(std::string(16, 'x'));  // at the cap: still fine
+  EXPECT_THROW(framer.feed(std::string(16, 'y')), InvalidInput);
+}
+
+TEST(LineFramer, CompactionKeepsTornTailIntact) {
+  // Force many consumed lines before a torn tail so the lazy compaction
+  // path runs, then verify the tail completes correctly.
+  LineFramer framer;
+  std::string line;
+  for (int i = 0; i < 100; ++i) {
+    framer.feed("ping " + std::to_string(i) + "\n");
+    ASSERT_TRUE(framer.next_line(line));
+    EXPECT_EQ(line, "ping " + std::to_string(i));
+  }
+  framer.feed("tail");
+  framer.feed(" end\n");
+  ASSERT_TRUE(framer.next_line(line));
+  EXPECT_EQ(line, "tail end");
+}
+
+}  // namespace
+}  // namespace mts::net

@@ -1,0 +1,122 @@
+#include "net/loadgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace mts::net {
+namespace {
+
+TEST(Loadgen, ParseMixRoundTripsAndRejects) {
+  for (const Mix mix : {Mix::Route, Mix::Kalt, Mix::Attack, Mix::Mixed}) {
+    EXPECT_EQ(parse_mix(to_string(mix)), mix);
+  }
+  EXPECT_THROW(parse_mix("chaos"), InvalidInput);
+  EXPECT_THROW(parse_mix(""), InvalidInput);
+  EXPECT_THROW(parse_mix("Route"), InvalidInput);  // tokens are lowercase
+}
+
+TEST(Loadgen, FixedSeedSynthesizesIdenticalStream) {
+  LoadgenOptions options;
+  options.requests = 500;
+  options.seed = 42;
+  options.mix = Mix::Mixed;
+  const std::vector<Request> a = synthesize_requests(options, 100);
+  const std::vector<Request> b = synthesize_requests(options, 100);
+  ASSERT_EQ(a.size(), 500u);
+  EXPECT_EQ(a, b);
+  // The serialized wire form is identical too: the replay bytes are a pure
+  // function of (options, num_nodes).
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(serialize_request(a[i]), serialize_request(b[i]));
+  }
+}
+
+TEST(Loadgen, DifferentSeedsDiverge) {
+  LoadgenOptions options;
+  options.requests = 200;
+  options.seed = 1;
+  const std::vector<Request> a = synthesize_requests(options, 1000);
+  options.seed = 2;
+  const std::vector<Request> b = synthesize_requests(options, 1000);
+  EXPECT_NE(a, b);
+}
+
+TEST(Loadgen, StreamIsIndependentOfConnectionsAndWindow) {
+  LoadgenOptions options;
+  options.requests = 100;
+  options.connections = 1;
+  options.window = 1;
+  const std::vector<Request> a = synthesize_requests(options, 50);
+  options.connections = 16;
+  options.window = 64;
+  const std::vector<Request> b = synthesize_requests(options, 50);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Loadgen, IdsAreSequentialFromOne) {
+  LoadgenOptions options;
+  options.requests = 25;
+  const std::vector<Request> stream = synthesize_requests(options, 10);
+  ASSERT_EQ(stream.size(), 25u);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].id, i + 1);
+  }
+}
+
+TEST(Loadgen, RequestsRespectOptionsAndGraphBounds) {
+  LoadgenOptions options;
+  options.requests = 300;
+  options.mix = Mix::Mixed;
+  options.kalt_k = 6;
+  options.attack_rank = 11;
+  options.weight = WeightKind::Length;
+  const std::size_t num_nodes = 37;
+  std::set<Verb> verbs_seen;
+  for (const Request& r : synthesize_requests(options, num_nodes)) {
+    verbs_seen.insert(r.verb);
+    EXPECT_LT(r.source, num_nodes);
+    EXPECT_LT(r.target, num_nodes);
+    EXPECT_NE(r.source, r.target);
+    EXPECT_EQ(r.weight, WeightKind::Length);
+    if (r.verb == Verb::Kalt) {
+      EXPECT_EQ(r.k, 6u);
+    }
+    if (r.verb == Verb::Attack) {
+      EXPECT_EQ(r.rank, 11u);
+      EXPECT_EQ(r.algorithm, attack::Algorithm::GreedyPathCover);
+    }
+  }
+  // 300 mixed draws at 80/15/5 make all three verbs overwhelmingly likely.
+  EXPECT_TRUE(verbs_seen.count(Verb::Route));
+  EXPECT_TRUE(verbs_seen.count(Verb::Kalt));
+  EXPECT_TRUE(verbs_seen.count(Verb::Attack));
+}
+
+TEST(Loadgen, PureMixesSynthesizeOnlyTheirVerb) {
+  LoadgenOptions options;
+  options.requests = 50;
+  for (const auto& [mix, verb] :
+       {std::pair{Mix::Route, Verb::Route}, std::pair{Mix::Kalt, Verb::Kalt},
+        std::pair{Mix::Attack, Verb::Attack}}) {
+    options.mix = mix;
+    for (const Request& r : synthesize_requests(options, 20)) {
+      EXPECT_EQ(r.verb, verb) << to_string(mix);
+    }
+  }
+}
+
+TEST(Loadgen, UnreachableDaemonThrowsUpFront) {
+  LoadgenOptions options;
+  options.requests = 1;
+  options.connections = 1;
+  // Port 1 on loopback: nothing listens there in the test environment.
+  EXPECT_THROW(run_loadgen("127.0.0.1", 1, options), Error);
+}
+
+}  // namespace
+}  // namespace mts::net

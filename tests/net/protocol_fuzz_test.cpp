@@ -1,0 +1,178 @@
+// Fuzz-style hardening tests for the routed wire protocol, in the mold of
+// integration/fuzz_test.cpp: byte-level mutations of valid inputs where the
+// only sanctioned outcomes are a successful parse or InvalidInput — never a
+// crash, never any other exception type.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "net/framing.hpp"
+#include "net/protocol.hpp"
+
+namespace mts::net {
+namespace {
+
+const std::vector<std::string>& valid_request_lines() {
+  static const std::vector<std::string> lines = {
+      "ping 1",
+      "graph 2",
+      "route 3 10 20",
+      "route 4 10 20 length",
+      "kalt 5 10 20 8",
+      "kalt 6 10 20 8 time",
+      "attack 7 10 20 16 greedy-pathcover",
+      "attack 8 10 20 16 lp-pathcover length",
+  };
+  return lines;
+}
+
+/// One byte-level mutation in the fuzz_test.cpp style: flip a byte to a
+/// hostile value, delete it, duplicate it, or truncate the line there.
+std::string mutate_line(const std::string& base, Rng& rng) {
+  static const char kHostileBytes[] = {'\0', '\n', '\r', ' ',    '=',    '-',
+                                       '9',  'z',  '.',  '\xff', '\x80', '\x01'};
+  std::string mutated = base;
+  if (mutated.empty()) return mutated;
+  const std::size_t pos = rng.uniform_index(mutated.size());
+  switch (rng.uniform_index(4)) {
+    case 0:
+      mutated[pos] = kHostileBytes[rng.uniform_index(sizeof kHostileBytes)];
+      break;
+    case 1:
+      mutated.erase(pos, 1);
+      break;
+    case 2:
+      mutated.insert(pos, 1, mutated[pos]);
+      break;
+    default:
+      mutated.resize(pos);
+      break;
+  }
+  return mutated;
+}
+
+TEST(ProtocolFuzz, MutatedRequestsParseOrRejectCleanly) {
+  Rng rng(4815162342ULL);
+  const auto& bases = valid_request_lines();
+  int parsed_ok = 0;
+  int rejected = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string line = bases[rng.uniform_index(bases.size())];
+    const std::size_t mutations = 1 + rng.uniform_index(3);
+    for (std::size_t m = 0; m < mutations; ++m) line = mutate_line(line, rng);
+    try {
+      const Request request = parse_request(line);
+      // Anything accepted must round-trip exactly: the parser may never
+      // accept a line it cannot re-serialize to an equivalent request.
+      EXPECT_EQ(parse_request(serialize_request(request)), request) << "line: '" << line << "'";
+      ++parsed_ok;
+    } catch (const InvalidInput&) {
+      ++rejected;  // the only sanctioned failure
+    }
+  }
+  EXPECT_EQ(parsed_ok + rejected, 400);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(ProtocolFuzz, MutatedResponsesParseOrRejectCleanly) {
+  const std::vector<std::string> bases = {
+      "ok 1 pong",
+      "ok 2 graph nodes=120 edges=400 pois=6",
+      "ok 3 route found=1 dist=17.25 hops=9",
+      "ok 4 kalt paths=8 best=17.25 worst=31.5",
+      "ok 5 attack status=success removed=4 cost=4",
+      "err 6 invalid-input: node 999 out of range",
+      "err 7 budget-exhausted: edges_scanned limit 1000 exceeded",
+  };
+  Rng rng(271828182845ULL);
+  int parsed_ok = 0;
+  int rejected = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string line = bases[rng.uniform_index(bases.size())];
+    const std::size_t mutations = 1 + rng.uniform_index(3);
+    for (std::size_t m = 0; m < mutations; ++m) line = mutate_line(line, rng);
+    try {
+      (void)parse_response(line);
+      ++parsed_ok;
+    } catch (const InvalidInput&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(parsed_ok + rejected, 400);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(ProtocolFuzz, InvalidUtf8AndControlBytesAreRejectedNotCrashed) {
+  const char* hostile[] = {
+      "ping\xff 1",
+      "\xffping 1",
+      "route 1 2\x80 3",
+      "ping \x01",
+      "attack 1 2 3 4 greedy\xc3\x28pathcover",
+      "kalt 1 2 3 \xf0\x9f\x9a\x97",
+  };
+  for (const char* line : hostile) {
+    EXPECT_THROW(parse_request(line), InvalidInput) << "accepted: '" << line << "'";
+  }
+  // A NUL inside the line must not truncate parsing at the C-string level.
+  std::string nul_line = "ping 1";
+  nul_line += '\0';
+  nul_line += "2";
+  EXPECT_THROW(parse_request(nul_line), InvalidInput);
+}
+
+TEST(ProtocolFuzz, TornStreamReassemblyIsChunkingInvariant) {
+  // The same byte stream split at random chunk boundaries must yield the
+  // same request sequence a whole-stream feed does.
+  std::string stream;
+  for (const std::string& line : valid_request_lines()) {
+    stream += line;
+    stream += '\n';
+  }
+
+  std::vector<Request> whole;
+  {
+    LineFramer framer;
+    framer.feed(stream);
+    std::string line;
+    while (framer.next_line(line)) whole.push_back(parse_request(line));
+  }
+  ASSERT_EQ(whole.size(), valid_request_lines().size());
+
+  Rng rng(5551212ULL);
+  for (int trial = 0; trial < 50; ++trial) {
+    LineFramer framer;
+    std::vector<Request> torn;
+    std::string line;
+    std::size_t offset = 0;
+    while (offset < stream.size()) {
+      const std::size_t chunk = 1 + rng.uniform_index(7);
+      const std::size_t take = std::min(chunk, stream.size() - offset);
+      framer.feed(std::string_view(stream).substr(offset, take));
+      offset += take;
+      while (framer.next_line(line)) torn.push_back(parse_request(line));
+    }
+    EXPECT_EQ(torn, whole) << "trial " << trial;
+  }
+}
+
+TEST(ProtocolFuzz, OversizedRequestsNeverReachTheParser) {
+  // A request far beyond the line cap is cut off by the framer with
+  // InvalidInput in both framings: terminated (popped then rejected) and
+  // unterminated (rejected at feed time).
+  LineFramer terminated(64);
+  terminated.feed("route 1 " + std::string(200, '9') + " 3\nping 2\n");
+  std::string line;
+  EXPECT_THROW(terminated.next_line(line), InvalidInput);
+  ASSERT_TRUE(terminated.next_line(line));
+  EXPECT_EQ(parse_request(line).verb, Verb::Ping);
+
+  LineFramer unterminated(64);
+  EXPECT_THROW(unterminated.feed(std::string(200, 'a')), InvalidInput);
+}
+
+}  // namespace
+}  // namespace mts::net
