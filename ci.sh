@@ -43,7 +43,7 @@ routed_smoke() {
   dir="$(mktemp -d)"
   "$mts" generate --city chicago --scale 0.15 --seed 5 --out "$dir/city.osm"
   env "$@" "$mts" routed --osm "$dir/city.osm" --port 0 --port-file "$dir/port" \
-    --threads 4 2> "$dir/routed.err" &
+    --slowlog "$dir/slow.jsonl" --threads 4 2> "$dir/routed.err" &
   local daemon=$!
   for _ in $(seq 1 100); do
     [ -s "$dir/port" ] && break
@@ -58,14 +58,38 @@ routed_smoke() {
       { echo "ci: loadgen mix=$mix failed" >&2; kill "$daemon" 2>/dev/null; return 1; }
   done
 
+  # Live introspection: the stats verb must answer while the daemon is
+  # still serving, and its always-on views must cover the replayed load.
+  "$mts" stats --port-file "$dir/port" > "$dir/stats.out" ||
+    { echo "ci: stats query against live daemon failed" >&2
+      kill "$daemon" 2>/dev/null; return 1; }
+  if ! grep -q '^server\.requests=' "$dir/stats.out" ||
+     ! grep -q '^window\.count=' "$dir/stats.out"; then
+    echo "ci: stats output is missing server./window. keys:" >&2
+    cat "$dir/stats.out" >&2
+    kill "$daemon" 2>/dev/null
+    return 1
+  fi
+
   kill -TERM "$daemon"
   local rc=0
   wait "$daemon" || rc=$?
-  rm -rf "$dir"
   if [ "$rc" != 0 ]; then
     echo "ci: routed did not drain cleanly on SIGTERM (exit $rc)" >&2
     return 1
   fi
+
+  # A caller that armed MTS_SLOWLOG alongside a fault point expects the
+  # injected failures in the slow-query log, tagged with the fault taxonomy.
+  local arg slowlog_armed=""
+  for arg in "$@"; do
+    case "$arg" in MTS_SLOWLOG=*) slowlog_armed=1 ;; esac
+  done
+  if [ -n "$slowlog_armed" ] && ! grep -q 'fault-injected' "$dir/slow.jsonl"; then
+    echo "ci: armed slow-query log has no fault-injected record" >&2
+    return 1
+  fi
+  rm -rf "$dir"
 }
 
 for preset in "${PRESETS[@]}"; do
@@ -107,7 +131,7 @@ for preset in "${PRESETS[@]}"; do
     # (core/thread_pool, net/server) — this leg is what caught the EOF-close
     # vs shutdown_read fd race.
     MTS_THREADS=4 ctest --preset "$preset" -j "$JOBS" \
-      -R 'ThreadPool|ParallelDeterminism|ConcurrentRecording|SearchSpace|Fault|Checkpoint|TaskQueue|RoutedE2e'
+      -R 'ThreadPool|ParallelDeterminism|ConcurrentRecording|SearchSpace|Fault|Checkpoint|TaskQueue|RoutedE2e|WindowedHistogram'
     continue
   fi
 
@@ -136,10 +160,11 @@ for preset in "${PRESETS[@]}"; do
 
     # The routed.request point fires inside a live daemon under ASan: the
     # injected fault must surface as one structured `err ... fault-injected:`
-    # response (loadgen still completes with zero drops) and the drain must
-    # stay clean.
+    # response (loadgen still completes with zero drops), land in the
+    # slow-query log (errors always log; the 60 s threshold keeps healthy
+    # requests out), and the drain must stay clean.
     echo "==== [$preset] routed fault-injection smoke (MTS_FAULTS=routed.request) ===="
-    routed_smoke "$preset" MTS_FAULTS=routed.request:after=25:throw
+    routed_smoke "$preset" MTS_FAULTS=routed.request:after=25:throw MTS_SLOWLOG=60000
   fi
 
   if [ "$preset" = dev ]; then

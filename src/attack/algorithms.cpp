@@ -43,8 +43,9 @@ struct Context {
   ExclusivityOracle oracle;
   std::vector<std::uint8_t> in_p_star;  // per edge
 
-  explicit Context(const ForcePathCutProblem& p, WorkBudget* budget = nullptr)
-      : problem(p), oracle(p, budget), in_p_star(p.graph->num_edges(), 0) {
+  explicit Context(const ForcePathCutProblem& p, WorkBudget* budget = nullptr,
+                   RequestTrace* trace = nullptr)
+      : problem(p), oracle(p, budget, trace), in_p_star(p.graph->num_edges(), 0) {
     for (EdgeId e : p.p_star.edges) in_p_star[e.value()] = 1;
   }
 
@@ -293,7 +294,7 @@ AttackResult run_attack(Algorithm algorithm, const ForcePathCutProblem& problem,
   effective.covering.lp.budget = budget_ptr;
   AttackResult result;
   try {
-    Context ctx(problem, budget_ptr);
+    Context ctx(problem, budget_ptr, options.trace);
     switch (algorithm) {
       case Algorithm::GreedyEdge: result = run_greedy_edge(ctx, effective); break;
       case Algorithm::GreedyEig: result = run_greedy_eig(ctx, effective); break;

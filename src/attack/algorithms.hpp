@@ -16,6 +16,7 @@
 
 #include "attack/problem.hpp"
 #include "core/budget.hpp"
+#include "core/request_trace.hpp"
 #include "lp/covering.hpp"
 
 namespace mts::attack {
@@ -39,6 +40,9 @@ struct AttackOptions {
   /// run_attack() copies this, threads the copy through oracle/yen/simplex,
   /// and converts an exhausted budget into AttackStatus::BudgetExhausted.
   WorkBudget work_budget;
+  /// Per-request work accounting threaded alongside the budget (nullptr =
+  /// none; core/request_trace.hpp).  Purely observational.
+  RequestTrace* trace = nullptr;
 };
 
 /// Runs `algorithm` on `problem`.  The returned removal set never touches

@@ -32,8 +32,9 @@ struct OracleCounters {
 
 }  // namespace
 
-ExclusivityOracle::ExclusivityOracle(const ForcePathCutProblem& problem, WorkBudget* budget)
-    : problem_(problem), budget_(budget) {
+ExclusivityOracle::ExclusivityOracle(const ForcePathCutProblem& problem, WorkBudget* budget,
+                                     RequestTrace* trace)
+    : problem_(problem), budget_(budget), trace_(trace) {
   require(problem.graph != nullptr, "oracle: null graph");
   require(is_simple_path(*problem.graph, problem.p_star, problem.source, problem.target),
           "oracle: p* is not a simple source->target path");
@@ -43,6 +44,7 @@ ExclusivityOracle::ExclusivityOracle(const ForcePathCutProblem& problem, WorkBud
   DijkstraOptions reverse_options;
   reverse_options.assume_valid_weights = true;
   reverse_options.budget = budget_;
+  reverse_options.trace = trace_;
   reverse_dijkstra(reverse_tree_, *problem.graph, problem_.weights, problem_.target,
                    reverse_options);
 }
@@ -53,6 +55,7 @@ double ExclusivityOracle::tie_epsilon() const {
 
 std::optional<Path> ExclusivityOracle::find_violating_path(const EdgeFilter& filter) const {
   ++calls_;
+  if (trace_ != nullptr) ++trace_->oracle_calls;
   obs::ScopedPhase phase("oracle");
   obs::add(OracleCounters::get().calls);
   const auto& g = *problem_.graph;
@@ -76,6 +79,7 @@ std::optional<Path> ExclusivityOracle::find_violating_path(const EdgeFilter& fil
   options.prune_bound = p_star_length_;
   options.assume_valid_weights = true;
   options.budget = budget_;
+  options.trace = trace_;
   SearchSpace& ws = thread_search_space();
   dijkstra(ws, g, problem_.weights, problem_.source, options);
   auto sp = extract_path(g, ws, problem_.source, problem_.target);
@@ -104,7 +108,7 @@ std::optional<Path> ExclusivityOracle::find_violating_path(const EdgeFilter& fil
   // Dijkstra returned p* itself; certify no *other* path ties it.
   obs::add(OracleCounters::get().ties);
   auto second = second_shortest_path(g, problem_.weights, problem_.source, problem_.target,
-                                     problem_.p_star, &filter, budget_);
+                                     problem_.p_star, &filter, budget_, trace_);
   if (second && second->length <= p_star_length_ + eps) {
     obs::add(OracleCounters::get().violations);
     return second;

@@ -11,6 +11,7 @@
 
 #include "attack/problem.hpp"
 #include "core/budget.hpp"
+#include "core/request_trace.hpp"
 #include "graph/edge_filter.hpp"
 #include "graph/search_space.hpp"
 
@@ -20,11 +21,14 @@ using mts::EdgeFilter;
 
 class ExclusivityOracle {
  public:
-  /// `problem` must outlive the oracle (as must `budget` when non-null).
-  /// Throws PreconditionViolation if p* is not a simple s→d path or touches
-  /// a non-positive-length check.  `budget` caps the deterministic work of
-  /// every query this oracle runs (core/budget.hpp; nullptr = unlimited).
-  explicit ExclusivityOracle(const ForcePathCutProblem& problem, WorkBudget* budget = nullptr);
+  /// `problem` must outlive the oracle (as must `budget` and `trace` when
+  /// non-null).  Throws PreconditionViolation if p* is not a simple s→d
+  /// path or touches a non-positive-length check.  `budget` caps the
+  /// deterministic work of every query this oracle runs (core/budget.hpp;
+  /// nullptr = unlimited); `trace` receives per-request work accounting
+  /// for the same queries (core/request_trace.hpp; nullptr = none).
+  explicit ExclusivityOracle(const ForcePathCutProblem& problem, WorkBudget* budget = nullptr,
+                             RequestTrace* trace = nullptr);
 
   /// A path that still violates p*'s exclusivity under `filter`, or
   /// nullopt when p* is certified exclusively shortest.
@@ -46,6 +50,7 @@ class ExclusivityOracle {
   /// goal-direction heuristic for all queries (DESIGN.md §9).
   SearchSpace reverse_tree_;
   WorkBudget* budget_ = nullptr;
+  RequestTrace* trace_ = nullptr;
   mutable std::size_t calls_ = 0;
 };
 

@@ -20,6 +20,7 @@
 #include "core/error.hpp"
 #include "core/table.hpp"
 #include "exp/json_report.hpp"
+#include "exp/obs_flush.hpp"
 #include "exp/scenario.hpp"
 #include "graph/metrics.hpp"
 #include "net/loadgen.hpp"
@@ -370,6 +371,25 @@ int cmd_routed(const Flags& flags, std::ostream& out, std::ostream& err) {
   options.request_budget =
       budget_spec.empty() ? WorkBudget::from_environment() : WorkBudget::parse(budget_spec);
 
+  // MTS_SLOWLOG is a millisecond threshold; unset or 0 keeps the log off
+  // (and then --slowlog only picks the file name nothing is written to).
+  const double slowlog_ms = env_double("MTS_SLOWLOG", 0.0);
+  if (slowlog_ms < 0.0) throw InvalidInput("MTS_SLOWLOG must be >= 0 (milliseconds)");
+  options.slowlog_threshold_s = slowlog_ms / 1000.0;
+  options.slowlog_path = flags.get("slowlog", options.slowlog_path);
+
+  // MTS_METRICS_INTERVAL (seconds) arms the periodic snapshot flusher; it
+  // implies metrics recording, since an all-zero artifact helps nobody.
+  const double metrics_interval_s = env_double("MTS_METRICS_INTERVAL", 0.0);
+  if (metrics_interval_s < 0.0) {
+    throw InvalidInput("MTS_METRICS_INTERVAL must be >= 0 (seconds)");
+  }
+  std::optional<exp::PeriodicMetricsFlusher> flusher;
+  if (metrics_interval_s > 0.0) {
+    obs::set_metrics_enabled(true);
+    flusher.emplace(obs_base.empty() ? "routed" : obs_base, metrics_interval_s);
+  }
+
   const net::Snapshot snapshot = net::Snapshot::load(flags.require_flag("osm"));
   net::RoutedServer server(snapshot, options);
   server.start();
@@ -386,13 +406,27 @@ int cmd_routed(const Flags& flags, std::ostream& out, std::ostream& err) {
   routed_stop_flag().store(false);
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
+  if (flusher) flusher->start();
   server.serve(&routed_stop_flag());
+  if (flusher) flusher->stop();  // final flush covers the whole run
 
   const net::RoutedStats stats = server.stats();
   out << "routed: connections=" << stats.connections << " requests=" << stats.requests
       << " ok=" << stats.responses_ok << " errors=" << stats.responses_error
       << " protocol_errors=" << stats.protocol_errors << "\n";
   if (!obs_base.empty()) exp::save_observability(obs_base);
+  return 0;
+}
+
+int cmd_stats(const Flags& flags, std::ostream& out) {
+  const std::string host = flags.get("host", "127.0.0.1");
+  const std::uint16_t port = resolve_port(flags, /*require_positive=*/true);
+  net::Request request;
+  request.verb = net::Verb::Stats;
+  request.id = 1;
+  const net::Response response = net::request_once(host, port, request);
+  if (!response.ok) throw Error("stats request failed: " + response.error);
+  for (const auto& [key, value] : response.fields) out << key << "=" << value << "\n";
   return 0;
 }
 
@@ -441,6 +475,21 @@ int cmd_loadgen(const Flags& flags, std::ostream& out) {
     out << "failures: " << report.failed_connections
         << " connection(s) died (first: " << report.first_failure << ")\n";
   }
+  // The server-side view of the same run: windowed p50/p99 printed next to
+  // the client percentiles above.  Best-effort — the daemon may already be
+  // draining, and a missing snapshot should not fail the load result.
+  try {
+    net::Request stats_request;
+    stats_request.verb = net::Verb::Stats;
+    stats_request.id = options.requests + 1;
+    const net::Response stats = net::request_once(host, port, stats_request);
+    if (stats.ok) {
+      out << "server stats:\n";
+      for (const auto& [key, value] : stats.fields) out << "  " << key << "=" << value << "\n";
+    }
+  } catch (const std::exception& ex) {
+    out << "server stats unavailable: " << ex.what() << "\n";
+  }
   if (!obs_base.empty()) exp::save_observability(obs_base);
   return (report.dropped == 0 && report.failed_connections == 0) ? 0 : 1;
 }
@@ -458,8 +507,12 @@ std::string usage() {
          "  isolate    --osm FILE.osm [--hospital NAME] [--radius M] [--cost C]\n"
          "  interdict  --osm FILE.osm [--hospital NAME] [--budget B] [--weight W] [--cost C]\n"
          "  routed     --osm FILE.osm [--host H] [--port P] [--port-file F] [--threads N]\n"
-         "             [--budget edges=N,pivots=N,spurs=N] [--obs BASE]\n"
-         "             serves route/kalt/attack queries; SIGINT/SIGTERM drains and exits\n"
+         "             [--budget edges=N,pivots=N,spurs=N] [--obs BASE] [--slowlog FILE]\n"
+         "             serves route/kalt/attack/stats queries; SIGINT/SIGTERM drains and\n"
+         "             exits.  MTS_SLOWLOG=<ms> arms the slow-query log,\n"
+         "             MTS_METRICS_INTERVAL=<s> the periodic metrics flush\n"
+         "  stats      --port P | --port-file F [--host H]\n"
+         "             prints a live daemon's stats snapshot, one key=value per line\n"
          "  loadgen    --port P | --port-file F [--host H] [--requests N] [--connections C]\n"
          "             [--window W] [--seed N] [--mix route|kalt|attack|mixed] [--k K]\n"
          "             [--rank R] [--weight W] [--obs BASE]\n"
@@ -494,8 +547,12 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     }
     if (args[0] == "routed") {
       return cmd_routed(Flags(args, 1, "routed",
-                              {"osm", "host", "port", "port-file", "threads", "budget", "obs"}),
+                              {"osm", "host", "port", "port-file", "threads", "budget", "obs",
+                               "slowlog"}),
                         out, err);
+    }
+    if (args[0] == "stats") {
+      return cmd_stats(Flags(args, 1, "stats", {"host", "port", "port-file"}), out);
     }
     if (args[0] == "loadgen") {
       return cmd_loadgen(Flags(args, 1, "loadgen",

@@ -22,6 +22,14 @@
 //               (parsed by WorkBudget::from_environment; empty = unlimited)
 // MTS_FAULTS    deterministic fault injection, e.g. "lp.pivot:after=100:throw"
 //               (parsed by fault::FaultRegistry; empty = disarmed)
+// MTS_SLOWLOG   slow-query threshold in milliseconds for `mts routed`:
+//               requests at/over it (or failing) append one JSONL line to
+//               the --slowlog file (default routed_slowlog.jsonl); unset
+//               or 0 (default) writes nothing
+// MTS_METRICS_INTERVAL
+//               seconds between periodic metrics-snapshot flushes while
+//               `mts routed` serves (implies MTS_METRICS=1); unset or 0
+//               (default) = no periodic flush, artifacts only at exit
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,30 @@
+// Per-request work accounting, threaded by pointer like WorkBudget.
+//
+// The global obs counters aggregate across every request; a live service
+// also needs to answer "what did *this* request cost?" — for request
+// spans in the Chrome trace and for slow-query log lines.  A RequestTrace
+// is owned by one request, carried through DijkstraOptions / YenOptions /
+// the oracle exactly where the WorkBudget pointer already travels, and
+// incremented at the same coarse checkpoints.  Unlike a budget it never
+// throws: it only observes.
+//
+// A null pointer (the default everywhere) means "don't account" and costs
+// one pointer test per checkpoint, so uninstrumented callers pay nothing.
+#pragma once
+
+#include <cstdint>
+
+namespace mts {
+
+/// Work performed on behalf of one request.  Not thread-safe: one trace
+/// per request, touched only by the worker handling it.
+struct RequestTrace {
+  std::uint64_t dijkstra_runs = 0;
+  std::uint64_t nodes_settled = 0;
+  std::uint64_t edges_scanned = 0;
+  std::uint64_t spur_searches = 0;
+  std::uint64_t spurs_pruned = 0;
+  std::uint64_t oracle_calls = 0;
+};
+
+}  // namespace mts

@@ -1,0 +1,64 @@
+#include "exp/obs_flush.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/thread_pool.hpp"
+#include "core/timer.hpp"
+#include "exp/json_report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mts::exp {
+
+PeriodicMetricsFlusher::PeriodicMetricsFlusher(std::string base_path, double interval_s)
+    : target_path_(std::move(base_path) + observability_suffix() + "_metrics.json"),
+      interval_s_(interval_s) {
+  require(interval_s_ > 0.0, "PeriodicMetricsFlusher: interval must be > 0 seconds");
+}
+
+PeriodicMetricsFlusher::~PeriodicMetricsFlusher() { stop(); }
+
+void PeriodicMetricsFlusher::start() {
+  require(!thread_.joinable(), "PeriodicMetricsFlusher::start called twice");
+  flush_once();
+  thread_ = std::thread([this] { run(); });
+}
+
+void PeriodicMetricsFlusher::stop() {
+  if (!thread_.joinable()) return;
+  {
+    MutexLock lock(mutex_);
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  flush_once();  // final state: the artifact always reflects the full run
+}
+
+void PeriodicMetricsFlusher::flush_once() {
+  const auto resolution = thread_resolution();
+  obs::RunInfo run;
+  run.threads_requested = resolution.requested;
+  run.threads_effective = resolution.effective;
+  run.timing = timing_enabled();
+  // Write-then-rename keeps the flush atomic for pollers: the target path
+  // always holds a complete JSON document, never a partial write.
+  const std::string tmp_path = target_path_ + ".tmp";
+  obs::save_metrics_json(obs::MetricsRegistry::instance().snapshot(), run, tmp_path);
+  std::filesystem::rename(tmp_path, target_path_);
+}
+
+void PeriodicMetricsFlusher::run() {
+  for (;;) {
+    {
+      MutexLock lock(mutex_);
+      wake_.wait_for_seconds(lock, interval_s_);
+      if (stop_requested_) return;  // stop() does the final flush after join
+    }
+    flush_once();  // outside the lock: snapshot + I/O never blocks stop()
+  }
+}
+
+}  // namespace mts::exp

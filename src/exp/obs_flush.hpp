@@ -1,0 +1,67 @@
+// Periodic metrics flusher for long-running daemons.
+//
+// Batch runs write their observability side-cars once at exit
+// (save_observability); a daemon that may never exit cleanly needs the
+// same artifact refreshed while it serves.  PeriodicMetricsFlusher owns a
+// background thread that snapshots the registry every `interval_s` seconds
+// and rewrites `<base_path><suffix>_metrics.json` — the identical schema
+// batch runs emit, so downstream tooling needs no second parser.
+//
+// Each flush is collision-safe: the document is written to a `.tmp`
+// sibling and renamed over the target, so a reader polling the file never
+// observes a torn JSON document.  The suffix honors MTS_OBS_SUFFIX exactly
+// like save_observability ("pid" expands to ".<pid>").
+//
+// The CLI arms one for `mts routed` when MTS_METRICS_INTERVAL (seconds) is
+// set; stop() performs one final flush so the artifact always reflects the
+// full run.
+#pragma once
+
+#include <string>
+#include <thread>
+
+#include "core/annotations.hpp"
+#include "core/mutex.hpp"
+
+namespace mts::exp {
+
+class PeriodicMetricsFlusher {
+ public:
+  /// Flushes `<base_path><observability_suffix()>_metrics.json` every
+  /// `interval_s` seconds (must be > 0) until stop().  Does not start a
+  /// thread until start() is called.
+  PeriodicMetricsFlusher(std::string base_path, double interval_s);
+
+  /// Joins the flush thread (with a final flush) if still running.
+  ~PeriodicMetricsFlusher();
+
+  PeriodicMetricsFlusher(const PeriodicMetricsFlusher&) = delete;
+  PeriodicMetricsFlusher& operator=(const PeriodicMetricsFlusher&) = delete;
+
+  /// Spawns the background thread and performs an immediate first flush so
+  /// the artifact exists as soon as the daemon is up.
+  void start();
+
+  /// Signals the thread, waits for it to exit, and flushes one last time.
+  /// Idempotent.
+  void stop();
+
+  /// One synchronous snapshot-and-rename; usable without start() (tests),
+  /// but not concurrently with a running background thread — both sides
+  /// would share the same .tmp sibling.
+  void flush_once();
+
+  [[nodiscard]] const std::string& target_path() const { return target_path_; }
+
+ private:
+  void run();
+
+  std::string target_path_;
+  double interval_s_;
+  std::thread thread_;
+  Mutex mutex_;
+  CondVar wake_;
+  bool stop_requested_ MTS_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace mts::exp

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/budget.hpp"
+#include "core/request_trace.hpp"
 #include "graph/digraph.hpp"
 #include "graph/edge_filter.hpp"
 #include "graph/path.hpp"
@@ -52,6 +53,10 @@ struct DijkstraOptions {
   /// scanned from it (nullptr = unlimited).  Exceeding the cap throws
   /// BudgetExhausted out of the search; the workspace stays reusable.
   WorkBudget* budget = nullptr;
+  /// Per-request work accounting (nullptr = none): the search adds its run
+  /// count, settled nodes, and scanned edges on completion.  Purely
+  /// observational — never changes the search (core/request_trace.hpp).
+  RequestTrace* trace = nullptr;
 };
 
 /// One-shot weight validation, hoisted out of the relaxation loops: the

@@ -104,7 +104,8 @@ class SpurSearcher {
  public:
   SpurSearcher(const DiGraph& g, std::span<const double> weights, NodeId target,
                const EdgeFilter* base_filter, const SearchSpace& reverse_tree,
-               SearchSpace& workspace, WorkBudget* budget = nullptr)
+               SearchSpace& workspace, WorkBudget* budget = nullptr,
+               RequestTrace* trace = nullptr)
       : g_(g),
         weights_(weights),
         target_(target),
@@ -112,7 +113,8 @@ class SpurSearcher {
         workspace_(workspace),
         scratch_filter_(base_filter != nullptr ? *base_filter : EdgeFilter(g.num_edges())),
         banned_nodes_(g.num_nodes(), 0),
-        budget_(budget) {}
+        budget_(budget),
+        trace_(trace) {}
 
   /// Expands every deviation of `base` (rooted at prefix positions
   /// [0, base.edges.size())) and pushes new simple-path candidates.
@@ -178,6 +180,7 @@ class SpurSearcher {
           admit == kInfiniteDistance ? kInfiniteDistance : admit - root_length;
       spur_options.assume_valid_weights = true;
       spur_options.budget = budget_;
+      spur_options.trace = trace_;
       dijkstra(workspace_, g_, weights_, spur_node, spur_options);
       ++searches_;
       static const obs::HistogramId kSpurEdges =
@@ -226,6 +229,7 @@ class SpurSearcher {
   EdgeFilter scratch_filter_;
   std::vector<std::uint8_t> banned_nodes_;
   WorkBudget* budget_ = nullptr;
+  RequestTrace* trace_ = nullptr;
   std::size_t searches_ = 0;
   std::size_t pruned_ = 0;
 };
@@ -235,8 +239,13 @@ class SpurSearcher {
 struct YenCounterFlush {
   const CandidateHeap& heap;
   const SpurSearcher& searcher;
+  RequestTrace* trace = nullptr;
 
   ~YenCounterFlush() {
+    if (trace != nullptr) {
+      trace->spur_searches += searcher.searches();
+      trace->spurs_pruned += searcher.pruned();
+    }
     static const obs::CounterId kQueries = obs::MetricsRegistry::instance().counter("yen.queries");
     static const obs::CounterId kSpurs =
         obs::MetricsRegistry::instance().counter("yen.spur_searches");
@@ -258,12 +267,13 @@ struct YenCounterFlush {
 /// `target` under `filter`) in the thread's secondary workspace slot.
 SearchSpace& build_reverse_tree(const DiGraph& g, std::span<const double> weights,
                                 NodeId target, const EdgeFilter* filter,
-                                WorkBudget* budget = nullptr) {
+                                WorkBudget* budget = nullptr, RequestTrace* trace = nullptr) {
   SearchSpace& reverse_tree = thread_search_space(1);
   DijkstraOptions reverse_options;
   reverse_options.filter = filter;
   reverse_options.assume_valid_weights = true;  // validated by the query entry
   reverse_options.budget = budget;
+  reverse_options.trace = trace;
   reverse_dijkstra(reverse_tree, g, weights, target, reverse_options);
   return reverse_tree;
 }
@@ -281,7 +291,8 @@ std::vector<Path> yen_ksp(const DiGraph& g, std::span<const double> weights, Nod
   validate_weights(g, weights, "yen_ksp");
 
   obs::ScopedPhase phase("yen");
-  SearchSpace& reverse_tree = build_reverse_tree(g, weights, target, options.filter, options.budget);
+  SearchSpace& reverse_tree =
+      build_reverse_tree(g, weights, target, options.filter, options.budget, options.trace);
   // The first path falls out of the reverse tree: follow reverse parents
   // forward from the source (its length is recomputed as the forward-order
   // sum, bit-identical to a forward Dijkstra's accumulation).
@@ -290,12 +301,12 @@ std::vector<Path> yen_ksp(const DiGraph& g, std::span<const double> weights, Nod
   accepted.push_back(std::move(*first));
 
   SpurSearcher searcher(g, weights, target, options.filter, reverse_tree,
-                        thread_search_space(0), options.budget);
+                        thread_search_space(0), options.budget, options.trace);
   CandidateHeap candidates;
   std::unordered_set<std::uint64_t> seen;
   seen.insert(path_signature(accepted.front()));
 
-  YenCounterFlush flush{candidates, searcher};
+  YenCounterFlush flush{candidates, searcher, options.trace};
   while (accepted.size() < k) {
     searcher.expand(accepted.back(), accepted, candidates, seen, k - accepted.size());
     if (candidates.empty()) break;
@@ -310,19 +321,21 @@ std::vector<Path> yen_ksp(const DiGraph& g, std::span<const double> weights, Nod
 
 std::optional<Path> second_shortest_path(const DiGraph& g, std::span<const double> weights,
                                          NodeId source, NodeId target, const Path& avoid,
-                                         const EdgeFilter* filter, WorkBudget* budget) {
+                                         const EdgeFilter* filter, WorkBudget* budget,
+                                         RequestTrace* trace) {
   require(!avoid.empty(), "second_shortest_path: avoid path is empty");
   require(g.edge_from(avoid.edges.front()) == source,
           "second_shortest_path: avoid path does not start at source");
   validate_weights(g, weights, "second_shortest_path");
   obs::ScopedPhase phase("yen");
-  SearchSpace& reverse_tree = build_reverse_tree(g, weights, target, filter, budget);
-  SpurSearcher searcher(g, weights, target, filter, reverse_tree, thread_search_space(0), budget);
+  SearchSpace& reverse_tree = build_reverse_tree(g, weights, target, filter, budget, trace);
+  SpurSearcher searcher(g, weights, target, filter, reverse_tree, thread_search_space(0), budget,
+                        trace);
   CandidateHeap candidates;
   std::unordered_set<std::uint64_t> seen;
   seen.insert(path_signature(avoid));
   const std::vector<Path> accepted = {avoid};
-  YenCounterFlush flush{candidates, searcher};
+  YenCounterFlush flush{candidates, searcher, trace};
   searcher.expand(avoid, accepted, candidates, seen, /*needed=*/1);
   if (candidates.empty()) return std::nullopt;
   return candidates.pop();

@@ -30,6 +30,10 @@ struct YenOptions {
   /// position plus the underlying Dijkstra effort (nullptr = unlimited).
   /// Exceeding it throws BudgetExhausted (core/budget.hpp).
   WorkBudget* budget = nullptr;
+  /// Per-request work accounting (nullptr = none): receives spur-search /
+  /// spur-pruned totals plus the underlying Dijkstra effort
+  /// (core/request_trace.hpp).
+  RequestTrace* trace = nullptr;
 };
 
 /// Returns up to `k` simple paths from `source` to `target` in nondecreasing
@@ -46,6 +50,7 @@ std::vector<Path> yen_ksp(const DiGraph& g, std::span<const double> weights, Nod
 std::optional<Path> second_shortest_path(const DiGraph& g, std::span<const double> weights,
                                          NodeId source, NodeId target, const Path& avoid,
                                          const EdgeFilter* filter = nullptr,
-                                         WorkBudget* budget = nullptr);
+                                         WorkBudget* budget = nullptr,
+                                         RequestTrace* trace = nullptr);
 
 }  // namespace mts

@@ -1,5 +1,6 @@
 #include "net/engine.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "graph/dijkstra.hpp"
 #include "graph/path.hpp"
 #include "graph/yen.hpp"
+#include "obs/metrics.hpp"
 
 namespace mts::net {
 
@@ -25,16 +27,39 @@ Response ok_response(std::uint64_t id, const char* verb) {
   return response;
 }
 
+bool stats_relevant(const std::string& name) {
+  return name.rfind("routed.", 0) == 0 || name.rfind("dijkstra.", 0) == 0 ||
+         name.rfind("yen.", 0) == 0;
+}
+
 }  // namespace
+
+void append_registry_stats(Response& response) {
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::instance().snapshot();
+  for (const auto& counter : snapshot.counters) {
+    if (!stats_relevant(counter.name)) continue;
+    response.fields.emplace_back(counter.name, std::to_string(counter.value));
+  }
+  for (const auto& hist : snapshot.histograms) {
+    if (!stats_relevant(hist.name)) continue;
+    response.fields.emplace_back(hist.name + ".count", std::to_string(hist.count));
+    response.fields.emplace_back(hist.name + ".p50", format_wire_double(hist.quantile(0.50)));
+    response.fields.emplace_back(hist.name + ".p99", format_wire_double(hist.quantile(0.99)));
+  }
+  // One global key sort across everything accumulated so far (including
+  // any server.*/window.* fields the caller added first): the stats wire
+  // format promises sorted keys regardless of which layer contributed.
+  std::sort(response.fields.begin(), response.fields.end());
+}
 
 QueryEngine::QueryEngine(const Snapshot& snapshot, const WorkBudget& budget_template)
     : snapshot_(&snapshot), budget_template_(budget_template) {}
 
-Response QueryEngine::handle(const Request& request) {
+Response QueryEngine::handle(const Request& request, RequestTrace* trace) {
   try {
     MTS_FAULT_POINT("routed.request");
     WorkBudget budget = budget_template_;
-    return dispatch(request, budget);
+    return dispatch(request, budget, trace);
   } catch (...) {
     Response response;
     response.id = request.id;
@@ -44,7 +69,7 @@ Response QueryEngine::handle(const Request& request) {
   }
 }
 
-Response QueryEngine::dispatch(const Request& request, WorkBudget& budget) {
+Response QueryEngine::dispatch(const Request& request, WorkBudget& budget, RequestTrace* trace) {
   switch (request.verb) {
     case Verb::Ping:
       return ok_response(request.id, "pong");
@@ -55,12 +80,20 @@ Response QueryEngine::dispatch(const Request& request, WorkBudget& budget) {
       response.fields.emplace_back("pois", std::to_string(snapshot_->num_pois()));
       return response;
     }
+    case Verb::Stats: {
+      // The engine answers with the registry slice it can see; the server
+      // intercepts this verb before the queue to add its own always-on
+      // server.* / window.* fields (net/server.cpp).
+      Response response = ok_response(request.id, "stats");
+      append_registry_stats(response);
+      return response;
+    }
     case Verb::Route:
-      return route(request, budget);
+      return route(request, budget, trace);
     case Verb::Kalt:
-      return alternatives(request, budget);
+      return alternatives(request, budget, trace);
     case Verb::Attack:
-      return attack(request, budget);
+      return attack(request, budget, trace);
   }
   throw InvalidInput("unhandled request verb");
 }
@@ -77,7 +110,7 @@ void QueryEngine::check_endpoints(const Request& request) const {
   }
 }
 
-Response QueryEngine::route(const Request& request, WorkBudget& budget) {
+Response QueryEngine::route(const Request& request, WorkBudget& budget, RequestTrace* trace) {
   check_endpoints(request);
   const NodeId source(request.source);
   const NodeId target(request.target);
@@ -94,6 +127,7 @@ Response QueryEngine::route(const Request& request, WorkBudget& budget) {
   DijkstraOptions options;
   options.target = target;
   if (budget.limited()) options.budget = &budget;
+  options.trace = trace;
   workspace_.begin(snapshot_->num_nodes());
   dijkstra(workspace_, snapshot_->graph(), weights, source, options);
   const std::optional<Path> path = extract_path(snapshot_->graph(), workspace_, source, target);
@@ -104,7 +138,8 @@ Response QueryEngine::route(const Request& request, WorkBudget& budget) {
   return response;
 }
 
-Response QueryEngine::alternatives(const Request& request, WorkBudget& budget) {
+Response QueryEngine::alternatives(const Request& request, WorkBudget& budget,
+                                   RequestTrace* trace) {
   check_endpoints(request);
   if (request.source == request.target) {
     throw InvalidInput("kalt requires distinct endpoints, got node " +
@@ -114,6 +149,7 @@ Response QueryEngine::alternatives(const Request& request, WorkBudget& budget) {
 
   YenOptions options;
   if (budget.limited()) options.budget = &budget;
+  options.trace = trace;
   const std::vector<Path> paths =
       yen_ksp(snapshot_->graph(), weights, NodeId(request.source), NodeId(request.target),
               request.k, options);
@@ -127,7 +163,7 @@ Response QueryEngine::alternatives(const Request& request, WorkBudget& budget) {
   return response;
 }
 
-Response QueryEngine::attack(const Request& request, WorkBudget& budget) {
+Response QueryEngine::attack(const Request& request, WorkBudget& budget, RequestTrace* trace) {
   check_endpoints(request);
   if (request.source == request.target) {
     throw InvalidInput("attack requires distinct endpoints, got node " +
@@ -137,6 +173,7 @@ Response QueryEngine::attack(const Request& request, WorkBudget& budget) {
 
   YenOptions yen_options;
   if (budget.limited()) yen_options.budget = &budget;
+  yen_options.trace = trace;
   std::vector<Path> ranked = yen_ksp(snapshot_->graph(), weights, NodeId(request.source),
                                      NodeId(request.target), request.rank, yen_options);
 
@@ -162,6 +199,7 @@ Response QueryEngine::attack(const Request& request, WorkBudget& budget) {
   attack::AttackOptions attack_options;
   attack_options.rng_seed = request.id;  // deterministic per request
   attack_options.work_budget = budget;   // carries the work already charged by Yen
+  attack_options.trace = trace;
   const attack::AttackResult result = run_attack(request.algorithm, problem, attack_options);
 
   if (result.status == attack::AttackStatus::Success) {

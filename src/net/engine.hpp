@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "core/budget.hpp"
+#include "core/request_trace.hpp"
 #include "graph/search_space.hpp"
 #include "net/protocol.hpp"
 #include "net/snapshot.hpp"
@@ -29,19 +30,29 @@ class QueryEngine {
 
   /// Answers one request.  Never throws: failures become `err` responses
   /// tagged with the error taxonomy.  The `routed.request` fault point
-  /// fires here (once per request hit) when armed.
-  Response handle(const Request& request);
+  /// fires here (once per request hit) when armed.  When `trace` is
+  /// non-null it accumulates this request's work counters — including the
+  /// work performed before a failure — for spans and the slow-query log.
+  Response handle(const Request& request, RequestTrace* trace = nullptr);
 
  private:
-  Response dispatch(const Request& request, WorkBudget& budget);
-  Response route(const Request& request, WorkBudget& budget);
-  Response alternatives(const Request& request, WorkBudget& budget);
-  Response attack(const Request& request, WorkBudget& budget);
+  Response dispatch(const Request& request, WorkBudget& budget, RequestTrace* trace);
+  Response route(const Request& request, WorkBudget& budget, RequestTrace* trace);
+  Response alternatives(const Request& request, WorkBudget& budget, RequestTrace* trace);
+  Response attack(const Request& request, WorkBudget& budget, RequestTrace* trace);
   void check_endpoints(const Request& request) const;
 
   const Snapshot* snapshot_;
   WorkBudget budget_template_;
   SearchSpace workspace_;  // reused across route queries, one per engine
 };
+
+/// Appends the registry's `routed.*` / `dijkstra.*` / `yen.*` slice to a
+/// stats response: every matching counter as `name=value` and every
+/// matching histogram as `name.count` / `name.p50` / `name.p99` (quantile
+/// estimates over the log buckets).  Key order follows the registry's
+/// name-sorted snapshot, so responses are deterministic; values are all
+/// zero until MTS_METRICS/MTS_TRACE (or --obs) turns recording on.
+void append_registry_stats(Response& response);
 
 }  // namespace mts::net

@@ -8,6 +8,7 @@
 
 #include "core/error.hpp"
 #include "core/rng.hpp"
+#include "core/stats.hpp"
 #include "core/timer.hpp"
 #include "net/framing.hpp"
 #include "net/socket.hpp"
@@ -54,21 +55,10 @@ struct ConnectionRun {
 /// Number of nodes served by the daemon, via a `graph` request on a
 /// dedicated control connection.
 std::size_t query_num_nodes(const std::string& host, std::uint16_t port) {
-  const Socket control = connect_to(host, port);
   Request probe;
   probe.verb = Verb::Graph;
   probe.id = 0;
-  control.write_all(serialize_request(probe) + "\n");
-  LineFramer framer;
-  std::vector<char> buffer(512);
-  std::string line;
-  for (;;) {
-    const std::size_t received = control.read_some(buffer.data(), buffer.size());
-    if (received == 0) throw Error("loadgen: daemon closed the control connection");
-    framer.feed(std::string_view(buffer.data(), received));
-    if (framer.next_line(line)) break;
-  }
-  const Response response = parse_response(line);
+  const Response response = request_once(host, port, probe);
   if (!response.ok) throw Error("loadgen: graph probe failed: " + response.error);
   const std::string nodes = response.field("nodes");
   require(!nodes.empty(), "loadgen: graph response missing nodes=");
@@ -134,13 +124,6 @@ void replay_connection(const std::string& host, std::uint16_t port, std::size_t 
   }
 }
 
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double position = q * static_cast<double>(sorted.size() - 1);
-  const std::size_t index = static_cast<std::size_t>(position);
-  return sorted[index];
-}
-
 }  // namespace
 
 const char* to_string(Mix mix) {
@@ -159,6 +142,21 @@ Mix parse_mix(std::string_view token) {
   if (token == "attack") return Mix::Attack;
   if (token == "mixed") return Mix::Mixed;
   throw InvalidInput("unknown mix '" + std::string(token) + "' (route|kalt|attack|mixed)");
+}
+
+Response request_once(const std::string& host, std::uint16_t port, const Request& request) {
+  const Socket socket = connect_to(host, port);
+  socket.write_all(serialize_request(request) + "\n");
+  LineFramer framer;
+  std::vector<char> buffer(4096);
+  std::string line;
+  for (;;) {
+    const std::size_t received = socket.read_some(buffer.data(), buffer.size());
+    if (received == 0) throw Error("request_once: daemon closed the connection");
+    framer.feed(std::string_view(buffer.data(), received));
+    if (framer.next_line(line)) break;
+  }
+  return parse_response(line);
 }
 
 std::vector<Request> synthesize_requests(const LoadgenOptions& options, std::size_t num_nodes) {
@@ -237,13 +235,17 @@ LoadReport run_loadgen(const std::string& host, std::uint16_t port,
   }
   report.completed = report.ok + report.errors;
   report.dropped = report.sent - report.completed;
-  std::sort(latencies.begin(), latencies.end());
   report.wall_s = reported_seconds(wall_s);
   report.qps =
       reported_seconds(wall_s > 0.0 ? static_cast<double>(report.completed) / wall_s : 0.0);
-  report.p50_s = reported_seconds(percentile(latencies, 0.50));
-  report.p99_s = reported_seconds(percentile(latencies, 0.99));
-  report.max_s = reported_seconds(latencies.empty() ? 0.0 : latencies.back());
+  // Percentiles come from the shared mts::percentile (interpolating, the
+  // same estimator the table stats use), not a private cut — it requires a
+  // non-empty sample, so the all-dropped case is guarded explicitly.
+  report.p50_s = reported_seconds(latencies.empty() ? 0.0 : percentile(latencies, 0.50));
+  report.p99_s = reported_seconds(latencies.empty() ? 0.0 : percentile(latencies, 0.99));
+  report.max_s =
+      reported_seconds(latencies.empty() ? 0.0 : *std::max_element(latencies.begin(),
+                                                                   latencies.end()));
   double sum = 0.0;
   for (const double latency : latencies) sum += latency;
   report.mean_s = reported_seconds(

@@ -58,6 +58,12 @@ struct LoadReport {
 /// an identical vector on every machine and run.
 std::vector<Request> synthesize_requests(const LoadgenOptions& options, std::size_t num_nodes);
 
+/// One-shot client round trip on a dedicated connection: sends `request`
+/// and blocks for its response line.  Throws Error when the daemon is
+/// unreachable or hangs up before answering.  Used by `mts stats` and the
+/// loadgen post-run server snapshot.
+Response request_once(const std::string& host, std::uint16_t port, const Request& request);
+
 /// Connects to a running routed daemon, replays the synthesized stream,
 /// and blocks until every request is answered or its connection dies.  A
 /// connection dying mid-load (e.g. the daemon draining on SIGTERM) is not

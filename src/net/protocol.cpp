@@ -100,6 +100,7 @@ const char* to_string(Verb verb) {
   switch (verb) {
     case Verb::Ping: return "ping";
     case Verb::Graph: return "graph";
+    case Verb::Stats: return "stats";
     case Verb::Route: return "route";
     case Verb::Kalt: return "kalt";
     case Verb::Attack: return "attack";
@@ -137,6 +138,9 @@ Request parse_request(std::string_view line) {
   } else if (verb == "graph") {
     request.verb = Verb::Graph;
     finish_request(request, tokens, 2);
+  } else if (verb == "stats") {
+    request.verb = Verb::Stats;
+    finish_request(request, tokens, 2);
   } else if (verb == "route") {
     request.verb = Verb::Route;
     need(4, "<id> <src> <dst> [time|length]");
@@ -162,7 +166,7 @@ Request parse_request(std::string_view line) {
     finish_request(request, tokens, 6);
   } else {
     throw InvalidInput("unknown verb '" + std::string(verb) +
-                       "' (ping|graph|route|kalt|attack)");
+                       "' (ping|graph|stats|route|kalt|attack)");
   }
   return request;
 }
@@ -174,6 +178,7 @@ std::string serialize_request(const Request& request) {
   switch (request.verb) {
     case Verb::Ping:
     case Verb::Graph:
+    case Verb::Stats:
       break;
     case Verb::Route:
       line += ' ' + std::to_string(request.source) + ' ' + std::to_string(request.target);

@@ -6,6 +6,7 @@
 //
 //   ping   <id>
 //   graph  <id>
+//   stats  <id>
 //   route  <id> <src> <dst> [time|length]
 //   kalt   <id> <src> <dst> <k> [time|length]
 //   attack <id> <src> <dst> <rank> <algorithm> [time|length]
@@ -14,6 +15,7 @@
 //
 //   ok  <id> pong
 //   ok  <id> graph nodes=N edges=M pois=P
+//   ok  <id> stats <key=value ...>   (sorted keys; see DESIGN.md §13)
 //   ok  <id> route found=F dist=D hops=H
 //   ok  <id> kalt paths=N best=B worst=W
 //   ok  <id> attack status=S removed=N cost=C
@@ -42,7 +44,7 @@ enum class WeightKind : std::uint8_t { Time, Length };
 
 const char* to_string(WeightKind kind);
 
-enum class Verb : std::uint8_t { Ping, Graph, Route, Kalt, Attack };
+enum class Verb : std::uint8_t { Ping, Graph, Stats, Route, Kalt, Attack };
 
 const char* to_string(Verb verb);
 

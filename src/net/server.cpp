@@ -49,7 +49,13 @@ obs::HistogramId latency_histogram() {
 }  // namespace
 
 RoutedServer::RoutedServer(const Snapshot& snapshot, RoutedOptions options)
-    : snapshot_(&snapshot), options_(std::move(options)) {}
+    : snapshot_(&snapshot),
+      options_(std::move(options)),
+      window_(options_.window_slot_s, options_.window_slots) {
+  if (options_.slowlog_threshold_s > 0.0) {
+    slowlog_ = std::make_unique<obs::SlowQueryLog>(options_.slowlog_path);
+  }
+}
 
 RoutedServer::~RoutedServer() {
   if (queue_ && !drained_) {
@@ -175,30 +181,47 @@ void RoutedServer::handle_line(const std::shared_ptr<Connection>& connection,
 
   requests_.fetch_add(1);
   obs::add(requests_counter());
+
+  if (request.verb == Verb::Stats) {
+    // Served inline by the reader thread, never queued: stats must answer
+    // even when every worker is pinned mid-burst.  The response touches
+    // only atomics, the window mutex, and a registry snapshot.
+    responses_ok_.fetch_add(1);
+    obs::add(ok_counter());
+    write_response(*connection, serialize_response(build_stats_response(request.id)) + "\n");
+    return;
+  }
+
   {
     MutexLock lock(connection->mutex);
     ++connection->pending;
   }
-  const double enqueue_s =
-      obs::metrics_enabled() ? obs::MetricsRegistry::instance().seconds_since_epoch() : 0.0;
-  const bool submitted = queue_->submit([this, connection, request, enqueue_s](std::size_t worker) {
-    const Response response = engines_[worker]->handle(request);
-    if (response.ok) {
-      responses_ok_.fetch_add(1);
-      obs::add(ok_counter());
-    } else {
-      responses_error_.fetch_add(1);
-      obs::add(error_counter());
-    }
-    write_response(*connection, serialize_response(response) + "\n");
-    if (enqueue_s > 0.0) {
-      const double latency_s =
-          obs::MetricsRegistry::instance().seconds_since_epoch() - enqueue_s;
-      obs::observe(latency_histogram(), reported_seconds(latency_s));
-    }
-    MutexLock lock(connection->mutex);
-    if (--connection->pending == 0) connection->drained.notify_all();
-  });
+  const double start_s = clock_.seconds();
+  const double span_start_s =
+      obs::trace_enabled() ? obs::MetricsRegistry::instance().seconds_since_epoch() : 0.0;
+  const bool submitted =
+      queue_->submit([this, connection, request, start_s, span_start_s](std::size_t worker) {
+        RequestTrace trace;
+        const Response response = engines_[worker]->handle(request, &trace);
+        // Latency covers parse-to-handled, not the response write.  All
+        // bookkeeping lands BEFORE the response bytes leave, so a client
+        // that reads its answer and then asks for stats sees this request
+        // already counted in every view (totals, window, slowlog, span).
+        const double latency_s = clock_.seconds() - start_s;
+        if (response.ok) {
+          responses_ok_.fetch_add(1);
+          obs::add(ok_counter());
+        } else {
+          responses_error_.fetch_add(1);
+          obs::add(error_counter());
+        }
+        window_.record(clock_.seconds(), latency_s);
+        obs::observe(latency_histogram(), reported_seconds(latency_s));
+        record_outcome(request, response, trace, latency_s, span_start_s);
+        write_response(*connection, serialize_response(response) + "\n");
+        MutexLock lock(connection->mutex);
+        if (--connection->pending == 0) connection->drained.notify_all();
+      });
   if (!submitted) {
     // Queue already closed (shutdown race): answer inline so the request
     // is still never dropped.
@@ -221,6 +244,67 @@ void RoutedServer::write_response(Connection& connection, const std::string& wir
   } catch (const std::exception&) {
     // Peer hung up without reading its answers; nothing left to deliver.
   }
+}
+
+void RoutedServer::record_outcome(const Request& request, const Response& response,
+                                  const RequestTrace& trace, double latency_s,
+                                  double span_start_s) {
+  // Threshold decisions use the raw latency so MTS_SLOWLOG keeps working
+  // under MTS_TIMING=0; errors are always outliers worth keeping.
+  if (slowlog_ && (latency_s >= options_.slowlog_threshold_s || !response.ok)) {
+    obs::SlowLogEntry entry;
+    entry.verb = to_string(request.verb);
+    entry.id = request.id;
+    entry.latency_s = reported_seconds(latency_s);
+    entry.fields.emplace_back("dijkstra_runs", trace.dijkstra_runs);
+    entry.fields.emplace_back("nodes_settled", trace.nodes_settled);
+    entry.fields.emplace_back("edges_scanned", trace.edges_scanned);
+    entry.fields.emplace_back("spur_searches", trace.spur_searches);
+    entry.fields.emplace_back("spurs_pruned", trace.spurs_pruned);
+    entry.fields.emplace_back("oracle_calls", trace.oracle_calls);
+    entry.error = response.error;
+    slowlog_->append(entry);
+  }
+  if (obs::trace_enabled()) {
+    obs::TraceEvent event;
+    event.name = to_string(request.verb);
+    event.cat = "mts.request";
+    event.ts_s = span_start_s;
+    event.dur_s = reported_seconds(latency_s);
+    event.args.emplace_back("id", std::to_string(request.id));
+    event.args.emplace_back("edges_scanned", std::to_string(trace.edges_scanned));
+    event.args.emplace_back("nodes_settled", std::to_string(trace.nodes_settled));
+    event.args.emplace_back("spur_searches", std::to_string(trace.spur_searches));
+    event.args.emplace_back("spurs_pruned", std::to_string(trace.spurs_pruned));
+    event.args.emplace_back("oracle_calls", std::to_string(trace.oracle_calls));
+    if (!response.ok) event.args.emplace_back("error", response.error);
+    obs::MetricsRegistry::instance().record_trace_event(std::move(event));
+  }
+}
+
+obs::WindowSnapshot RoutedServer::window_snapshot() const {
+  return window_.snapshot(clock_.seconds());
+}
+
+Response RoutedServer::build_stats_response(std::uint64_t id) const {
+  Response response;
+  response.id = id;
+  response.ok = true;
+  response.verb = "stats";
+  const RoutedStats totals = stats();
+  response.fields.emplace_back("server.connections", std::to_string(totals.connections));
+  response.fields.emplace_back("server.protocol_errors", std::to_string(totals.protocol_errors));
+  response.fields.emplace_back("server.requests", std::to_string(totals.requests));
+  response.fields.emplace_back("server.responses_error", std::to_string(totals.responses_error));
+  response.fields.emplace_back("server.responses_ok", std::to_string(totals.responses_ok));
+  const obs::WindowSnapshot window = window_snapshot();
+  response.fields.emplace_back("window.count", std::to_string(window.count));
+  response.fields.emplace_back("window.p50_s", format_wire_double(reported_seconds(window.p50_s)));
+  response.fields.emplace_back("window.p99_s", format_wire_double(reported_seconds(window.p99_s)));
+  response.fields.emplace_back("window.qps", format_wire_double(window.qps));
+  response.fields.emplace_back("window.seconds", format_wire_double(window.seconds));
+  append_registry_stats(response);  // merges the registry slice, then sorts every key
+  return response;
 }
 
 RoutedStats RoutedServer::stats() const {

@@ -25,10 +25,15 @@
 
 #include "core/budget.hpp"
 #include "core/mutex.hpp"
+#include "core/request_trace.hpp"
 #include "core/thread_pool.hpp"
+#include "core/timer.hpp"
 #include "net/framing.hpp"
+#include "net/protocol.hpp"
 #include "net/snapshot.hpp"
 #include "net/socket.hpp"
+#include "obs/slowlog.hpp"
+#include "obs/window.hpp"
 
 namespace mts::net {
 
@@ -43,6 +48,17 @@ struct RoutedOptions {
   /// unlimited).  Exhaustion produces an `err ... budget-exhausted:`
   /// response, never a dead worker.
   WorkBudget request_budget;
+  /// Rolling latency window served by the `stats` verb: `window_slots`
+  /// intervals of `window_slot_s` seconds (defaults: last 60 s at 1 s
+  /// resolution; see obs/window.hpp for the memory/accuracy trade-off).
+  double window_slot_s = 1.0;
+  std::size_t window_slots = 60;
+  /// Slow-query log: requests at or over the threshold — or failing with
+  /// any error taxonomy — append one JSONL line to `slowlog_path`.
+  /// 0 (the default) disables the log entirely; the CLI wires this to
+  /// MTS_SLOWLOG (milliseconds).
+  double slowlog_threshold_s = 0.0;
+  std::string slowlog_path = "routed_slowlog.jsonl";
 };
 
 struct RoutedStats {
@@ -82,6 +98,16 @@ class RoutedServer {
 
   [[nodiscard]] RoutedStats stats() const;
 
+  /// Rolling-window latency view at this instant (the window.* slice of
+  /// the stats verb).  Thread-safe.
+  [[nodiscard]] obs::WindowSnapshot window_snapshot() const;
+
+  /// The full `ok <id> stats ...` response: always-on server.* totals,
+  /// window.* rolling percentiles, and the registry's routed./dijkstra./
+  /// yen. slice, one global sorted key order.  Served inline by the reader
+  /// thread (never queued), so it answers even when every worker is busy.
+  [[nodiscard]] Response build_stats_response(std::uint64_t id) const;
+
  private:
   struct Connection {
     Socket socket;
@@ -93,9 +119,19 @@ class RoutedServer {
   void reader_loop(const std::shared_ptr<Connection>& connection);
   void handle_line(const std::shared_ptr<Connection>& connection, const std::string& line);
   void write_response(Connection& connection, const std::string& wire_line);
+  /// Post-response bookkeeping for one request: slow-query log append and
+  /// request-span trace event, both no-ops when their knob is off.
+  void record_outcome(const Request& request, const Response& response,
+                      const RequestTrace& trace, double latency_s, double span_start_s);
 
   const Snapshot* snapshot_;
   RoutedOptions options_;
+  /// Time origin for the rolling window and latency measurement: one
+  /// steady clock for the server's whole life (raw seconds, internal
+  /// decisions only; durations pass reported_seconds() before output).
+  Stopwatch clock_;
+  obs::WindowedHistogram window_;
+  std::unique_ptr<obs::SlowQueryLog> slowlog_;  // null when disabled
   Listener listener_;
   std::unique_ptr<TaskQueue> queue_;
   std::vector<std::unique_ptr<QueryEngine>> engines_;  // one per queue worker

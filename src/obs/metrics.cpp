@@ -72,7 +72,37 @@ struct PhaseAccum {
   double seconds = 0.0;
 };
 
+/// Value range covered by bucket `b` (see bucket_of): bucket 0 is
+/// [0, origin), the last bucket is open-ended (treated as one octave).
+std::pair<double, double> bucket_bounds(std::size_t b) {
+  if (b == 0) return {0.0, kHistogramOrigin};
+  const double lo = kHistogramOrigin * std::ldexp(1.0, static_cast<int>(b) - 1);
+  return {lo, lo * 2.0};
+}
+
 }  // namespace
+
+double HistogramSnapshot::quantile(double q) const {
+  require(q >= 0.0 && q <= 1.0, "HistogramSnapshot::quantile: q out of [0, 1]");
+  if (count == 0) return 0.0;
+  if (count == 1) return min;
+  // Fractional rank in [0, count-1], matching mts::percentile's convention.
+  const double rank = q * static_cast<double>(count - 1);
+  std::uint64_t below = 0;  // samples in buckets before the current one
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const double in_bucket = static_cast<double>(buckets[b]);
+    if (rank < static_cast<double>(below) + in_bucket) {
+      // Interpolate at the rank's position within this bucket's range.
+      const auto [lo, hi] = bucket_bounds(b);
+      const double frac = (rank - static_cast<double>(below)) / in_bucket;
+      const double estimate = lo + frac * (hi - lo);
+      return std::min(std::max(estimate, min), max);
+    }
+    below += buckets[b];
+  }
+  return max;  // rank == count-1 (q == 1) lands here
+}
 
 struct MetricsRegistry::Shard {
   std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
@@ -199,7 +229,23 @@ void MetricsRegistry::record_trace_event(const char* name, double ts_s, double d
     accumulate(shard.trace_dropped, std::uint64_t{1});
     return;
   }
-  shard.trace.push_back({name, ts_s, dur_s, shard.tid});
+  TraceEvent event;
+  event.name = name;
+  event.ts_s = ts_s;
+  event.dur_s = dur_s;
+  event.tid = shard.tid;
+  shard.trace.push_back(std::move(event));
+}
+
+void MetricsRegistry::record_trace_event(TraceEvent event) {
+  Shard& shard = local_shard();
+  MutexLock lock(shard.mutex);
+  if (shard.trace.size() >= kMaxTraceEventsPerShard) {
+    accumulate(shard.trace_dropped, std::uint64_t{1});
+    return;
+  }
+  event.tid = shard.tid;
+  shard.trace.push_back(std::move(event));
 }
 
 double MetricsRegistry::seconds_since_epoch() const {

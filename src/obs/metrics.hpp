@@ -26,6 +26,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace mts::obs {
@@ -86,6 +87,15 @@ struct HistogramSnapshot {
   double min = 0.0;  // 0 when count == 0
   double max = 0.0;
   std::vector<std::uint64_t> buckets;  // kHistogramBuckets entries
+
+  /// Quantile estimate from the log2 buckets: walks the cumulative counts
+  /// to the bucket holding rank q*(count-1), then interpolates linearly
+  /// inside that bucket's value range, clamped to the exact [min, max]
+  /// observed.  The estimate is exact for single-valued histograms,
+  /// nondecreasing in q, and within one bucket width (a factor of 2 at
+  /// these log buckets) of the true sample quantile.  Returns 0 when the
+  /// histogram is empty; requires q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
 };
 
 struct PhaseSnapshot {
@@ -99,7 +109,11 @@ struct TraceEvent {
   std::string name;   // leaf phase name
   double ts_s = 0.0;  // seconds since registry epoch
   double dur_s = 0.0;
-  std::uint32_t tid = 0;  // shard index, stable per thread
+  std::uint32_t tid = 0;   // shard index, stable per thread
+  std::string cat = "mts";  // event category; request spans use "mts.request"
+  /// Ordered key=value annotations, emitted as the trace "args" object.
+  /// Empty for phase events, so pre-span traces stay byte-identical.
+  std::vector<std::pair<std::string, std::string>> args;
 };
 
 struct MetricsSnapshot {
@@ -128,6 +142,11 @@ class MetricsRegistry {
   /// Phase rollup + trace entry points for ScopedPhase.
   void record_phase(const std::string& path, double seconds);
   void record_trace_event(const char* name, double ts_s, double dur_s);
+
+  /// Buffers a fully-formed event (request spans: custom cat + args).  The
+  /// event's tid is overwritten with the recording thread's shard index;
+  /// the same per-shard buffer cap applies.
+  void record_trace_event(TraceEvent event);
 
   /// Seconds since the registry epoch (construction or last reset()).
   [[nodiscard]] double seconds_since_epoch() const;

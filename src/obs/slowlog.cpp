@@ -1,0 +1,67 @@
+#include "obs/slowlog.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/error.hpp"
+
+namespace mts::obs {
+
+namespace {
+
+std::string number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SlowQueryLog::SlowQueryLog(const std::string& path) : path_(path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  MutexLock lock(mutex_);
+  out_.open(p, std::ios::app);
+  require(out_.good(), "slowlog: cannot open " + path);
+}
+
+void SlowQueryLog::append(const SlowLogEntry& entry) {
+  std::string line = "{\"verb\":\"" + json_escape(entry.verb) + "\"";
+  line += ",\"id\":" + std::to_string(entry.id);
+  line += ",\"latency_ms\":" + number(entry.latency_s * 1e3);
+  for (const auto& [key, value] : entry.fields) {
+    line += ",\"" + json_escape(key) + "\":" + std::to_string(value);
+  }
+  if (!entry.error.empty()) line += ",\"error\":\"" + json_escape(entry.error) + "\"";
+  line += "}\n";
+  // One formatted line per write, flushed under the mutex: concurrent
+  // workers never interleave bytes and a tail -f sees whole records.
+  MutexLock lock(mutex_);
+  out_ << line;
+  out_.flush();
+}
+
+}  // namespace mts::obs

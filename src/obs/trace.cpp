@@ -104,9 +104,22 @@ void write_chrome_trace(const std::vector<TraceEvent>& events, std::ostream& out
   for (const auto& event : events) {
     if (!first) out << ',';
     first = false;
-    out << "{\"name\":\"" << json_escape(event.name) << "\",\"cat\":\"mts\",\"ph\":\"X\",\"ts\":"
-        << number(event.ts_s * 1e6) << ",\"dur\":" << number(event.dur_s * 1e6)
-        << ",\"pid\":1,\"tid\":" << event.tid << '}';
+    out << "{\"name\":\"" << json_escape(event.name) << "\",\"cat\":\"" << json_escape(event.cat)
+        << "\",\"ph\":\"X\",\"ts\":" << number(event.ts_s * 1e6)
+        << ",\"dur\":" << number(event.dur_s * 1e6) << ",\"pid\":1,\"tid\":" << event.tid;
+    // The args object appears only when annotations exist, so traces from
+    // arg-free runs are byte-identical to the pre-span format.
+    if (!event.args.empty()) {
+      out << ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : event.args) {
+        if (!first_arg) out << ',';
+        first_arg = false;
+        out << '"' << json_escape(key) << "\":\"" << json_escape(value) << '"';
+      }
+      out << '}';
+    }
+    out << '}';
   }
   out << "],\"displayTimeUnit\":\"ms\"}";
 }

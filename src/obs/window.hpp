@@ -1,0 +1,78 @@
+// Rolling-window latency histogram for long-running services.
+//
+// The cumulative registry histograms answer "what happened since launch";
+// a live daemon also needs "what is happening *now*".  A WindowedHistogram
+// keeps a ring of per-interval slots, each a fixed-size log2-bucket
+// histogram keyed by its interval index.  record() folds a sample into the
+// current slot, lazily reclaiming slots whose interval has scrolled out of
+// the window; snapshot() merges the still-live slots into one
+// HistogramSnapshot plus the window's span and throughput, so rolling
+// p50/p99/QPS come from the same quantile estimator the stats verb uses on
+// the cumulative data.
+//
+// Memory/accuracy trade-off (DESIGN.md §13): slots * kHistogramBuckets
+// counters total (the default 60 x 1 s window is ~16 KB), quantiles within
+// one log bucket (a factor of 2), and the reported window snaps to whole
+// intervals — a sample recorded 59.5 s ago is either in or out with its
+// whole slot.
+//
+// Thread-safe behind one mutex: every caller mutates ring state (even
+// record() rotates stale slots), so there is no lock-free fast path worth
+// the complexity at per-request rates.  Callers supply the clock reading
+// (seconds from any fixed origin, e.g. a server Stopwatch), which keeps
+// this class deterministic under test and free of raw clock reads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/annotations.hpp"
+#include "core/mutex.hpp"
+#include "obs/metrics.hpp"
+
+namespace mts::obs {
+
+/// Merged view of the live slots at one instant.
+struct WindowSnapshot {
+  std::uint64_t count = 0;    // samples still inside the window
+  double seconds = 0.0;       // span covered: slots * slot_seconds
+  double qps = 0.0;           // count / seconds
+  double p50_s = 0.0;         // quantile estimates over the merged buckets
+  double p99_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+  double sum_s = 0.0;
+};
+
+class WindowedHistogram {
+ public:
+  /// A window of `slots` intervals of `slot_seconds` each (e.g. 60 x 1 s).
+  WindowedHistogram(double slot_seconds, std::size_t slots);
+
+  /// Records `value_s` at time `now_s` (seconds from the caller's fixed
+  /// origin; must be nondecreasing across calls for the window to mean
+  /// anything — slots keyed in the past are simply merged where they land).
+  void record(double now_s, double value_s);
+
+  /// Merges every slot still inside the window ending at `now_s`.
+  [[nodiscard]] WindowSnapshot snapshot(double now_s) const;
+
+ private:
+  struct Slot {
+    std::int64_t key = -1;  // interval index floor(now/slot_seconds); -1 = empty
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<std::uint64_t> buckets;  // kHistogramBuckets entries
+  };
+
+  Slot& slot_for(std::int64_t key) MTS_REQUIRES(mutex_);
+
+  const double slot_seconds_;
+  mutable Mutex mutex_;
+  std::vector<Slot> slots_ MTS_GUARDED_BY(mutex_);
+};
+
+}  // namespace mts::obs

@@ -189,7 +189,7 @@ TEST_F(CliTest, TypoedFlagRejectedWithExactToken) {
 
 TEST_F(CliTest, UnknownFlagRejectedForEverySubcommand) {
   for (const char* command :
-       {"generate", "info", "attack", "isolate", "interdict", "routed", "loadgen"}) {
+       {"generate", "info", "attack", "isolate", "interdict", "routed", "stats", "loadgen"}) {
     EXPECT_EQ(run({command, "--bogus", "1"}), 1) << command;
     EXPECT_NE(err_.str().find(std::string("unknown flag '--bogus' for '") + command + "'"),
               std::string::npos)
@@ -217,6 +217,17 @@ TEST_F(CliTest, RoutedRejectsNegativeThreads) {
 TEST_F(CliTest, RoutedRejectsOutOfRangePort) {
   EXPECT_EQ(run({"routed", "--osm", osm_path_, "--port", "70000"}), 1);
   EXPECT_NE(err_.str().find("--port"), std::string::npos) << err_.str();
+}
+
+TEST_F(CliTest, StatsRequiresConcretePort) {
+  // Same client-side rule as loadgen: never guess which daemon to poll.
+  EXPECT_EQ(run({"stats"}), 1);
+  EXPECT_NE(err_.str().find("--port"), std::string::npos) << err_.str();
+}
+
+TEST_F(CliTest, StatsRejectsUnreadablePortFile) {
+  EXPECT_EQ(run({"stats", "--port-file", (dir_ / "nope.port").string()}), 1);
+  EXPECT_NE(err_.str().find("--port-file"), std::string::npos) << err_.str();
 }
 
 TEST_F(CliTest, LoadgenRequiresConcretePort) {

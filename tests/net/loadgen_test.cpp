@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/stats.hpp"
 
 namespace mts::net {
 namespace {
@@ -108,6 +109,17 @@ TEST(Loadgen, PureMixesSynthesizeOnlyTheirVerb) {
       EXPECT_EQ(r.verb, verb) << to_string(mix);
     }
   }
+}
+
+TEST(Loadgen, ReportPercentilesInterpolateUnlikeTheOldTruncation) {
+  // The report now routes through the shared mts::percentile.  Pin the
+  // case where it disagrees with loadgen's deleted private estimator:
+  // three samples at q=0.99 truncated to sorted[floor(1.98)] = 2.0, while
+  // linear interpolation gives 2 + 0.98 * (3 - 2) = 2.98.
+  const std::vector<double> samples{3.0, 1.0, 2.0};
+  EXPECT_NEAR(mts::percentile(samples, 0.99), 2.98, 1e-12);
+  EXPECT_DOUBLE_EQ(mts::percentile(samples, 0.50), 2.0);
+  EXPECT_DOUBLE_EQ(mts::percentile(samples, 1.0), 3.0);
 }
 
 TEST(Loadgen, UnreachableDaemonThrowsUpFront) {

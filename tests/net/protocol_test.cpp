@@ -18,6 +18,10 @@ TEST(Protocol, ParsesEveryVerb) {
   Request graph = parse_request("graph 2");
   EXPECT_EQ(graph.verb, Verb::Graph);
 
+  Request stats = parse_request("stats 6");
+  EXPECT_EQ(stats.verb, Verb::Stats);
+  EXPECT_EQ(stats.id, 6u);
+
   Request route = parse_request("route 3 10 20");
   EXPECT_EQ(route.verb, Verb::Route);
   EXPECT_EQ(route.source, 10u);
@@ -47,6 +51,12 @@ TEST(Protocol, RequestRoundTripsForEveryVerbAndVariant) {
     Request r;
     r.verb = Verb::Graph;
     r.id = 99;
+    cases.push_back(r);
+  }
+  {
+    Request r;
+    r.verb = Verb::Stats;
+    r.id = 31337;
     cases.push_back(r);
   }
   {
@@ -107,6 +117,8 @@ TEST(Protocol, RejectsMalformedRequests) {
       "attack 1 2 3 513 greedy-pathcover",   // rank beyond kMaxPathRank
       "attack 1 2 3 4 dijkstra",             // unknown algorithm
       "attack 1 2 3 4",                      // missing algorithm
+      "stats",                               // missing id
+      "stats 1 2",                           // trailing junk
       "teleport 1 2 3",                      // unknown verb
       "route 1 2 3 time length",             // junk after weight
       "ROUTE 1 2 3",                         // verbs are case-sensitive

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -12,6 +14,7 @@
 #include "citygen/generate.hpp"
 #include "core/error.hpp"
 #include "core/fault.hpp"
+#include "obs/metrics.hpp"
 #include "net/framing.hpp"
 #include "net/loadgen.hpp"
 #include "net/protocol.hpp"
@@ -188,6 +191,153 @@ TEST(RoutedE2e, ArmedFaultPointProducesFaultInjectedError) {
   // The fault fires exactly once; the daemon keeps serving afterwards.
   client.send_line("ping 2");
   EXPECT_TRUE(client.read_response().ok);
+}
+
+TEST(RoutedE2e, StatsVerbReportsServerWindowAndRegistryViews) {
+  obs::set_metrics_enabled(true);
+  obs::MetricsRegistry::instance().reset();
+  {
+    ServerHarness harness;
+    TestClient client(harness.port());
+    for (int i = 1; i <= 8; ++i) {
+      client.send_line("route " + std::to_string(i) + " 0 1");
+      EXPECT_TRUE(client.read_response().ok);
+    }
+    client.send_line("stats 100");
+    const Response stats = client.read_response();
+    ASSERT_TRUE(stats.ok);
+    EXPECT_EQ(stats.id, 100u);
+    EXPECT_EQ(stats.verb, "stats");
+    // Keys are globally sorted: the wire-determinism promise.
+    for (std::size_t i = 1; i < stats.fields.size(); ++i) {
+      EXPECT_LT(stats.fields[i - 1].first, stats.fields[i].first);
+    }
+    // server.* totals include the stats request itself (served inline by
+    // the reader thread); bookkeeping lands before each response is
+    // written, so all eight routes are already counted everywhere.
+    EXPECT_EQ(stats.field("server.requests"), "9");
+    EXPECT_EQ(stats.field("server.responses_ok"), "9");
+    EXPECT_EQ(stats.field("server.responses_error"), "0");
+    EXPECT_EQ(stats.field("window.count"), "8");
+    EXPECT_EQ(stats.field("window.seconds"), "60");
+    // The registry slice agrees with the server's own counters mid-run...
+    EXPECT_EQ(stats.field("routed.requests"), "9");
+    EXPECT_EQ(stats.field("routed.responses_ok"), "9");
+    EXPECT_EQ(stats.field("routed.request_latency_s.count"), "8");
+    EXPECT_FALSE(stats.field("routed.request_latency_s.p99").empty());
+  }
+  // ...and the post-run registry snapshot matches what the mid-run stats
+  // response reported (the metrics JSON is written from this snapshot).
+  const auto snapshot = obs::MetricsRegistry::instance().snapshot();
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name == "routed.requests") {
+      EXPECT_EQ(counter.value, 9u);
+    }
+    if (counter.name == "routed.responses_ok") {
+      EXPECT_EQ(counter.value, 9u);
+    }
+    if (counter.name == "routed.responses_error") {
+      EXPECT_EQ(counter.value, 0u);
+    }
+  }
+  obs::MetricsRegistry::instance().reset();
+  obs::set_metrics_enabled(false);
+}
+
+TEST(RoutedE2e, StatsWithoutMetricsStillServesAlwaysOnViews) {
+  // Knobs off: the registry slice reads zero, but server.* and window.*
+  // are always-on (plain atomics and the ring, no obs gating).
+  ServerHarness harness;
+  TestClient client(harness.port());
+  client.send_line("route 1 0 1");
+  EXPECT_TRUE(client.read_response().ok);
+  client.send_line("stats 2");
+  const Response stats = client.read_response();
+  ASSERT_TRUE(stats.ok);
+  EXPECT_EQ(stats.field("server.requests"), "2");
+  EXPECT_EQ(stats.field("window.count"), "1");
+}
+
+TEST(RoutedE2e, ArmedFaultWritesExactlyOneSlowlogLine) {
+  const std::string path = ::testing::TempDir() + "routed_e2e_slowlog.jsonl";
+  std::remove(path.c_str());
+  RoutedOptions options;
+  options.slowlog_threshold_s = 60.0;  // no healthy request takes a minute
+  options.slowlog_path = path;
+  {
+    ServerHarness harness(options);
+    TestClient client(harness.port());
+    fault::FaultRegistry::instance().arm("routed.request", 1, fault::Action::Throw);
+    client.send_line("route 7 0 1");
+    const Response err = client.read_response();
+    fault::FaultRegistry::instance().reset();
+    EXPECT_FALSE(err.ok);
+    // A healthy request under the threshold must NOT be logged.
+    client.send_line("route 8 0 1");
+    EXPECT_TRUE(client.read_response().ok);
+  }
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 1u) << "slowlog must hold exactly the failed request";
+  EXPECT_NE(lines[0].find("\"verb\":\"route\""), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("\"id\":7"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("fault-injected"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("\"edges_scanned\":"), std::string::npos) << lines[0];
+  std::remove(path.c_str());
+}
+
+TEST(RoutedE2e, RequestSpansCarryWorkCounters) {
+  obs::set_trace_enabled(true);
+  obs::MetricsRegistry::instance().reset();
+  {
+    ServerHarness harness;
+    TestClient client(harness.port());
+    client.send_line("kalt 5 0 1 3");
+    EXPECT_TRUE(client.read_response().ok);
+  }
+  const auto events = obs::MetricsRegistry::instance().trace_events();
+  const obs::TraceEvent* span = nullptr;
+  for (const auto& event : events) {
+    if (event.cat == "mts.request") span = &event;
+  }
+  ASSERT_NE(span, nullptr) << "request span missing from the trace buffer";
+  EXPECT_EQ(span->name, "kalt");
+  bool saw_edges = false;
+  for (const auto& [key, value] : span->args) {
+    if (key == "edges_scanned") {
+      saw_edges = true;
+      EXPECT_NE(value, "0");  // a real Yen run scans edges
+    }
+  }
+  EXPECT_TRUE(saw_edges);
+  obs::MetricsRegistry::instance().reset();
+  obs::set_trace_enabled(false);
+  obs::set_metrics_enabled(false);
+}
+
+TEST(RoutedE2e, RequestOnceRoundTripsAndWindowStaysSane) {
+  ServerHarness harness;
+  LoadgenOptions options;
+  options.requests = 60;
+  options.connections = 2;
+  const LoadReport report = run_loadgen("127.0.0.1", harness.port(), options);
+  EXPECT_EQ(report.dropped, 0u);
+  Request stats_request;
+  stats_request.verb = Verb::Stats;
+  stats_request.id = 1000;
+  const Response stats = request_once("127.0.0.1", harness.port(), stats_request);
+  ASSERT_TRUE(stats.ok);
+  // 60 replayed routes plus loadgen's own `graph` size probe; the inline
+  // stats request itself never touches the window.
+  EXPECT_EQ(stats.field("window.count"), "61");
+  // Windowed percentiles are within a log bucket of the true latency
+  // distribution, so p99 can never undercut p50 or exceed the max bound.
+  const double p50 = std::stod(stats.field("window.p50_s"));
+  const double p99 = std::stod(stats.field("window.p99_s"));
+  EXPECT_GE(p99, p50);
+  EXPECT_GE(p50, 0.0);
 }
 
 TEST(RoutedE2e, LoadgenCompletesWithZeroDrops) {

@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/stats.hpp"
+
 namespace mts::obs {
 namespace {
 
@@ -180,6 +182,90 @@ TEST_F(MetricsTest, ConcurrentRecordingEpochResetRace) {
     EXPECT_GE(registry.seconds_since_epoch(), 0.0);
   }
   resetter.join();
+}
+
+TEST_F(MetricsTest, QuantileOfEmptyHistogramIsZero) {
+  auto& registry = MetricsRegistry::instance();
+  registry.histogram("test.quantile_empty");
+  const auto snap = registry.snapshot();
+  const auto* hist = find_histogram(snap, "test.quantile_empty");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(hist->quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hist->quantile(1.0), 0.0);
+}
+
+TEST_F(MetricsTest, QuantileIsExactForSingleValuedHistogram) {
+  // Every sample identical: min == max clamps every quantile to the exact
+  // value regardless of where the bucket interpolation lands.
+  auto& registry = MetricsRegistry::instance();
+  const HistogramId id = registry.histogram("test.quantile_single");
+  for (int i = 0; i < 100; ++i) observe(id, 0.003);
+  const auto snap = registry.snapshot();
+  const auto* hist = find_histogram(snap, "test.quantile_single");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->quantile(0.0), 0.003);
+  EXPECT_DOUBLE_EQ(hist->quantile(0.5), 0.003);
+  EXPECT_DOUBLE_EQ(hist->quantile(0.99), 0.003);
+  EXPECT_DOUBLE_EQ(hist->quantile(1.0), 0.003);
+}
+
+TEST_F(MetricsTest, QuantileMergesAcrossThreadShards) {
+  // Half the samples land in another thread's shard; the snapshot merge
+  // must see one histogram, so the median sits between the two clusters.
+  auto& registry = MetricsRegistry::instance();
+  const HistogramId id = registry.histogram("test.quantile_shards");
+  for (int i = 0; i < 50; ++i) observe(id, 0.001);
+  std::thread other([&] {
+    for (int i = 0; i < 50; ++i) observe(id, 0.512);
+  });
+  other.join();
+  const auto snap = registry.snapshot();
+  const auto* hist = find_histogram(snap, "test.quantile_shards");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 100u);
+  EXPECT_LE(hist->quantile(0.25), 0.01);   // inside the low cluster's bucket
+  EXPECT_GE(hist->quantile(0.75), 0.256);  // inside the high cluster's bucket
+}
+
+TEST_F(MetricsTest, QuantileIsNondecreasingInQ) {
+  auto& registry = MetricsRegistry::instance();
+  const HistogramId id = registry.histogram("test.quantile_monotone");
+  for (int i = 1; i <= 200; ++i) observe(id, 1e-5 * i);
+  const auto snap = registry.snapshot();
+  const auto* hist = find_histogram(snap, "test.quantile_monotone");
+  ASSERT_NE(hist, nullptr);
+  double previous = hist->quantile(0.0);
+  EXPECT_DOUBLE_EQ(previous, hist->min);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double current = hist->quantile(q);
+    EXPECT_GE(current, previous) << "q=" << q;
+    previous = current;
+  }
+  EXPECT_LE(hist->quantile(1.0), hist->max);
+}
+
+TEST_F(MetricsTest, QuantileMatchesExactPercentileWithinOneBucket) {
+  // The log2 buckets bound the error by a factor of 2 of the true sample
+  // quantile (one bucket width); verify against the shared exact
+  // estimator on a spread of values.
+  auto& registry = MetricsRegistry::instance();
+  const HistogramId id = registry.histogram("test.quantile_vs_exact");
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) {
+    const double value = 1e-4 * (1.0 + (i % 97));  // 0.1 ms .. ~9.8 ms
+    samples.push_back(value);
+    observe(id, value);
+  }
+  const auto snap = registry.snapshot();
+  const auto* hist = find_histogram(snap, "test.quantile_vs_exact");
+  ASSERT_NE(hist, nullptr);
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double exact = mts::percentile(samples, q);
+    const double estimate = hist->quantile(q);
+    EXPECT_GE(estimate, exact / 2.0) << "q=" << q;
+    EXPECT_LE(estimate, exact * 2.0) << "q=" << q;
+  }
 }
 
 TEST_F(MetricsTest, TraceImpliesMetrics) {

@@ -1,0 +1,102 @@
+#include "obs/slowlog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mts::obs {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(SlowQueryLog, AppendsOneJsonLinePerEntry) {
+  const std::string path = temp_path("slowlog_basic.jsonl");
+  std::remove(path.c_str());
+  SlowQueryLog log(path);
+  SlowLogEntry entry;
+  entry.verb = "route";
+  entry.id = 42;
+  entry.latency_s = 0.125;
+  entry.fields.emplace_back("edges_scanned", 17);
+  log.append(entry);
+  entry.verb = "attack";
+  entry.id = 43;
+  entry.error = "budget-exhausted: edge scan cap";
+  log.append(entry);
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"verb\":\"route\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"id\":42"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"latency_ms\":125"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"edges_scanned\":17"), std::string::npos);
+  EXPECT_EQ(lines[0].find("\"error\""), std::string::npos);  // only on failure
+  EXPECT_NE(lines[1].find("\"error\":\"budget-exhausted: edge scan cap\""),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SlowQueryLog, AppendsAcrossReopens) {
+  // The daemon may restart against the same log file; append mode must
+  // preserve earlier records.
+  const std::string path = temp_path("slowlog_reopen.jsonl");
+  std::remove(path.c_str());
+  {
+    SlowQueryLog log(path);
+    SlowLogEntry entry;
+    entry.verb = "route";
+    log.append(entry);
+  }
+  {
+    SlowQueryLog log(path);
+    SlowLogEntry entry;
+    entry.verb = "kalt";
+    log.append(entry);
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("route"), std::string::npos);
+  EXPECT_NE(lines[1].find("kalt"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SlowQueryLog, EscapesErrorStrings) {
+  const std::string path = temp_path("slowlog_escape.jsonl");
+  std::remove(path.c_str());
+  SlowQueryLog log(path);
+  SlowLogEntry entry;
+  entry.verb = "route";
+  entry.error = "invalid-input: \"quoted\"\nnewline";
+  log.append(entry);
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);  // the newline must not split the record
+  EXPECT_NE(lines[0].find("\\\"quoted\\\"\\nnewline"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SlowQueryLog, UnwritablePathThrows) {
+  // A regular file where a parent directory should be: opening (or the
+  // directory creation before it) must throw rather than silently drop
+  // every future record.
+  const std::string blocker = temp_path("slowlog_blocker");
+  std::ofstream(blocker) << "x";
+  EXPECT_ANY_THROW(SlowQueryLog(blocker + "/slow.jsonl"));
+  std::remove(blocker.c_str());
+}
+
+}  // namespace
+}  // namespace mts::obs

@@ -23,6 +23,15 @@ class TraceTest : public ::testing::Test {
   }
 };
 
+TraceEvent make_event(const char* name, double ts_s, double dur_s, std::uint32_t tid) {
+  TraceEvent event;
+  event.name = name;
+  event.ts_s = ts_s;
+  event.dur_s = dur_s;
+  event.tid = tid;
+  return event;
+}
+
 /// Brace/bracket/quote balance — the same structural check the repo's
 /// json_report tests use.
 void expect_balanced_json(const std::string& json) {
@@ -69,8 +78,8 @@ TEST_F(TraceTest, MetricsJsonHasRunBlockAndCatalog) {
 
 TEST_F(TraceTest, ChromeTraceEmitsCompleteEventsInMicroseconds) {
   std::vector<TraceEvent> events;
-  events.push_back({"phase_a", 0.001, 0.002, 0});
-  events.push_back({"phase_b", 0.5, 0.25, 3});
+  events.push_back(make_event("phase_a", 0.001, 0.002, 0));
+  events.push_back(make_event("phase_b", 0.5, 0.25, 3));
   std::ostringstream out;
   write_chrome_trace(events, out);
   const std::string json = out.str();
@@ -85,9 +94,47 @@ TEST_F(TraceTest, ChromeTraceEmitsCompleteEventsInMicroseconds) {
   EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
 }
 
+TEST_F(TraceTest, ChromeTraceEmitsCategoryAndArgsForRequestSpans) {
+  TraceEvent span = make_event("route", 0.001, 0.002, 1);
+  span.cat = "mts.request";
+  span.args.emplace_back("id", "7");
+  span.args.emplace_back("edges_scanned", "123");
+  std::vector<TraceEvent> events;
+  events.push_back(span);
+  std::ostringstream out;
+  write_chrome_trace(events, out);
+  const std::string json = out.str();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"cat\":\"mts.request\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"id\":\"7\",\"edges_scanned\":\"123\"}"), std::string::npos);
+}
+
+TEST_F(TraceTest, ArgFreeEventsCarryNoArgsObject) {
+  // The byte-identity contract for pre-span traces: no args key at all.
+  std::vector<TraceEvent> events;
+  events.push_back(make_event("phase_a", 0.0, 0.0, 0));
+  std::ostringstream out;
+  write_chrome_trace(events, out);
+  EXPECT_EQ(out.str().find("\"args\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"cat\":\"mts\""), std::string::npos);
+}
+
+TEST_F(TraceTest, RecordFullTraceEventOverwritesTid) {
+  TraceEvent span = make_event("kalt", 0.0, 0.001, 99);
+  span.cat = "mts.request";
+  span.args.emplace_back("id", "4");
+  MetricsRegistry::instance().record_trace_event(std::move(span));
+  const auto events = MetricsRegistry::instance().trace_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "kalt");
+  EXPECT_EQ(events[0].cat, "mts.request");
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_NE(events[0].tid, 99u);  // stamped with the recording shard's tid
+}
+
 TEST_F(TraceTest, ChromeTraceEscapesNames) {
   std::vector<TraceEvent> events;
-  events.push_back({"weird\"name\\with\nstuff", 0.0, 0.0, 0});
+  events.push_back(make_event("weird\"name\\with\nstuff", 0.0, 0.0, 0));
   std::ostringstream out;
   write_chrome_trace(events, out);
   const std::string json = out.str();

@@ -1,0 +1,120 @@
+#include "obs/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mts::obs {
+namespace {
+
+// The caller-supplied clock makes every test deterministic: timestamps are
+// plain doubles, no sleeping, no real clock.
+
+TEST(WindowedHistogram, EmptyWindowReportsZeroes) {
+  const WindowedHistogram window(1.0, 60);
+  const WindowSnapshot snap = window.snapshot(123.0);
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.qps, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p50_s, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p99_s, 0.0);
+  EXPECT_DOUBLE_EQ(snap.seconds, 60.0);
+}
+
+TEST(WindowedHistogram, CountsAndQpsOverTheWindow) {
+  WindowedHistogram window(1.0, 10);
+  for (int i = 0; i < 30; ++i) window.record(5.0 + 0.01 * i, 0.002);
+  const WindowSnapshot snap = window.snapshot(5.5);
+  EXPECT_EQ(snap.count, 30u);
+  EXPECT_DOUBLE_EQ(snap.seconds, 10.0);
+  EXPECT_DOUBLE_EQ(snap.qps, 3.0);
+  EXPECT_DOUBLE_EQ(snap.min_s, 0.002);
+  EXPECT_DOUBLE_EQ(snap.max_s, 0.002);
+  // Single-valued window: the quantile clamp makes the estimate exact.
+  EXPECT_DOUBLE_EQ(snap.p50_s, 0.002);
+  EXPECT_DOUBLE_EQ(snap.p99_s, 0.002);
+}
+
+TEST(WindowedHistogram, OldSlotsScrollOutOfTheWindow) {
+  WindowedHistogram window(1.0, 5);
+  window.record(0.5, 0.001);  // slot 0
+  window.record(3.5, 0.004);  // slot 3
+  // At t=4.9 both slots are inside the 5 s window.
+  EXPECT_EQ(window.snapshot(4.9).count, 2u);
+  // At t=5.5 the window covers slots 1..5, so slot 0 is out.
+  const WindowSnapshot later = window.snapshot(5.5);
+  EXPECT_EQ(later.count, 1u);
+  EXPECT_DOUBLE_EQ(later.min_s, 0.004);
+  // Far in the future everything has scrolled out.
+  EXPECT_EQ(window.snapshot(100.0).count, 0u);
+}
+
+TEST(WindowedHistogram, StaleSlotIsReclaimedOnWraparound) {
+  WindowedHistogram window(1.0, 4);
+  window.record(0.5, 0.001);  // slot 0
+  // Slot 4 maps onto the same ring position as slot 0 (4 % 4 == 0) and
+  // must evict the old samples rather than merge into them.
+  window.record(4.5, 0.016);
+  const WindowSnapshot snap = window.snapshot(4.9);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.min_s, 0.016);
+  EXPECT_DOUBLE_EQ(snap.max_s, 0.016);
+}
+
+TEST(WindowedHistogram, PercentilesSeparateFastAndSlowSamples) {
+  WindowedHistogram window(1.0, 60);
+  // 90 fast samples and 10 slow outliers, all inside the window: p50 must
+  // stay near the fast cluster while p99 reaches the outliers' bucket.
+  for (int i = 0; i < 90; ++i) window.record(10.0, 0.001);
+  for (int i = 0; i < 10; ++i) window.record(10.0, 1.024);
+  const WindowSnapshot snap = window.snapshot(10.5);
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_LT(snap.p50_s, 0.01);
+  EXPECT_GT(snap.p99_s, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max_s, 1.024);
+}
+
+TEST(WindowedHistogram, SnapshotMergesSamplesAcrossSlots) {
+  WindowedHistogram window(1.0, 10);
+  for (int slot = 0; slot < 8; ++slot) {
+    window.record(static_cast<double>(slot) + 0.5, 0.001 * (1 << slot));
+  }
+  const WindowSnapshot snap = window.snapshot(8.0);
+  EXPECT_EQ(snap.count, 8u);
+  EXPECT_DOUBLE_EQ(snap.min_s, 0.001);
+  EXPECT_DOUBLE_EQ(snap.max_s, 0.128);
+  EXPECT_GE(snap.p99_s, snap.p50_s);
+  EXPECT_DOUBLE_EQ(snap.sum_s, 0.001 * 255);
+}
+
+// The TSan target (ci.sh runs every WindowedHistogram* test under tsan):
+// every ring position holds a stale interval that the writers must reclaim
+// concurrently (first touch wins the rotation race) while a reader
+// snapshots mid-flight; the final count must still be exact because all
+// concurrent samples land inside the final window.
+TEST(WindowedHistogram, ConcurrentRotationKeepsExactCounts) {
+  WindowedHistogram window(1.0, 16);
+  for (int k = 0; k < 16; ++k) window.record(k + 0.5, 0.001);  // stale prefill
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&window, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Keys 1000..1015: each ring position is hit by every thread, and
+        // whoever gets there first evicts the prefilled slot.
+        const double now_s = 1000.5 + static_cast<double>((i + t) % 16);
+        window.record(now_s, 0.002);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) (void)window.snapshot(1015.5);
+  for (auto& thread : threads) thread.join();
+  const WindowSnapshot snap = window.snapshot(1015.5);
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.min_s, 0.002);  // no prefill sample survived
+}
+
+}  // namespace
+}  // namespace mts::obs

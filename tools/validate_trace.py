@@ -113,8 +113,19 @@ def check_trace(trace_path: Path, schema: dict) -> None:
         fail("trace has zero events despite MTS_TRACE=1")
     tids = {event["tid"] for event in events}
     names = {event["name"] for event in events}
-    print(f"validate_trace: {len(events)} events, {len(tids)} tids, "
-          f"{len(names)} distinct phases ({', '.join(sorted(names))})")
+    # Request spans (cat "mts.request", emitted by `mts routed`) carry the
+    # per-request work counters as args; phase events (cat "mts") omit the
+    # args object entirely to keep pre-span traces byte-identical.
+    spans = [event for event in events if event["cat"] == "mts.request"]
+    for i, span in enumerate(spans):
+        args = span.get("args")
+        if not isinstance(args, dict):
+            fail(f"request span [{i}] ({span['name']!r}) has no args object")
+        for key in ("id", "edges_scanned", "nodes_settled"):
+            if key not in args:
+                fail(f"request span [{i}] ({span['name']!r}) missing args.{key}")
+    print(f"validate_trace: {len(events)} events ({len(spans)} request spans), "
+          f"{len(tids)} tids, {len(names)} distinct phases ({', '.join(sorted(names))})")
     for expected in ("attack", "oracle", "dijkstra", "yen"):
         if expected not in names:
             fail(f"expected a {expected!r} phase in the trace, got {sorted(names)}")
