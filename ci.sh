@@ -32,10 +32,41 @@ fi
 
 JOBS="${JOBS:-$(nproc)}"
 
+# Wait (up to 10s) for a freshly forked `mts routed` to write its port
+# file.  `kill -0` is NOT a liveness probe here: a daemon that exits
+# instantly becomes a zombie until reaped, and kill -0 succeeds on
+# zombies, so the old loop burned the full 10s and then blamed the port
+# file.  Read the process state from /proc instead — gone or Z means the
+# daemon exited (any status, including 0) without publishing a port, so
+# fail fast with its real exit code and stderr.
+wait_port_file() {
+  local daemon="$1" port_file="$2" err_file="$3"
+  local state rc
+  for _ in $(seq 1 100); do
+    [ -s "$port_file" ] && return 0
+    state="$(sed 's/.*) //' "/proc/$daemon/stat" 2>/dev/null | cut -d' ' -f1)"
+    if [ -z "$state" ] || [ "$state" = Z ]; then
+      rc=0
+      wait "$daemon" || rc=$?
+      echo "ci: routed exited with status $rc before writing its port file; stderr:" >&2
+      cat "$err_file" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  echo "ci: routed never wrote its port file (still running after 10s); stderr:" >&2
+  cat "$err_file" >&2
+  kill "$daemon" 2>/dev/null
+  return 1
+}
+
 # Service smoke shared by the dev and asan legs: start `mts routed` on an
 # ephemeral port, replay load against it, then prove the SIGTERM drain —
 # the daemon must answer everything it parsed and exit 0.  Extra env (e.g.
-# MTS_FAULTS=routed.request:...) applies to the daemon only.
+# MTS_FAULTS=routed.request:...) applies to the daemon only; with MTS_CH
+# unset the daemon serves route/kalt/table off the snapshot's contraction
+# hierarchy, so the asan leg's armed run exercises the CH query path under
+# sanitizers.
 routed_smoke() {
   local preset="$1"; shift
   local mts="build-$preset/src/cli/mts"
@@ -45,15 +76,10 @@ routed_smoke() {
   env "$@" "$mts" routed --osm "$dir/city.osm" --port 0 --port-file "$dir/port" \
     --slowlog "$dir/slow.jsonl" --threads 4 2> "$dir/routed.err" &
   local daemon=$!
-  for _ in $(seq 1 100); do
-    [ -s "$dir/port" ] && break
-    kill -0 "$daemon" 2>/dev/null || { cat "$dir/routed.err" >&2; return 1; }
-    sleep 0.1
-  done
-  [ -s "$dir/port" ] || { echo "ci: routed never wrote its port file" >&2; return 1; }
+  wait_port_file "$daemon" "$dir/port" "$dir/routed.err" || return 1
 
-  for mix in route kalt attack; do
-    "$mts" loadgen --port-file "$dir/port" --requests 500 --connections 4 \
+  for mix in route kalt table attack; do
+    "$mts" loadgen --port-file "$dir/port" --requests 500 --connections "$JOBS" \
       --mix "$mix" --rank 2 ||
       { echo "ci: loadgen mix=$mix failed" >&2; kill "$daemon" 2>/dev/null; return 1; }
   done
@@ -92,7 +118,76 @@ routed_smoke() {
   rm -rf "$dir"
 }
 
+# Serving-path parity: replay the identical request stream (same loadgen
+# seed) against a CH-backed daemon and a Dijkstra-only daemon (MTS_CH=0)
+# and require the per-request response dumps to be byte-identical.  This
+# is the end-to-end form of the CH==Dijkstra equivalence the unit tests
+# prove on fuzzed graphs: same hops, same byte-formatted lengths, over
+# the wire.  The table mix is deliberately excluded from the strict diff —
+# bucket-based many-to-many sums associate floating-point additions
+# differently from a sequential path walk, so table values agree only to
+# ~1 ulp, not byte for byte (DESIGN.md §14).
+routed_ch_parity() {
+  local preset="$1"
+  local mts="build-$preset/src/cli/mts"
+  local dir
+  dir="$(mktemp -d)"
+  "$mts" generate --city chicago --scale 0.15 --seed 5 --out "$dir/city.osm"
+
+  local mode daemon rc
+  for mode in ch nocg; do
+    local env_args=()
+    [ "$mode" = nocg ] && env_args=(MTS_CH=0)
+    env "${env_args[@]}" "$mts" routed --osm "$dir/city.osm" --port 0 \
+      --port-file "$dir/port.$mode" --threads 4 2> "$dir/routed.$mode.err" &
+    daemon=$!
+    wait_port_file "$daemon" "$dir/port.$mode" "$dir/routed.$mode.err" || return 1
+    for mix in route kalt attack; do
+      "$mts" loadgen --port-file "$dir/port.$mode" --requests 300 \
+        --connections "$JOBS" --mix "$mix" --rank 2 --seed 7 \
+        --dump "$dir/$mix.$mode.dump" > /dev/null ||
+        { echo "ci: parity loadgen mix=$mix mode=$mode failed" >&2
+          kill "$daemon" 2>/dev/null; return 1; }
+    done
+    kill -TERM "$daemon"
+    rc=0
+    wait "$daemon" || rc=$?
+    if [ "$rc" != 0 ]; then
+      echo "ci: parity daemon (mode=$mode) did not drain cleanly (exit $rc)" >&2
+      return 1
+    fi
+  done
+
+  for mix in route kalt attack; do
+    if ! diff -u "$dir/$mix.nocg.dump" "$dir/$mix.ch.dump" > "$dir/$mix.diff"; then
+      echo "ci: CH vs Dijkstra serving parity broken for mix=$mix:" >&2
+      head -20 "$dir/$mix.diff" >&2
+      return 1
+    fi
+  done
+  echo "ci: CH/Dijkstra serving parity holds (route kalt attack)"
+  rm -rf "$dir"
+}
+
 for preset in "${PRESETS[@]}"; do
+  if [ "$preset" = bench ]; then
+    # Standalone counter-regression leg (hosted CI runs it as its own
+    # matrix job): dev-preset build of the table02 bench, then the
+    # bench_gate ctest entry, which replays the seed-pinned workload and
+    # compares every gated work counter against BENCH_PR9.json.  The
+    # comparison report + raw metrics land in build-dev/bench_report* for
+    # artifact upload on failure.
+    echo "==== [bench] configure (dev preset) ===="
+    cmake --preset dev
+
+    echo "==== [bench] build ===="
+    cmake --build --preset dev -j "$JOBS" --target table02_boston_length
+
+    echo "==== [bench] bench_gate (counters vs BENCH_PR9.json) ===="
+    ctest --preset dev -R '^bench_gate$' --output-on-failure
+    continue
+  fi
+
   if [ "$preset" = tidy ]; then
     echo "==== [tidy] configure (dev preset, for compile_commands.json) ===="
     cmake --preset dev
@@ -129,9 +224,11 @@ for preset in "${PRESETS[@]}"; do
     # parallel harness (exp/table_runner, exp/checkpoint); TaskQueue/RoutedE2e
     # race the daemon's reader threads, queue workers, and drain paths
     # (core/thread_pool, net/server) — this leg is what caught the EOF-close
-    # vs shutdown_read fd race.
+    # vs shutdown_read fd race.  ChSharedSnapshot races concurrent
+    # QueryEngine workers over one read-only snapshot-owned
+    # ContractionHierarchy (net/snapshot, graph/contraction_hierarchy).
     MTS_THREADS=4 ctest --preset "$preset" -j "$JOBS" \
-      -R 'ThreadPool|ParallelDeterminism|ConcurrentRecording|SearchSpace|Fault|Checkpoint|TaskQueue|RoutedE2e|WindowedHistogram'
+      -R 'ThreadPool|ParallelDeterminism|ConcurrentRecording|SearchSpace|Fault|Checkpoint|TaskQueue|RoutedE2e|WindowedHistogram|ChSharedSnapshot'
     continue
   fi
 
@@ -176,16 +273,21 @@ for preset in "${PRESETS[@]}"; do
     ctest --preset "$preset" -R '^validate_trace$' --output-on-failure
 
     # Deterministic work-counter regression gate: a small MTS_METRICS=1
-    # bench run whose dijkstra/lp/yen counters must match BENCH_PR4.json
-    # exactly (tools/bench_compare.py; wall-clock is reported, never
-    # gated).
+    # bench run whose dijkstra/ch/lp/yen counters must match
+    # BENCH_PR9.json exactly (tools/bench_compare.py; wall-clock is
+    # reported, never gated).
     echo "==== [$preset] bench_gate (counter regression) ===="
     ctest --preset "$preset" -R '^bench_gate$' --output-on-failure
 
-    # Service smoke: routed + loadgen end to end over all three request
+    # Service smoke: routed + loadgen end to end over the four request
     # mixes, then the SIGTERM drain contract (see routed_smoke above).
     echo "==== [$preset] routed/loadgen smoke ===="
     routed_smoke "$preset"
+
+    # CH on/off A-B replay: identical request streams against both
+    # serving substrates must produce byte-identical answers.
+    echo "==== [$preset] CH/Dijkstra serving parity ===="
+    routed_ch_parity "$preset"
 
     # Brief protocol fuzz callout: byte-mutation fuzz of the wire parser
     # (also part of the full sweep; isolated here so a framing regression

@@ -5,6 +5,7 @@
 
 #include "core/error.hpp"
 #include "core/fault.hpp"
+#include "graph/ch_assets.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/yen.hpp"
 #include "obs/phase.hpp"
@@ -41,12 +42,24 @@ ExclusivityOracle::ExclusivityOracle(const ForcePathCutProblem& problem, WorkBud
   require(!problem.p_star.empty(), "oracle: p* is empty");
   p_star_length_ = path_length(problem_.p_star.edges, problem_.weights);
   validate_weights(*problem.graph, problem_.weights, "oracle");
-  DijkstraOptions reverse_options;
-  reverse_options.assume_valid_weights = true;
-  reverse_options.budget = budget_;
-  reverse_options.trace = trace_;
-  reverse_dijkstra(reverse_tree_, *problem.graph, problem_.weights, problem_.target,
-                   reverse_options);
+  if (problem.ch != nullptr) {
+    // PHAST over the problem's CH: the same exact distances as the reverse
+    // Dijkstra below, at two orders of magnitude fewer settles.  The
+    // assets must belong to this problem's graph+weights (build contract,
+    // graph/ch_assets.hpp); size mismatches are the detectable violations.
+    require(problem.ch->ch.num_nodes() == problem.graph->num_nodes() &&
+                problem.ch->cch.num_edges() == problem.graph->num_edges(),
+            "oracle: ChAssets do not match the problem graph");
+    problem.ch->ch.bounds_to_target(problem_.target, thread_ch_search_space(), reverse_tree_,
+                                    trace_);
+  } else {
+    DijkstraOptions reverse_options;
+    reverse_options.assume_valid_weights = true;
+    reverse_options.budget = budget_;
+    reverse_options.trace = trace_;
+    reverse_dijkstra(reverse_tree_, *problem.graph, problem_.weights, problem_.target,
+                     reverse_options);
+  }
 }
 
 double ExclusivityOracle::tie_epsilon() const {
@@ -105,10 +118,25 @@ std::optional<Path> ExclusivityOracle::find_violating_path(const EdgeFilter& fil
     return sp;  // tied but different
   }
 
-  // Dijkstra returned p* itself; certify no *other* path ties it.
+  // Dijkstra returned p* itself; certify no *other* path ties it.  The
+  // certification's reverse bounds must hold under THIS filter, so the
+  // base CH cannot serve them; the CCH re-customizes to the mask in
+  // O(shortcuts) and its masked PHAST replaces the full reverse Dijkstra
+  // the plain call would run.  The certified path is identical either way
+  // (YenOptions::reverse_bounds).
   obs::add(OracleCounters::get().ties);
+  const SearchSpace* certification_bounds = nullptr;
+  if (problem_.ch != nullptr) {
+    if (cch_ == nullptr) {
+      cch_ = std::make_unique<CchMetric>(problem_.ch->cch, problem_.weights);
+    }
+    cch_->recustomize(&filter);
+    cch_->bounds_to_target(problem_.target, cch_bounds_, trace_);
+    certification_bounds = &cch_bounds_;
+  }
   auto second = second_shortest_path(g, problem_.weights, problem_.source, problem_.target,
-                                     problem_.p_star, &filter, budget_, trace_);
+                                     problem_.p_star, &filter, budget_, trace_,
+                                     certification_bounds);
   if (second && second->length <= p_star_length_ + eps) {
     obs::add(OracleCounters::get().violations);
     return second;

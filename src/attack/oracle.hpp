@@ -7,11 +7,13 @@
 // with an exact second-shortest-path search rather than assumed away.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "attack/problem.hpp"
 #include "core/budget.hpp"
 #include "core/request_trace.hpp"
+#include "graph/cch.hpp"
 #include "graph/edge_filter.hpp"
 #include "graph/search_space.hpp"
 
@@ -47,8 +49,15 @@ class ExclusivityOracle {
   /// *unfiltered* weights, built once per problem.  Removing edges only
   /// lengthens paths, so these distances lower-bound the remaining
   /// distance under every filter the oracle will ever see — an admissible
-  /// goal-direction heuristic for all queries (DESIGN.md §9).
+  /// goal-direction heuristic for all queries (DESIGN.md §9).  Filled by a
+  /// CH PHAST pass when the problem carries ChAssets, by a full reverse
+  /// Dijkstra otherwise — same exact distances either way.
   SearchSpace reverse_tree_;
+  /// Masked-metric machinery for tie certifications, lazily created on the
+  /// first tie (most problems never hit one).  Mutable like calls_: the
+  /// oracle is logically const but single-threaded by contract.
+  mutable std::unique_ptr<CchMetric> cch_;
+  mutable SearchSpace cch_bounds_;
   WorkBudget* budget_ = nullptr;
   RequestTrace* trace_ = nullptr;
   mutable std::size_t calls_ = 0;

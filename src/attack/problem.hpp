@@ -13,6 +13,10 @@
 #include "graph/digraph.hpp"
 #include "graph/path.hpp"
 
+namespace mts {
+struct ChAssets;  // graph/ch_assets.hpp
+}
+
 namespace mts::attack {
 
 using mts::DiGraph;
@@ -42,6 +46,13 @@ struct ForcePathCutProblem {
   /// (see attack/defense.hpp).  If every cut must include a protected
   /// edge, the attack reports Infeasible.
   std::vector<std::uint8_t> protected_edges;
+  /// Optional CH/CCH speedup bundle (nullptr = serve everything with
+  /// Dijkstra/Yen).  MUST have been built from this problem's graph and
+  /// weights — the oracle and verifier trust it for exact distances.
+  /// Shared read-only like the graph (per-worker mutable state lives in
+  /// the oracle/verifier), so the same pointer is safe across the parallel
+  /// harness's workers.
+  const ChAssets* ch = nullptr;
 };
 
 enum class AttackStatus {

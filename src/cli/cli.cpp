@@ -457,6 +457,7 @@ int cmd_loadgen(const Flags& flags, std::ostream& out) {
     throw InvalidInput("--rank must be in [1, " + std::to_string(net::kMaxPathRank) + "]");
   }
   options.attack_rank = static_cast<std::uint32_t>(rank);
+  options.dump_path = flags.get("dump", "");
 
   const std::string host = flags.get("host", "127.0.0.1");
   const std::uint16_t port = resolve_port(flags, /*require_positive=*/true);
@@ -508,14 +509,15 @@ std::string usage() {
          "  interdict  --osm FILE.osm [--hospital NAME] [--budget B] [--weight W] [--cost C]\n"
          "  routed     --osm FILE.osm [--host H] [--port P] [--port-file F] [--threads N]\n"
          "             [--budget edges=N,pivots=N,spurs=N] [--obs BASE] [--slowlog FILE]\n"
-         "             serves route/kalt/attack/stats queries; SIGINT/SIGTERM drains and\n"
-         "             exits.  MTS_SLOWLOG=<ms> arms the slow-query log,\n"
+         "             serves route/kalt/table/attack/stats queries; SIGINT/SIGTERM\n"
+         "             drains and exits.  MTS_SLOWLOG=<ms> arms the slow-query log,\n"
          "             MTS_METRICS_INTERVAL=<s> the periodic metrics flush\n"
          "  stats      --port P | --port-file F [--host H]\n"
          "             prints a live daemon's stats snapshot, one key=value per line\n"
          "  loadgen    --port P | --port-file F [--host H] [--requests N] [--connections C]\n"
-         "             [--window W] [--seed N] [--mix route|kalt|attack|mixed] [--k K]\n"
-         "             [--rank R] [--weight W] [--obs BASE]\n"
+         "             [--window W] [--seed N] [--mix route|kalt|attack|table|mixed] [--k K]\n"
+         "             [--rank R] [--weight W] [--obs BASE] [--dump FILE]\n"
+         "             --dump writes raw response lines sorted by id (A/B parity diffs)\n"
          "  help\n";
 }
 
@@ -557,7 +559,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     if (args[0] == "loadgen") {
       return cmd_loadgen(Flags(args, 1, "loadgen",
                                {"host", "port", "port-file", "requests", "connections", "window",
-                                "seed", "mix", "k", "rank", "weight", "obs"}),
+                                "seed", "mix", "k", "rank", "weight", "obs", "dump"}),
                          out);
     }
     err << "error: unknown command '" << args[0] << "'\n" << usage();

@@ -30,6 +30,12 @@
 //               seconds between periodic metrics-snapshot flushes while
 //               `mts routed` serves (implies MTS_METRICS=1); unset or 0
 //               (default) = no periodic flush, artifacts only at exit
+// MTS_CH        1 (default) = serve route/kalt distance work and the
+//               attack oracle/verifier distance checks through the
+//               Contraction Hierarchy built at snapshot/table load (see
+//               DESIGN.md §14); 0 = plain Dijkstra/Yen fallback paths.
+//               Answers are identical either way — the knob exists for
+//               A/B parity checks (ci.sh routed_smoke) and bisection.
 #pragma once
 
 #include <cstdint>

@@ -25,6 +25,8 @@ struct RequestTrace {
   std::uint64_t spur_searches = 0;
   std::uint64_t spurs_pruned = 0;
   std::uint64_t oracle_calls = 0;
+  std::uint64_t ch_queries = 0;
+  std::uint64_t ch_nodes_settled = 0;
 };
 
 }  // namespace mts

@@ -10,6 +10,7 @@
 #include "core/fault.hpp"
 #include "core/thread_pool.hpp"
 #include "exp/checkpoint.hpp"
+#include "graph/ch_assets.hpp"
 #include "graph/yen.hpp"
 #include "obs/phase.hpp"
 
@@ -77,6 +78,18 @@ CityTableResult run_city_table_on(const osm::RoadNetwork& network,
     costs.push_back(attack::make_costs(network, cost_type));
   }
 
+  // CH/CCH bundle for this (graph, weights) pair, built once and shared
+  // read-only by every cell's oracle and verifier (MTS_CH=0 opts out; the
+  // answers are identical either way, see DESIGN.md §14).  Scenario
+  // sampling above deliberately does not use it: it ran before this point
+  // on resumable runs' first pass, and keeping it on the plain Yen path
+  // pins the scenario stream byte-for-byte.
+  std::unique_ptr<ChAssets> ch_assets;
+  if (ch_enabled()) {
+    obs::ScopedPhase ch_phase("ch_build");
+    ch_assets = std::make_unique<ChAssets>(ChAssets::build(network.graph(), weights));
+  }
+
   // One immutable problem per (scenario, cost) cell column, shared by the
   // four algorithm tasks.  ForcePathCutProblem is safe to share across
   // threads as const: run_attack / verify_attack / the oracle only read it.
@@ -92,6 +105,7 @@ CityTableResult run_city_table_on(const osm::RoadNetwork& network,
       problem.target = scenario.target;
       problem.p_star = scenario.p_star;
       problem.seed_paths = scenario.prefix;
+      problem.ch = ch_assets.get();
       problems.push_back(std::move(problem));
     }
   }

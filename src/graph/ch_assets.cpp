@@ -1,0 +1,18 @@
+#include "graph/ch_assets.hpp"
+
+#include <utility>
+
+#include "core/env.hpp"
+
+namespace mts {
+
+ChAssets ChAssets::build(const DiGraph& g, std::span<const double> weights,
+                         const ChOptions& options) {
+  ContractionHierarchy ch = ContractionHierarchy::build(g, weights, options);
+  CchTopology cch = CchTopology::build(g, ch.ranks());
+  return ChAssets{std::move(ch), std::move(cch)};
+}
+
+bool ch_enabled() { return env_int("MTS_CH", 1) != 0; }
+
+}  // namespace mts

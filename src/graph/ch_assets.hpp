@@ -1,0 +1,39 @@
+// The per-(graph, weights) speedup bundle production consumers share.
+//
+// A ContractionHierarchy answers unmodified-graph queries; the CchTopology
+// built over the same contraction order answers masked (candidate-cut)
+// queries via cheap re-customization.  They are built together because
+// every serving consumer (net::Snapshot, exp::table_runner) needs both:
+// the oracle's reverse bounds come off the CH, its certification and the
+// verifier's distance checks come off a CchMetric.
+//
+// ChAssets is immutable after build and shared read-only across worker
+// threads; per-worker mutable state (ChSearchSpace, CchMetric) lives with
+// the worker.  The `ch` / `cch` members are built from the SAME graph and
+// weight vector — a ForcePathCutProblem carrying a ChAssets pointer must
+// point at assets built from its own graph+weights (checked by size,
+// enforced by contract).
+#pragma once
+
+#include <span>
+
+#include "graph/cch.hpp"
+#include "graph/contraction_hierarchy.hpp"
+#include "graph/digraph.hpp"
+
+namespace mts {
+
+struct ChAssets {
+  ContractionHierarchy ch;
+  CchTopology cch;
+
+  static ChAssets build(const DiGraph& g, std::span<const double> weights,
+                        const ChOptions& options = {});
+};
+
+/// The MTS_CH knob (default on): whether CH-backed serving paths are
+/// active.  Read once per call site decision point — cheap, not cached,
+/// so tests can flip it between snapshots.
+[[nodiscard]] bool ch_enabled();
+
+}  // namespace mts

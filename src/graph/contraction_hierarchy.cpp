@@ -5,12 +5,32 @@
 #include <queue>
 
 #include "core/error.hpp"
+#include "obs/phase.hpp"
 
 namespace mts {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct ChCounters {
+  obs::CounterId queries;
+  obs::CounterId settled;
+  obs::CounterId phast_runs;
+  obs::CounterId sweep_relaxations;
+  obs::CounterId workspace_reuses;
+
+  static const ChCounters& get() {
+    static const ChCounters counters{
+        obs::MetricsRegistry::instance().counter("ch.queries"),
+        obs::MetricsRegistry::instance().counter("ch.nodes_settled"),
+        obs::MetricsRegistry::instance().counter("ch.phast_runs"),
+        obs::MetricsRegistry::instance().counter("ch.sweep_relaxations"),
+        obs::MetricsRegistry::instance().counter("ch.workspace_reuses"),
+    };
+    return counters;
+  }
+};
 
 /// Arc in the preprocessing pool.  `via < 0` means an original edge.
 struct PoolArc {
@@ -154,6 +174,51 @@ struct Builder {
 
 }  // namespace
 
+bool ChSearchSpace::begin(std::size_t num_nodes) {
+  heap_.clear();
+  bool reused = true;
+  if (dist_f_.size() != num_nodes) {
+    stamp_f_.assign(num_nodes, 0);
+    stamp_b_.assign(num_nodes, 0);
+    dist_f_.assign(num_nodes, 0.0);
+    dist_b_.assign(num_nodes, 0.0);
+    parent_f_.assign(num_nodes, -1);
+    parent_b_.assign(num_nodes, -1);
+    epoch_ = 0;
+    reused = false;
+  }
+  if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    std::fill(stamp_f_.begin(), stamp_f_.end(), 0);
+    std::fill(stamp_b_.begin(), stamp_b_.end(), 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+  return reused;
+}
+
+bool ChSearchSpace::heap_later(const Entry& a, const Entry& b) {
+  if (a.key != b.key) return a.key > b.key;
+  if (a.node != b.node) return a.node > b.node;
+  return a.forward && !b.forward;
+}
+
+void ChSearchSpace::heap_push(double key, std::uint32_t node, bool forward) {
+  heap_.push_back({key, node, forward});
+  std::push_heap(heap_.begin(), heap_.end(), heap_later);
+}
+
+ChSearchSpace::Entry ChSearchSpace::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), heap_later);
+  const Entry top = heap_.back();
+  heap_.pop_back();
+  return top;
+}
+
+ChSearchSpace& thread_ch_search_space() {
+  thread_local ChSearchSpace ws;
+  return ws;
+}
+
 ContractionHierarchy ContractionHierarchy::build(const DiGraph& g,
                                                  std::span<const double> weights,
                                                  const ChOptions& options) {
@@ -233,6 +298,21 @@ ContractionHierarchy ContractionHierarchy::build(const DiGraph& g,
   };
   freeze(up_by_node, ch.up_arcs_, ch.up_offsets_);
   freeze(down_by_node, ch.down_arcs_, ch.down_offsets_);
+
+  // PHAST sweep order: every up-arc (travel tail -> head, rank[tail] <
+  // rank[head]) keyed by DESCENDING head rank.  The one-to-all sweep in
+  // bounds_to_target reads dist[head] and improves dist[tail]; descending
+  // head order guarantees each head's label is final before any of its
+  // in-arcs is applied.  Ranks are unique, so the order is deterministic
+  // up to same-head arcs, where the stable sort keeps CSR order.
+  ch.sweep_arcs_.reserve(ch.up_arcs_.size());
+  for (const SearchArc& arc : ch.up_arcs_) {
+    ch.sweep_arcs_.push_back({arc.base, arc.other, arc.weight});
+  }
+  std::stable_sort(ch.sweep_arcs_.begin(), ch.sweep_arcs_.end(),
+                   [&ch](const SweepArc& a, const SweepArc& b) {
+                     return ch.rank_[a.head] > ch.rank_[b.head];
+                   });
   return ch;
 }
 
@@ -248,67 +328,75 @@ void ContractionHierarchy::unpack(std::uint32_t pool_id, std::vector<EdgeId>& ou
 
 ContractionHierarchy::QueryResult ContractionHierarchy::query(NodeId source,
                                                               NodeId target) const {
-  return run_query(source, target, /*need_path=*/true);
+  return run_query(source, target, /*need_path=*/true, thread_ch_search_space(), nullptr);
+}
+
+ContractionHierarchy::QueryResult ContractionHierarchy::query(NodeId source, NodeId target,
+                                                              ChSearchSpace& ws,
+                                                              RequestTrace* trace) const {
+  return run_query(source, target, /*need_path=*/true, ws, trace);
 }
 
 double ContractionHierarchy::distance(NodeId source, NodeId target) const {
-  return run_query(source, target, /*need_path=*/false).distance;
+  return run_query(source, target, /*need_path=*/false, thread_ch_search_space(), nullptr)
+      .distance;
+}
+
+double ContractionHierarchy::distance(NodeId source, NodeId target, ChSearchSpace& ws,
+                                      RequestTrace* trace) const {
+  return run_query(source, target, /*need_path=*/false, ws, trace).distance;
 }
 
 ContractionHierarchy::QueryResult ContractionHierarchy::run_query(NodeId source, NodeId target,
-                                                                  bool need_path) const {
+                                                                  bool need_path,
+                                                                  ChSearchSpace& ws,
+                                                                  RequestTrace* trace) const {
   require(source.value() < num_nodes() && target.value() < num_nodes(),
           "CH query: endpoint out of range");
+  obs::ScopedPhase obs_phase("ch");
   QueryResult result;
   result.distance = kInf;
 
   const std::size_t n = num_nodes();
-  std::vector<double> dist_f(n, kInf);
-  std::vector<double> dist_b(n, kInf);
-  std::vector<std::int64_t> parent_f(n, -1);  // indices into up_arcs_
-  std::vector<std::int64_t> parent_b(n, -1);  // indices into down_arcs_
-
-  struct Entry {
-    double dist;
-    std::uint32_t node;
-    bool forward;
-    bool operator<(const Entry& other) const { return dist > other.dist; }
-  };
-  std::priority_queue<Entry> queue;
-  dist_f[source.value()] = 0.0;
-  dist_b[target.value()] = 0.0;
-  queue.push({0.0, source.value(), true});
-  queue.push({0.0, target.value(), false});
+  const ChCounters& counters = ChCounters::get();
+  if (ws.begin(n)) obs::add(counters.workspace_reuses);
+  ws.set(source.value(), true, 0.0, -1);
+  ws.set(target.value(), false, 0.0, -1);
+  ws.heap_push(0.0, source.value(), true);
+  ws.heap_push(0.0, target.value(), false);
 
   double best = kInf;
   std::int64_t meet = -1;
 
-  while (!queue.empty()) {
-    const auto [dist, node, forward] = queue.top();
-    queue.pop();
-    auto& mine = forward ? dist_f : dist_b;
-    if (dist > mine[node]) continue;  // stale
-    if (dist > best) continue;        // cannot contribute a better meet
+  while (!ws.heap_empty()) {
+    const ChSearchSpace::Entry top = ws.heap_pop();
+    if (top.key > ws.dist(top.node, top.forward)) continue;  // stale
+    if (top.key > best) continue;  // cannot contribute a better meet
     ++result.nodes_settled;
 
-    const auto& theirs = forward ? dist_b : dist_f;
-    if (theirs[node] < kInf && dist + theirs[node] < best) {
-      best = dist + theirs[node];
-      meet = node;
+    const double theirs = ws.dist(top.node, !top.forward);
+    if (theirs < kInf && top.key + theirs < best) {
+      best = top.key + theirs;
+      meet = top.node;
     }
 
-    const auto& offsets = forward ? up_offsets_ : down_offsets_;
-    const auto& arcs = forward ? up_arcs_ : down_arcs_;
-    auto& parents = forward ? parent_f : parent_b;
-    for (std::uint32_t i = offsets[node]; i < offsets[node + 1]; ++i) {
+    const auto& offsets = top.forward ? up_offsets_ : down_offsets_;
+    const auto& arcs = top.forward ? up_arcs_ : down_arcs_;
+    for (std::uint32_t i = offsets[top.node]; i < offsets[top.node + 1]; ++i) {
       const SearchArc& arc = arcs[i];
-      const double candidate = dist + arc.weight;
-      if (candidate < mine[arc.other]) {
-        mine[arc.other] = candidate;
-        parents[arc.other] = i;
-        queue.push({candidate, arc.other, forward});
+      const double candidate = top.key + arc.weight;
+      if (candidate < ws.dist(arc.other, top.forward)) {
+        ws.set(arc.other, top.forward, candidate, static_cast<std::int64_t>(i));
+        ws.heap_push(candidate, arc.other, top.forward);
       }
     }
+  }
+
+  obs::add(counters.queries);
+  obs::add(counters.settled, result.nodes_settled);
+  if (trace != nullptr) {
+    ++trace->ch_queries;
+    trace->ch_nodes_settled += result.nodes_settled;
   }
 
   if (meet < 0) return result;
@@ -320,8 +408,9 @@ ContractionHierarchy::QueryResult ContractionHierarchy::run_query(NodeId source,
   // Forward half: walk meet -> source via up-arc parents (real direction
   // base -> other), reverse the arc order, then unpack left-to-right.
   std::vector<std::uint32_t> chain;
-  for (std::uint32_t cursor = static_cast<std::uint32_t>(meet); parent_f[cursor] >= 0;) {
-    const auto i = static_cast<std::uint32_t>(parent_f[cursor]);
+  for (std::uint32_t cursor = static_cast<std::uint32_t>(meet);
+       ws.parent(cursor, true) >= 0;) {
+    const auto i = static_cast<std::uint32_t>(ws.parent(cursor, true));
     chain.push_back(up_arcs_[i].pool_id);
     cursor = up_arcs_[i].base;
   }
@@ -329,13 +418,70 @@ ContractionHierarchy::QueryResult ContractionHierarchy::run_query(NodeId source,
   for (std::uint32_t pool_id : chain) unpack(pool_id, path.edges);
   // Backward half: walk meet -> target via down-arc parents; each arc's
   // real direction is other -> base, i.e. exactly the travel direction.
-  for (std::uint32_t cursor = static_cast<std::uint32_t>(meet); parent_b[cursor] >= 0;) {
-    const auto i = static_cast<std::uint32_t>(parent_b[cursor]);
+  for (std::uint32_t cursor = static_cast<std::uint32_t>(meet);
+       ws.parent(cursor, false) >= 0;) {
+    const auto i = static_cast<std::uint32_t>(ws.parent(cursor, false));
     unpack(down_arcs_[i].pool_id, path.edges);
     cursor = down_arcs_[i].base;
   }
   result.path = std::move(path);
   return result;
+}
+
+void ContractionHierarchy::bounds_to_target(NodeId target, ChSearchSpace& ws, SearchSpace& out,
+                                            RequestTrace* trace) const {
+  require(target.value() < num_nodes(), "CH bounds_to_target: target out of range");
+  obs::ScopedPhase obs_phase("ch");
+  const std::size_t n = num_nodes();
+  const ChCounters& counters = ChCounters::get();
+  if (ws.begin(n)) obs::add(counters.workspace_reuses);
+  ws.sweep_.assign(n, kInf);
+
+  // Phase 1: backward upward search from the target — identical to the
+  // query's backward half.  Settled labels are exact distances to target
+  // along rank-descending (travel direction) arc chains.
+  ws.set(target.value(), false, 0.0, -1);
+  ws.heap_push(0.0, target.value(), false);
+  std::uint64_t settled = 0;
+  while (!ws.heap_empty()) {
+    const ChSearchSpace::Entry top = ws.heap_pop();
+    if (top.key > ws.dist(top.node, false)) continue;  // stale
+    ++settled;
+    ws.sweep_[top.node] = top.key;
+    for (std::uint32_t i = down_offsets_[top.node]; i < down_offsets_[top.node + 1]; ++i) {
+      const SearchArc& arc = down_arcs_[i];
+      const double candidate = top.key + arc.weight;
+      if (candidate < ws.dist(arc.other, false)) {
+        ws.set(arc.other, false, candidate, static_cast<std::int64_t>(i));
+        ws.heap_push(candidate, arc.other, false);
+      }
+    }
+  }
+
+  // Phase 2: one linear pass, no heap.  Every shortest path to the target
+  // climbs ranks and then descends; the climb is one up-arc whose head's
+  // label is already final (descending head-rank order), so a single scan
+  // finishes every node.
+  std::uint64_t relaxed = 0;
+  for (const SweepArc& arc : sweep_arcs_) {
+    const double through = ws.sweep_[arc.head] + arc.weight;
+    if (through < ws.sweep_[arc.tail]) {
+      ws.sweep_[arc.tail] = through;
+      ++relaxed;
+    }
+  }
+
+  // Publish as a bounds-only SearchSpace (no parents): exactly what
+  // DijkstraOptions::goal_bounds and Yen's reverse-tree fast paths read.
+  out.begin(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (ws.sweep_[v] < kInf) out.set_label(NodeId(v), ws.sweep_[v], EdgeId::invalid());
+  }
+
+  obs::add(counters.phast_runs);
+  obs::add(counters.settled, settled);
+  obs::add(counters.sweep_relaxations, relaxed);
+  if (trace != nullptr) trace->ch_nodes_settled += settled;
 }
 
 }  // namespace mts

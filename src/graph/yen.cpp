@@ -291,16 +291,29 @@ std::vector<Path> yen_ksp(const DiGraph& g, std::span<const double> weights, Nod
   validate_weights(g, weights, "yen_ksp");
 
   obs::ScopedPhase phase("yen");
-  SearchSpace& reverse_tree =
-      build_reverse_tree(g, weights, target, options.filter, options.budget, options.trace);
-  // The first path falls out of the reverse tree: follow reverse parents
-  // forward from the source (its length is recomputed as the forward-order
-  // sum, bit-identical to a forward Dijkstra's accumulation).
-  auto first = extract_reverse_path(g, reverse_tree, weights, source, target);
-  if (!first) return accepted;
-  accepted.push_back(std::move(*first));
+  const SearchSpace* bounds = options.reverse_bounds;
+  if (bounds != nullptr) {
+    // Caller-supplied bounds (CH/PHAST): no reverse tree exists, so the
+    // caller must hand over the first path as well.
+    require(options.first_path != nullptr, "yen_ksp: reverse_bounds requires first_path");
+    require(!options.first_path->empty() &&
+                g.edge_from(options.first_path->edges.front()) == source &&
+                g.edge_to(options.first_path->edges.back()) == target,
+            "yen_ksp: first_path does not run source -> target");
+    accepted.push_back(*options.first_path);
+  } else {
+    SearchSpace& reverse_tree =
+        build_reverse_tree(g, weights, target, options.filter, options.budget, options.trace);
+    // The first path falls out of the reverse tree: follow reverse parents
+    // forward from the source (its length is recomputed as the forward-order
+    // sum, bit-identical to a forward Dijkstra's accumulation).
+    auto first = extract_reverse_path(g, reverse_tree, weights, source, target);
+    if (!first) return accepted;
+    accepted.push_back(std::move(*first));
+    bounds = &reverse_tree;
+  }
 
-  SpurSearcher searcher(g, weights, target, options.filter, reverse_tree,
+  SpurSearcher searcher(g, weights, target, options.filter, *bounds,
                         thread_search_space(0), options.budget, options.trace);
   CandidateHeap candidates;
   std::unordered_set<std::uint64_t> seen;
@@ -322,14 +335,17 @@ std::vector<Path> yen_ksp(const DiGraph& g, std::span<const double> weights, Nod
 std::optional<Path> second_shortest_path(const DiGraph& g, std::span<const double> weights,
                                          NodeId source, NodeId target, const Path& avoid,
                                          const EdgeFilter* filter, WorkBudget* budget,
-                                         RequestTrace* trace) {
+                                         RequestTrace* trace,
+                                         const SearchSpace* reverse_bounds) {
   require(!avoid.empty(), "second_shortest_path: avoid path is empty");
   require(g.edge_from(avoid.edges.front()) == source,
           "second_shortest_path: avoid path does not start at source");
   validate_weights(g, weights, "second_shortest_path");
   obs::ScopedPhase phase("yen");
-  SearchSpace& reverse_tree = build_reverse_tree(g, weights, target, filter, budget, trace);
-  SpurSearcher searcher(g, weights, target, filter, reverse_tree, thread_search_space(0), budget,
+  const SearchSpace* bounds = reverse_bounds != nullptr
+                                  ? reverse_bounds
+                                  : &build_reverse_tree(g, weights, target, filter, budget, trace);
+  SpurSearcher searcher(g, weights, target, filter, *bounds, thread_search_space(0), budget,
                         trace);
   CandidateHeap candidates;
   std::unordered_set<std::uint64_t> seen;

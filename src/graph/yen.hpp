@@ -34,6 +34,19 @@ struct YenOptions {
   /// spur-pruned totals plus the underlying Dijkstra effort
   /// (core/request_trace.hpp).
   RequestTrace* trace = nullptr;
+  /// Externally computed reverse bounds: exact distances to `target` under
+  /// `filter` in a bounds-only SearchSpace (e.g.
+  /// ContractionHierarchy::bounds_to_target).  When set, yen_ksp skips its
+  /// own reverse Dijkstra — but a bounds-only space has no parents to
+  /// extract the first path from, so `first_path` must be set too.
+  /// Bounds exactness keeps results identical (DESIGN.md §9/§14): candidate
+  /// lengths are forward-order sums independent of the bounds, which only
+  /// decide what gets pruned.
+  const SearchSpace* reverse_bounds = nullptr;
+  /// The shortest path under `filter` (required with `reverse_bounds`).
+  /// Must run source -> target; its length must be the forward-order edge
+  /// sum.
+  const Path* first_path = nullptr;
 };
 
 /// Returns up to `k` simple paths from `source` to `target` in nondecreasing
@@ -47,10 +60,15 @@ std::vector<Path> yen_ksp(const DiGraph& g, std::span<const double> weights, Nod
 /// Yen deviation argument, so it considers every path that branches off
 /// `avoid` at any node.  `avoid` must itself be the (a) shortest path under
 /// the current filter for the deviation argument to be exhaustive.
+/// `reverse_bounds`, when set, must hold exact distances to `target` under
+/// `filter` (e.g. CchMetric::bounds_to_target after recustomizing to the
+/// same filter) and replaces the internal reverse Dijkstra; the returned
+/// path is identical either way (see YenOptions::reverse_bounds).
 std::optional<Path> second_shortest_path(const DiGraph& g, std::span<const double> weights,
                                          NodeId source, NodeId target, const Path& avoid,
                                          const EdgeFilter* filter = nullptr,
                                          WorkBudget* budget = nullptr,
-                                         RequestTrace* trace = nullptr);
+                                         RequestTrace* trace = nullptr,
+                                         const SearchSpace* reverse_bounds = nullptr);
 
 }  // namespace mts

@@ -29,7 +29,7 @@ Response ok_response(std::uint64_t id, const char* verb) {
 
 bool stats_relevant(const std::string& name) {
   return name.rfind("routed.", 0) == 0 || name.rfind("dijkstra.", 0) == 0 ||
-         name.rfind("yen.", 0) == 0;
+         name.rfind("yen.", 0) == 0 || name.rfind("ch.", 0) == 0 || name.rfind("cch.", 0) == 0;
 }
 
 }  // namespace
@@ -92,10 +92,23 @@ Response QueryEngine::dispatch(const Request& request, WorkBudget& budget, Reque
       return route(request, budget, trace);
     case Verb::Kalt:
       return alternatives(request, budget, trace);
+    case Verb::Table:
+      return table(request, budget, trace);
     case Verb::Attack:
       return attack(request, budget, trace);
   }
   throw InvalidInput("unhandled request verb");
+}
+
+const ChAssets* QueryEngine::ch_for(const Request& request) const {
+  return snapshot_->ch(request.weight == WeightKind::Time);
+}
+
+ChTableQuery& QueryEngine::table_query_for(const Request& request, const ChAssets& assets) {
+  std::unique_ptr<ChTableQuery>& slot =
+      request.weight == WeightKind::Time ? time_table_ : length_table_;
+  if (slot == nullptr) slot = std::make_unique<ChTableQuery>(assets.ch);
+  return *slot;
 }
 
 void QueryEngine::check_endpoints(const Request& request) const {
@@ -124,13 +137,26 @@ Response QueryEngine::route(const Request& request, WorkBudget& budget, RequestT
     return response;
   }
 
-  DijkstraOptions options;
-  options.target = target;
-  if (budget.limited()) options.budget = &budget;
-  options.trace = trace;
-  workspace_.begin(snapshot_->num_nodes());
-  dijkstra(workspace_, snapshot_->graph(), weights, source, options);
-  const std::optional<Path> path = extract_path(snapshot_->graph(), workspace_, source, target);
+  std::optional<Path> path;
+  if (const ChAssets* assets = ch_for(request); assets != nullptr) {
+    // CH serves the query; the unpacked path's length is re-summed in
+    // forward edge order below so the wire distance is byte-identical to
+    // the Dijkstra fallback's (which accumulates along the same path).
+    // The CH's work unit (settled nodes) charges the same budget counter
+    // a Dijkstra's settled nodes would.
+    auto result = assets->ch.query(source, target, ch_workspace_, trace);
+    if (budget.limited()) budget.charge_edges_scanned(result.nodes_settled);
+    path = std::move(result.path);
+    if (path) path->length = path_length(path->edges, weights);
+  } else {
+    DijkstraOptions options;
+    options.target = target;
+    if (budget.limited()) options.budget = &budget;
+    options.trace = trace;
+    workspace_.begin(snapshot_->num_nodes());
+    dijkstra(workspace_, snapshot_->graph(), weights, source, options);
+    path = extract_path(snapshot_->graph(), workspace_, source, target);
+  }
 
   response.fields.emplace_back("found", path ? "1" : "0");
   response.fields.emplace_back("dist", format_wire_double(path ? path->length : kInfiniteDistance));
@@ -150,6 +176,31 @@ Response QueryEngine::alternatives(const Request& request, WorkBudget& budget,
   YenOptions options;
   if (budget.limited()) options.budget = &budget;
   options.trace = trace;
+
+  // With CH assets the two full Dijkstras Yen would open with (the reverse
+  // bound tree and the rank-1 path) collapse into one PHAST pass and one
+  // bidirectional CH query; the spur searches then run goal-bounded
+  // against the PHAST distances exactly as they would against the reverse
+  // tree (DESIGN.md §14).
+  Path first;
+  if (const ChAssets* assets = ch_for(request); assets != nullptr) {
+    auto result = assets->ch.query(NodeId(request.source), NodeId(request.target), ch_workspace_,
+                                   trace);
+    if (budget.limited()) budget.charge_edges_scanned(result.nodes_settled);
+    if (result.path) {
+      first = std::move(*result.path);
+      first.length = path_length(first.edges, weights);
+      assets->ch.bounds_to_target(NodeId(request.target), ch_workspace_, reverse_bounds_, trace);
+      options.reverse_bounds = &reverse_bounds_;
+      options.first_path = &first;
+    } else {
+      Response response = ok_response(request.id, "kalt");
+      response.fields.emplace_back("paths", "0");
+      response.fields.emplace_back("best", format_wire_double(0.0));
+      response.fields.emplace_back("worst", format_wire_double(0.0));
+      return response;
+    }
+  }
   const std::vector<Path> paths =
       yen_ksp(snapshot_->graph(), weights, NodeId(request.source), NodeId(request.target),
               request.k, options);
@@ -160,6 +211,61 @@ Response QueryEngine::alternatives(const Request& request, WorkBudget& budget,
                                format_wire_double(paths.empty() ? 0.0 : paths.front().length));
   response.fields.emplace_back("worst",
                                format_wire_double(paths.empty() ? 0.0 : paths.back().length));
+  return response;
+}
+
+Response QueryEngine::table(const Request& request, WorkBudget& budget, RequestTrace* trace) {
+  const std::size_t num_nodes = snapshot_->num_nodes();
+  std::vector<NodeId> sources;
+  std::vector<NodeId> targets;
+  sources.reserve(request.sources.size());
+  targets.reserve(request.targets.size());
+  for (std::uint32_t s : request.sources) {
+    if (s >= num_nodes) {
+      throw InvalidInput("table source node " + std::to_string(s) + " out of range (graph has " +
+                         std::to_string(num_nodes) + " nodes)");
+    }
+    sources.emplace_back(s);
+  }
+  for (std::uint32_t t : request.targets) {
+    if (t >= num_nodes) {
+      throw InvalidInput("table target node " + std::to_string(t) + " out of range (graph has " +
+                         std::to_string(num_nodes) + " nodes)");
+    }
+    targets.emplace_back(t);
+  }
+  const auto& weights = snapshot_->weights(request.weight == WeightKind::Time);
+
+  std::vector<double> values;
+  if (const ChAssets* assets = ch_for(request); assets != nullptr) {
+    values = table_query_for(request, *assets).table(sources, targets, trace);
+  } else {
+    // Fallback: one full Dijkstra per source row.  Same distances (both
+    // sides are exact); the bucket path just does orders of magnitude less
+    // work per row.
+    values.reserve(sources.size() * targets.size());
+    DijkstraOptions options;
+    if (budget.limited()) options.budget = &budget;
+    options.trace = trace;
+    for (NodeId source : sources) {
+      workspace_.begin(num_nodes);
+      dijkstra(workspace_, snapshot_->graph(), weights, source, options);
+      for (NodeId target : targets) {
+        values.push_back(workspace_.reached(target) ? workspace_.dist(target)
+                                                    : kInfiniteDistance);
+      }
+    }
+  }
+
+  std::string joined;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) joined += ',';
+    joined += format_wire_double(values[i]);
+  }
+  Response response = ok_response(request.id, "table");
+  response.fields.emplace_back("rows", std::to_string(sources.size()));
+  response.fields.emplace_back("cols", std::to_string(targets.size()));
+  response.fields.emplace_back("vals", std::move(joined));
   return response;
 }
 
@@ -174,6 +280,21 @@ Response QueryEngine::attack(const Request& request, WorkBudget& budget, Request
   YenOptions yen_options;
   if (budget.limited()) yen_options.budget = &budget;
   yen_options.trace = trace;
+  Path first;  // must outlive yen_ksp when CH provides the rank-1 path
+  if (const ChAssets* assets = ch_for(request); assets != nullptr) {
+    auto result = assets->ch.query(NodeId(request.source), NodeId(request.target), ch_workspace_,
+                                   trace);
+    if (budget.limited()) budget.charge_edges_scanned(result.nodes_settled);
+    if (result.path) {
+      first = std::move(*result.path);
+      first.length = path_length(first.edges, weights);
+      assets->ch.bounds_to_target(NodeId(request.target), ch_workspace_, reverse_bounds_, trace);
+      yen_options.reverse_bounds = &reverse_bounds_;
+      yen_options.first_path = &first;
+    }
+    // No path at all: plain yen_ksp below returns empty and the
+    // rank-unavailable branch answers, same as the Dijkstra mode.
+  }
   std::vector<Path> ranked = yen_ksp(snapshot_->graph(), weights, NodeId(request.source),
                                      NodeId(request.target), request.rank, yen_options);
 
@@ -190,6 +311,7 @@ Response QueryEngine::attack(const Request& request, WorkBudget& budget, Request
   problem.graph = &snapshot_->graph();
   problem.weights = weights;
   problem.costs = snapshot_->uniform_costs();
+  problem.ch = ch_for(request);  // oracle + verifier serve distances off it
   problem.source = NodeId(request.source);
   problem.target = NodeId(request.target);
   problem.p_star = std::move(ranked.back());

@@ -13,9 +13,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "core/budget.hpp"
 #include "core/request_trace.hpp"
+#include "graph/ch_table.hpp"
+#include "graph/contraction_hierarchy.hpp"
 #include "graph/search_space.hpp"
 #include "net/protocol.hpp"
 #include "net/snapshot.hpp"
@@ -39,15 +42,28 @@ class QueryEngine {
   Response dispatch(const Request& request, WorkBudget& budget, RequestTrace* trace);
   Response route(const Request& request, WorkBudget& budget, RequestTrace* trace);
   Response alternatives(const Request& request, WorkBudget& budget, RequestTrace* trace);
+  Response table(const Request& request, WorkBudget& budget, RequestTrace* trace);
   Response attack(const Request& request, WorkBudget& budget, RequestTrace* trace);
   void check_endpoints(const Request& request) const;
+  /// The snapshot's CH bundle for the request's weight kind (nullptr when
+  /// MTS_CH=0 — callers fall back to the Dijkstra/Yen paths).
+  [[nodiscard]] const ChAssets* ch_for(const Request& request) const;
+  /// Per-engine many-to-many machinery for a weight kind, created on the
+  /// first table request (buckets are sized to the graph; most engines
+  /// never see a table).
+  ChTableQuery& table_query_for(const Request& request, const ChAssets& assets);
 
   const Snapshot* snapshot_;
   WorkBudget budget_template_;
   SearchSpace workspace_;  // reused across route queries, one per engine
+  ChSearchSpace ch_workspace_;     // CH query/PHAST scratch, one per engine
+  SearchSpace reverse_bounds_;     // kalt: PHAST distances-to-target
+  std::unique_ptr<ChTableQuery> time_table_;
+  std::unique_ptr<ChTableQuery> length_table_;
 };
 
-/// Appends the registry's `routed.*` / `dijkstra.*` / `yen.*` slice to a
+/// Appends the registry's `routed.*` / `dijkstra.*` / `yen.*` / `ch.*` /
+/// `cch.*` slice to a
 /// stats response: every matching counter as `name=value` and every
 /// matching histogram as `name.count` / `name.p50` / `name.p99` (quantile
 /// estimates over the log buckets).  Key order follows the registry's

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <exception>
+#include <fstream>
+#include <iterator>
 #include <map>
 #include <thread>
 #include <utility>
@@ -50,6 +52,8 @@ struct ConnectionRun {
   std::uint64_t errors = 0;
   std::vector<double> latencies_s;  // raw seconds, gated at report time
   std::string failure;              // taxonomy when the connection died
+  bool keep_responses = false;      // --dump: record raw response lines
+  std::vector<std::pair<std::uint64_t, std::string>> responses;
 };
 
 /// Number of nodes served by the daemon, via a `graph` request on a
@@ -102,6 +106,7 @@ void replay_connection(const std::string& host, std::uint16_t port, std::size_t 
       framer.feed(std::string_view(buffer.data(), received));
       while (framer.next_line(line)) {
         const Response response = parse_response(line);
+        if (run.keep_responses) run.responses.emplace_back(response.id, line);
         const auto started = in_flight_start_s.find(response.id);
         require(started != in_flight_start_s.end(),
                 "loadgen: response id " + std::to_string(response.id) + " was never sent");
@@ -131,6 +136,7 @@ const char* to_string(Mix mix) {
     case Mix::Route: return "route";
     case Mix::Kalt: return "kalt";
     case Mix::Attack: return "attack";
+    case Mix::Table: return "table";
     case Mix::Mixed: return "mixed";
   }
   return "?";
@@ -140,8 +146,9 @@ Mix parse_mix(std::string_view token) {
   if (token == "route") return Mix::Route;
   if (token == "kalt") return Mix::Kalt;
   if (token == "attack") return Mix::Attack;
+  if (token == "table") return Mix::Table;
   if (token == "mixed") return Mix::Mixed;
-  throw InvalidInput("unknown mix '" + std::string(token) + "' (route|kalt|attack|mixed)");
+  throw InvalidInput("unknown mix '" + std::string(token) + "' (route|kalt|attack|table|mixed)");
 }
 
 Response request_once(const std::string& host, std::uint16_t port, const Request& request) {
@@ -191,6 +198,21 @@ std::vector<Request> synthesize_requests(const LoadgenOptions& options, std::siz
         request.rank = options.attack_rank;
         request.algorithm = attack::Algorithm::GreedyPathCover;
         break;
+      case Mix::Table: {
+        // The shared source/target draws above become the first row/column
+        // node, keeping every pre-table mix's stream byte-identical.
+        request.verb = Verb::Table;
+        const std::uint32_t dim = std::min(options.table_dim, kMaxTableDim);
+        request.sources.push_back(request.source);
+        request.targets.push_back(request.target);
+        for (std::uint32_t j = 1; j < dim; ++j) {
+          request.sources.push_back(static_cast<std::uint32_t>(rng.uniform_index(num_nodes)));
+        }
+        for (std::uint32_t j = 1; j < dim; ++j) {
+          request.targets.push_back(static_cast<std::uint32_t>(rng.uniform_index(num_nodes)));
+        }
+        break;
+      }
       case Mix::Mixed:
         throw InvariantViolation("mixed kind must have been resolved");
     }
@@ -207,6 +229,7 @@ LoadReport run_loadgen(const std::string& host, std::uint16_t port,
   const std::vector<Request> requests = synthesize_requests(options, num_nodes);
 
   std::vector<ConnectionRun> runs(options.connections);
+  for (ConnectionRun& run : runs) run.keep_responses = !options.dump_path.empty();
   for (std::size_t i = 0; i < requests.size(); ++i) {
     runs[i % runs.size()].assigned.push_back(&requests[i]);
   }
@@ -235,6 +258,21 @@ LoadReport run_loadgen(const std::string& host, std::uint16_t port,
   }
   report.completed = report.ok + report.errors;
   report.dropped = report.sent - report.completed;
+
+  if (!options.dump_path.empty()) {
+    // Sorted by id, the dump is independent of connection interleaving, so
+    // equal-stream runs diff cleanly byte for byte.
+    std::vector<std::pair<std::uint64_t, std::string>> lines;
+    for (ConnectionRun& run : runs) {
+      lines.insert(lines.end(), std::make_move_iterator(run.responses.begin()),
+                   std::make_move_iterator(run.responses.end()));
+    }
+    std::sort(lines.begin(), lines.end());
+    std::ofstream out(options.dump_path);
+    require(out.good(), "loadgen: cannot open dump file " + options.dump_path);
+    for (const auto& [id, text] : lines) out << text << '\n';
+    require(out.good(), "loadgen: failed writing dump file " + options.dump_path);
+  }
   report.wall_s = reported_seconds(wall_s);
   report.qps =
       reported_seconds(wall_s > 0.0 ? static_cast<double>(report.completed) / wall_s : 0.0);

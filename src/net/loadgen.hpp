@@ -18,12 +18,12 @@ namespace mts::net {
 
 /// Which request types the stream contains.  Mixed is the service smoke:
 /// mostly routes, some k-alternative queries, occasional attacks.
-enum class Mix : std::uint8_t { Route, Kalt, Attack, Mixed };
+enum class Mix : std::uint8_t { Route, Kalt, Attack, Table, Mixed };
 
 const char* to_string(Mix mix);
 
-/// Parses "route" | "kalt" | "attack" | "mixed"; throws InvalidInput
-/// naming the offending token otherwise.
+/// Parses "route" | "kalt" | "attack" | "table" | "mixed"; throws
+/// InvalidInput naming the offending token otherwise.
 Mix parse_mix(std::string_view token);
 
 struct LoadgenOptions {
@@ -34,7 +34,14 @@ struct LoadgenOptions {
   Mix mix = Mix::Route;
   std::uint32_t kalt_k = 4;       // k for kalt requests
   std::uint32_t attack_rank = 8;  // forced path rank for attack requests
+  std::uint32_t table_dim = 4;    // sources/targets per table request
   WeightKind weight = WeightKind::Time;
+  /// When non-empty, every raw response line is written here sorted by
+  /// request id, one per line — an A/B parity artifact: two runs against
+  /// the same snapshot and stream (same seed/mix/requests) must produce
+  /// byte-identical dumps regardless of server config (ci.sh diffs
+  /// MTS_CH=1 vs MTS_CH=0 this way).
+  std::string dump_path;
 };
 
 struct LoadReport {

@@ -90,6 +90,35 @@ void finish_request(Request& request, const std::vector<std::string_view>& token
 
 constexpr std::uint64_t kMaxNode = std::numeric_limits<std::uint32_t>::max();
 
+/// Parses a table side: comma-separated node ids, 1..kMaxTableDim entries.
+/// Empty entries ("1,,2", trailing comma) are rejected by parse_u64.
+std::vector<std::uint32_t> parse_node_list(std::string_view token, const char* what) {
+  std::vector<std::uint32_t> nodes;
+  std::size_t start = 0;
+  while (start <= token.size()) {
+    const std::size_t comma = token.find(',', start);
+    const std::string_view item =
+        comma == std::string_view::npos ? token.substr(start) : token.substr(start, comma - start);
+    nodes.push_back(static_cast<std::uint32_t>(parse_u64(item, what, kMaxNode)));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  if (nodes.size() > kMaxTableDim) {
+    throw InvalidInput(std::string(what) + " list has " + std::to_string(nodes.size()) +
+                       " nodes (max " + std::to_string(kMaxTableDim) + ")");
+  }
+  return nodes;
+}
+
+std::string join_node_list(const std::vector<std::uint32_t>& nodes) {
+  std::string out;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(nodes[i]);
+  }
+  return out;
+}
+
 }  // namespace
 
 const char* to_string(WeightKind kind) {
@@ -103,6 +132,7 @@ const char* to_string(Verb verb) {
     case Verb::Stats: return "stats";
     case Verb::Route: return "route";
     case Verb::Kalt: return "kalt";
+    case Verb::Table: return "table";
     case Verb::Attack: return "attack";
   }
   return "?";
@@ -155,6 +185,12 @@ Request parse_request(std::string_view line) {
     request.k = static_cast<std::uint32_t>(parse_u64(tokens[4], "k", kMaxAlternatives));
     if (request.k == 0) throw InvalidInput("k must be >= 1");
     finish_request(request, tokens, 5);
+  } else if (verb == "table") {
+    request.verb = Verb::Table;
+    need(4, "<id> <src,src,...> <dst,dst,...> [time|length]");
+    request.sources = parse_node_list(tokens[2], "src");
+    request.targets = parse_node_list(tokens[3], "dst");
+    finish_request(request, tokens, 4);
   } else if (verb == "attack") {
     request.verb = Verb::Attack;
     need(6, "<id> <src> <dst> <rank> <algorithm> [time|length]");
@@ -166,7 +202,7 @@ Request parse_request(std::string_view line) {
     finish_request(request, tokens, 6);
   } else {
     throw InvalidInput("unknown verb '" + std::string(verb) +
-                       "' (ping|graph|stats|route|kalt|attack)");
+                       "' (ping|graph|stats|route|kalt|table|attack)");
   }
   return request;
 }
@@ -186,6 +222,9 @@ std::string serialize_request(const Request& request) {
     case Verb::Kalt:
       line += ' ' + std::to_string(request.source) + ' ' + std::to_string(request.target) +
               ' ' + std::to_string(request.k);
+      break;
+    case Verb::Table:
+      line += ' ' + join_node_list(request.sources) + ' ' + join_node_list(request.targets);
       break;
     case Verb::Attack:
       line += ' ' + std::to_string(request.source) + ' ' + std::to_string(request.target) +

@@ -9,6 +9,7 @@
 //   stats  <id>
 //   route  <id> <src> <dst> [time|length]
 //   kalt   <id> <src> <dst> <k> [time|length]
+//   table  <id> <src,src,...> <dst,dst,...> [time|length]
 //   attack <id> <src> <dst> <rank> <algorithm> [time|length]
 //
 // Responses:
@@ -18,6 +19,7 @@
 //   ok  <id> stats <key=value ...>   (sorted keys; see DESIGN.md §13)
 //   ok  <id> route found=F dist=D hops=H
 //   ok  <id> kalt paths=N best=B worst=W
+//   ok  <id> table rows=R cols=C vals=<v,v,...>   (row-major, %.9g each)
 //   ok  <id> attack status=S removed=N cost=C
 //   err <id> <category>: <message>
 //
@@ -44,7 +46,7 @@ enum class WeightKind : std::uint8_t { Time, Length };
 
 const char* to_string(WeightKind kind);
 
-enum class Verb : std::uint8_t { Ping, Graph, Stats, Route, Kalt, Attack };
+enum class Verb : std::uint8_t { Ping, Graph, Stats, Route, Kalt, Table, Attack };
 
 const char* to_string(Verb verb);
 
@@ -52,6 +54,9 @@ const char* to_string(Verb verb);
 /// any search runs (they bound per-request work independently of budgets).
 inline constexpr std::uint32_t kMaxAlternatives = 64;
 inline constexpr std::uint32_t kMaxPathRank = 512;
+/// Side cap for `table`: at most 8x8 distances per request, so the largest
+/// table costs about as much as a handful of route queries.
+inline constexpr std::uint32_t kMaxTableDim = 8;
 
 /// One parsed request line.
 struct Request {
@@ -63,10 +68,13 @@ struct Request {
   std::uint32_t rank = 0;    // attack: forced path rank, in [1, kMaxPathRank]
   attack::Algorithm algorithm = attack::Algorithm::GreedyPathCover;  // attack
   WeightKind weight = WeightKind::Time;
+  std::vector<std::uint32_t> sources;  // table: 1..kMaxTableDim row nodes
+  std::vector<std::uint32_t> targets;  // table: 1..kMaxTableDim column nodes
 
   friend bool operator==(const Request& a, const Request& b) {
     return a.verb == b.verb && a.id == b.id && a.source == b.source && a.target == b.target &&
-           a.k == b.k && a.rank == b.rank && a.algorithm == b.algorithm && a.weight == b.weight;
+           a.k == b.k && a.rank == b.rank && a.algorithm == b.algorithm && a.weight == b.weight &&
+           a.sources == b.sources && a.targets == b.targets;
   }
 };
 

@@ -262,6 +262,8 @@ void RoutedServer::record_outcome(const Request& request, const Response& respon
     entry.fields.emplace_back("spur_searches", trace.spur_searches);
     entry.fields.emplace_back("spurs_pruned", trace.spurs_pruned);
     entry.fields.emplace_back("oracle_calls", trace.oracle_calls);
+    entry.fields.emplace_back("ch_queries", trace.ch_queries);
+    entry.fields.emplace_back("ch_nodes_settled", trace.ch_nodes_settled);
     entry.error = response.error;
     slowlog_->append(entry);
   }
@@ -277,6 +279,8 @@ void RoutedServer::record_outcome(const Request& request, const Response& respon
     event.args.emplace_back("spur_searches", std::to_string(trace.spur_searches));
     event.args.emplace_back("spurs_pruned", std::to_string(trace.spurs_pruned));
     event.args.emplace_back("oracle_calls", std::to_string(trace.oracle_calls));
+    event.args.emplace_back("ch_queries", std::to_string(trace.ch_queries));
+    event.args.emplace_back("ch_nodes_settled", std::to_string(trace.ch_nodes_settled));
     if (!response.ok) event.args.emplace_back("error", response.error);
     obs::MetricsRegistry::instance().record_trace_event(std::move(event));
   }

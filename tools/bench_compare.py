@@ -3,29 +3,36 @@
 
 Runs the table02 bench at a small, seed-pinned configuration with
 MTS_METRICS=1 and compares the *work counters* the pipeline emits
-(dijkstra relaxation effort, LP pivots, Yen pruning) against a
-checked-in baseline (BENCH_PR4.json).  These counters are exact
-functions of the input — bit-identical across machines and thread
+(dijkstra relaxation effort, CH serving effort, LP pivots, Yen pruning)
+against a checked-in baseline (BENCH_PR9.json).  These counters are
+exact functions of the input — bit-identical across machines and thread
 counts — so the comparison tolerance is zero: any drift means the
 algorithms did different work, which is either an intended change
-(re-baseline with --update) or a performance regression/correctness
-bug worth catching.
+(re-baseline with --write-baseline) or a performance
+regression/correctness bug worth catching.
 
 Wall-clock is measured and *reported* alongside the counters, but never
 gated — timing noise on shared CI runners would make a wall-clock gate
 flaky, while counter drift is deterministic.
 
 Counters deliberately NOT gated:
-  * dijkstra.workspace_reuses — the first search on each pool thread
-    allocates instead of reusing, so the value depends on how the
-    scheduler spreads tasks across threads.
+  * dijkstra.workspace_reuses / ch.workspace_reuses — the first search
+    on each pool thread allocates instead of reusing, so the value
+    depends on how the scheduler spreads tasks across threads.
   * dijkstra.runs and anything downstream of wall-clock.
 
+Exit codes:
+  0  counters match (or baseline written)
+  1  drift, bad metrics, bench failure
+  3  a gated counter is missing from the baseline or the run — the
+     distinct code lets CI distinguish "schema out of date" (somebody
+     added a counter without re-baselining) from real drift.
+
 Wired into ctest as `bench_gate` (root CMakeLists.txt) and run by the
-dev leg of ci.sh.  Usage:
+dev leg of ci.sh plus the hosted bench CI job.  Usage:
 
   python3 tools/bench_compare.py --bench build/bench/table02_boston_length \
-      --baseline BENCH_PR4.json [--update]
+      --baseline BENCH_PR9.json [--write-baseline] [--report BASE]
 """
 
 from __future__ import annotations
@@ -38,6 +45,9 @@ import sys
 import tempfile
 import time
 from pathlib import Path
+
+EXIT_DRIFT = 1
+EXIT_MISSING_COUNTER = 3
 
 # Same shape as the validate_trace workload but a different seed and two
 # threads: large enough that every gated counter is exercised (Yen pruning
@@ -55,11 +65,16 @@ BENCH_ENV = {
 }
 
 # Deterministic work counters under the +-0% gate.  Keep this list in sync
-# with the baseline file; bench_compare fails if a gated counter is missing
-# from either side.
+# with the baseline file; a mismatch exits with EXIT_MISSING_COUNTER and
+# names every absent counter.
 GATED_COUNTERS = [
     "dijkstra.edges_scanned",
     "dijkstra.nodes_settled",
+    "ch.nodes_settled",
+    "ch.queries",
+    "ch.phast_runs",
+    "ch.recustomizations",
+    "cch.arcs_recomputed",
     "lp.pivots",
     "lp.solves",
     "yen.spurs_pruned",
@@ -69,17 +84,42 @@ GATED_COUNTERS = [
 INFORMATIONAL_COUNTERS = [
     "dijkstra.runs",
     "dijkstra.workspace_reuses",
+    "ch.workspace_reuses",
+    "ch.sweep_relaxations",
+    "ch.table_queries",
+    "cch.queries",
     "yen.spur_searches",
     "yen.candidates_pushed",
 ]
 
 
-def fail(message: str) -> None:
-    print(f"bench_compare: FAIL: {message}", file=sys.stderr)
-    sys.exit(1)
+class Reporter:
+    """Tees report lines to stdout/stderr and an optional --report file."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+
+    def emit(self, message: str, err: bool = False) -> None:
+        line = f"bench_compare: {message}"
+        self.lines.append(line)
+        print(line, file=sys.stderr if err else sys.stdout)
+
+    def write(self, base: Path) -> None:
+        base.parent.mkdir(parents=True, exist_ok=True)
+        base.with_suffix(".txt").write_text("\n".join(self.lines) + "\n")
 
 
-def run_bench(bench: Path) -> tuple[dict, float]:
+REPORT = Reporter()
+
+
+def fail(message: str, code: int = EXIT_DRIFT, report_base: Path | None = None) -> None:
+    REPORT.emit(f"FAIL: {message}", err=True)
+    if report_base is not None:
+        REPORT.write(report_base)
+    sys.exit(code)
+
+
+def run_bench(bench: Path, report_base: Path | None) -> tuple[dict, float]:
     """Runs the bench in a temp dir; returns (metrics JSON, wall seconds)."""
     with tempfile.TemporaryDirectory(prefix="mts_bench_compare_") as tmp:
         (Path(tmp) / "bench_results").mkdir()
@@ -92,25 +132,31 @@ def run_bench(bench: Path) -> tuple[dict, float]:
         wall = time.monotonic() - start
         if proc.returncode != 0:
             sys.stderr.write(proc.stderr)
-            fail(f"bench exited with status {proc.returncode}")
+            fail(f"bench exited with status {proc.returncode}", report_base=report_base)
         metrics_path = Path(tmp) / "bench_results" / "table02_metrics.json"
         if not metrics_path.is_file():
-            fail("bench did not write table02_metrics.json (MTS_METRICS=1 ignored?)")
+            fail("bench did not write table02_metrics.json (MTS_METRICS=1 ignored?)",
+                 report_base=report_base)
+        raw = metrics_path.read_text()
         try:
-            metrics = json.loads(metrics_path.read_text())
+            metrics = json.loads(raw)
         except json.JSONDecodeError as err:
-            fail(f"table02_metrics.json is not valid JSON: {err}")
+            fail(f"table02_metrics.json is not valid JSON: {err}", report_base=report_base)
+        if report_base is not None:
+            # Keep the raw metrics next to the report so a failing CI job can
+            # upload both as artifacts.
+            report_base.parent.mkdir(parents=True, exist_ok=True)
+            Path(f"{report_base}_metrics.json").write_text(raw)
     return metrics, wall
 
 
-def gated_values(counters: dict) -> dict[str, int]:
-    values = {}
-    for name in GATED_COUNTERS:
-        if name not in counters:
-            fail(f"bench metrics missing gated counter {name!r} "
-                 f"(have: {', '.join(sorted(counters))})")
-        values[name] = counters[name]
-    return values
+def gated_values(counters: dict, report_base: Path | None) -> dict[str, int]:
+    missing = [name for name in GATED_COUNTERS if name not in counters]
+    if missing:
+        fail(f"bench metrics missing gated counter(s): {', '.join(missing)} "
+             f"(have: {', '.join(sorted(counters))})",
+             code=EXIT_MISSING_COUNTER, report_base=report_base)
+    return {name: counters[name] for name in GATED_COUNTERS}
 
 
 def main() -> int:
@@ -118,64 +164,78 @@ def main() -> int:
     parser.add_argument("--bench", type=Path, required=True,
                         help="path to the table02 bench binary")
     parser.add_argument("--baseline", type=Path, required=True,
-                        help="checked-in baseline JSON (BENCH_PR4.json)")
-    parser.add_argument("--update", action="store_true",
+                        help="checked-in baseline JSON (BENCH_PR9.json)")
+    parser.add_argument("--write-baseline", "--update", dest="write_baseline",
+                        action="store_true",
                         help="rewrite the baseline from this run instead of comparing")
+    parser.add_argument("--report", type=Path, default=None, metavar="BASE",
+                        help="also write BASE.txt (report lines) and "
+                             "BASE_metrics.json (raw metrics) for CI artifacts")
     args = parser.parse_args()
 
     bench = args.bench.resolve()
     if not bench.is_file():
-        fail(f"bench binary not found: {bench}")
+        fail(f"bench binary not found: {bench}", report_base=args.report)
 
-    metrics, wall = run_bench(bench)
+    metrics, wall = run_bench(bench, args.report)
     counters = metrics.get("counters")
     if not isinstance(counters, dict):
-        fail("metrics JSON has no 'counters' object")
-    current = gated_values(counters)
+        fail("metrics JSON has no 'counters' object", report_base=args.report)
+    current = gated_values(counters, args.report)
 
-    print(f"bench_compare: bench wall-clock {wall:.2f}s (reported, not gated)")
+    REPORT.emit(f"bench wall-clock {wall:.2f}s (reported, not gated)")
     for name in INFORMATIONAL_COUNTERS:
         if name in counters:
-            print(f"bench_compare: info  {name} = {counters[name]}")
+            REPORT.emit(f"info  {name} = {counters[name]}")
 
-    if args.update:
+    if args.write_baseline:
         baseline = {
             "_comment": "Deterministic work-counter baseline for tools/bench_compare.py "
-                        "(PR 4 goal-directed search engine).  Regenerate with --update "
-                        "after an intentional algorithmic change.",
+                        "(PR 9 CH-backed query substrate).  Regenerate with "
+                        "--write-baseline after an intentional algorithmic change.",
             "bench": "table02_boston_length",
             "env": BENCH_ENV,
             "counters": current,
         }
         args.baseline.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
-        print(f"bench_compare: baseline updated: {args.baseline}")
+        REPORT.emit(f"baseline updated: {args.baseline}")
+        if args.report is not None:
+            REPORT.write(args.report)
         return 0
 
     if not args.baseline.is_file():
-        fail(f"baseline not found: {args.baseline} (generate with --update)")
+        fail(f"baseline not found: {args.baseline} (generate with --write-baseline)",
+             report_base=args.report)
     baseline = json.loads(args.baseline.read_text())
     if baseline.get("env") != BENCH_ENV:
         fail("baseline env block does not match BENCH_ENV in this script; "
-             "regenerate the baseline with --update")
+             "regenerate the baseline with --write-baseline", report_base=args.report)
     expected = baseline.get("counters", {})
+
+    missing = [name for name in GATED_COUNTERS if name not in expected]
+    if missing:
+        fail(f"baseline missing gated counter(s): {', '.join(missing)}; "
+             f"regenerate with --write-baseline",
+             code=EXIT_MISSING_COUNTER, report_base=args.report)
 
     regressions = []
     for name in GATED_COUNTERS:
-        if name not in expected:
-            fail(f"baseline missing gated counter {name!r}; regenerate with --update")
         if current[name] != expected[name]:
             delta = current[name] - expected[name]
             regressions.append(f"{name}: expected {expected[name]}, got {current[name]} "
                                f"({'+' if delta >= 0 else ''}{delta})")
         else:
-            print(f"bench_compare: ok    {name} = {current[name]}")
+            REPORT.emit(f"ok    {name} = {current[name]}")
 
     if regressions:
         for line in regressions:
-            print(f"bench_compare: DRIFT {line}", file=sys.stderr)
-        fail("work counters drifted from BENCH_PR4.json (intended? rerun with --update)")
+            REPORT.emit(f"DRIFT {line}", err=True)
+        fail("work counters drifted from the baseline (intended? rerun with "
+             "--write-baseline)", report_base=args.report)
 
-    print("bench_compare: ok")
+    REPORT.emit("ok")
+    if args.report is not None:
+        REPORT.write(args.report)
     return 0
 
 
