@@ -74,13 +74,13 @@ routed_smoke() {
   dir="$(mktemp -d)"
   "$mts" generate --city chicago --scale 0.15 --seed 5 --out "$dir/city.osm"
   env "$@" "$mts" routed --osm "$dir/city.osm" --port 0 --port-file "$dir/port" \
-    --slowlog "$dir/slow.jsonl" --threads 4 2> "$dir/routed.err" &
+    --slowlog "$dir/slow.jsonl" --threads 4 --obs "$dir/obs" 2> "$dir/routed.err" &
   local daemon=$!
   wait_port_file "$daemon" "$dir/port" "$dir/routed.err" || return 1
 
   for mix in route kalt table attack; do
     "$mts" loadgen --port-file "$dir/port" --requests 500 --connections "$JOBS" \
-      --mix "$mix" --rank 2 ||
+      --mix "$mix" --rank 2 --require-zero-drops 1 ||
       { echo "ci: loadgen mix=$mix failed" >&2; kill "$daemon" 2>/dev/null; return 1; }
   done
 
@@ -115,6 +115,63 @@ routed_smoke() {
     echo "ci: armed slow-query log has no fault-injected record" >&2
     return 1
   fi
+
+  # With no overload knob set, the overload machinery must be provably
+  # inert: the drained daemon's metrics may not contain a single shed,
+  # deadline kill, or slow-client eviction (absent counter == 0).
+  python3 tools/bench_compare.py --assert-zero \
+    routed.shed,routed.deadline_exceeded,routed.slow_client_disconnects \
+    --metrics-json "$dir/obs_metrics.json" ||
+    { echo "ci: unloaded smoke tripped overload counters" >&2; return 1; }
+  rm -rf "$dir"
+}
+
+# Chaos leg: the daemon serves with every overload knob armed and fault
+# points firing mid-load (one injected request failure, one stalled
+# response write); the retrying client must still reach a terminal answer
+# for every request with zero drops, and the SIGTERM drain must stay
+# clean.  `timeout` bounds each client run so a wedged daemon fails the
+# leg instead of hanging CI.
+routed_chaos() {
+  local preset="$1"
+  local mts="build-$preset/src/cli/mts"
+  local dir
+  dir="$(mktemp -d)"
+  "$mts" generate --city chicago --scale 0.15 --seed 5 --out "$dir/city.osm"
+  env MTS_MAX_QUEUE=4 MTS_MAX_INFLIGHT=8 MTS_DEADLINE_MS=2000 \
+    MTS_WRITE_TIMEOUT_MS=500 \
+    MTS_FAULTS="routed.request:after=40:throw,net.write:after=60:stall" \
+    "$mts" routed --osm "$dir/city.osm" --port 0 --port-file "$dir/port" \
+    --threads 2 > "$dir/routed.out" 2> "$dir/routed.err" &
+  local daemon=$!
+  wait_port_file "$daemon" "$dir/port" "$dir/routed.err" || return 1
+
+  # Window 16 against an inflight cap of 8 guarantees sheds; --retries
+  # must absorb them (or surface structured errors), never drop.
+  for mix in route attack; do
+    timeout 120 "$mts" loadgen --port-file "$dir/port" --requests 400 \
+      --connections 4 --window 16 --mix "$mix" --rank 2 \
+      --retries 8 --reconnects 4 --require-zero-drops 1 ||
+      { echo "ci: chaos loadgen mix=$mix failed or hung" >&2
+        kill "$daemon" 2>/dev/null; return 1; }
+  done
+
+  kill -TERM "$daemon"
+  local rc=0
+  wait "$daemon" || rc=$?
+  if [ "$rc" != 0 ]; then
+    echo "ci: chaos daemon did not drain cleanly on SIGTERM (exit $rc)" >&2
+    cat "$dir/routed.err" >&2
+    return 1
+  fi
+  # The armed knobs must actually have fired: a chaos run that never shed
+  # is not testing overload.
+  if ! grep -Eq 'shed=[1-9]' "$dir/routed.out"; then
+    echo "ci: chaos run never shed a request; daemon summary:" >&2
+    cat "$dir/routed.out" >&2
+    return 1
+  fi
+  sed -n 's/^routed:/ci: chaos daemon summary:/p' "$dir/routed.out"
   rm -rf "$dir"
 }
 
@@ -227,8 +284,11 @@ for preset in "${PRESETS[@]}"; do
     # vs shutdown_read fd race.  ChSharedSnapshot races concurrent
     # QueryEngine workers over one read-only snapshot-owned
     # ContractionHierarchy (net/snapshot, graph/contraction_hierarchy).
+    # RoutedOverload races the admission path, per-connection writer
+    # threads, and eviction against workers; SocketIo races reader/writer
+    # pairs through tiny kernel buffers and EINTR storms.
     MTS_THREADS=4 ctest --preset "$preset" -j "$JOBS" \
-      -R 'ThreadPool|ParallelDeterminism|ConcurrentRecording|SearchSpace|Fault|Checkpoint|TaskQueue|RoutedE2e|WindowedHistogram|ChSharedSnapshot'
+      -R 'ThreadPool|ParallelDeterminism|ConcurrentRecording|SearchSpace|Fault|Checkpoint|TaskQueue|RoutedE2e|RoutedOverload|SocketIo|WindowedHistogram|ChSharedSnapshot'
     continue
   fi
 
@@ -283,6 +343,12 @@ for preset in "${PRESETS[@]}"; do
     # mixes, then the SIGTERM drain contract (see routed_smoke above).
     echo "==== [$preset] routed/loadgen smoke ===="
     routed_smoke "$preset"
+
+    # Overload chaos: armed knobs + mid-load fault injection; the
+    # retrying client must terminate with zero drops and the daemon must
+    # shed observably and drain cleanly (see routed_chaos above).
+    echo "==== [$preset] routed overload chaos ===="
+    routed_chaos "$preset"
 
     # CH on/off A-B replay: identical request streams against both
     # serving substrates must produce byte-identical answers.

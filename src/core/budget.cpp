@@ -58,4 +58,10 @@ void WorkBudget::exhausted(const char* counter, std::uint64_t cap) {
                         " exceeded cap " + std::to_string(cap));
 }
 
+void WorkBudget::expired() {
+  // Deliberately carries no elapsed time: the message lands on the wire and
+  // wire bytes must not depend on scheduler jitter.
+  throw DeadlineExceeded("request ran past its deadline");
+}
+
 }  // namespace mts

@@ -1,4 +1,4 @@
-// Cooperative deterministic work budgets.
+// Cooperative deterministic work budgets (plus opt-in serving deadlines).
 //
 // Wall-clock deadlines make runs machine-dependent; the harness instead caps
 // the exact work counters the pipeline already tracks (Dijkstra edge
@@ -9,6 +9,14 @@
 // a structured AttackStatus::BudgetExhausted — the same outcome on every
 // machine and thread count (DESIGN.md §10).
 //
+// The serving layer (`mts routed`) additionally arms a wall-clock deadline on
+// the same budget object: arm_deadline() makes every charge checkpoint also
+// probe (every kDeadlineCheckInterval charges, to keep clock reads off the
+// per-node path) whether the request ran past its deadline, throwing
+// DeadlineExceeded.  Deadlines are deliberately NOT parsed from MTS_BUDGET —
+// batch experiment output must stay machine-independent; only the daemon,
+// whose responses are already latency-sensitive, arms them (DESIGN.md §15).
+//
 // A null budget pointer (the default everywhere) means unlimited and costs
 // one pointer test per checkpoint.
 #pragma once
@@ -18,6 +26,7 @@
 #include <string_view>
 
 #include "core/error.hpp"
+#include "core/timer.hpp"
 
 namespace mts {
 
@@ -29,9 +38,23 @@ class BudgetExhausted : public Error {
   using Error::Error;
 };
 
+/// Thrown by WorkBudget charge checkpoints when an armed wall-clock deadline
+/// has passed.  Distinct from BudgetExhausted so the serving layer can map it
+/// to the `deadline-exceeded` wire taxonomy (retryable by clients) while
+/// budget exhaustion stays a deterministic, non-retryable outcome.
+class DeadlineExceeded : public Error {
+ public:
+  using Error::Error;
+};
+
 /// Deterministic work caps plus the running totals charged against them.
 /// Caps of 0 mean unlimited.  Not thread-safe: one budget per task.
 struct WorkBudget {
+  /// A deadline probe reads the clock only once per this many charge calls;
+  /// the first charge always probes, so an already-expired request fails on
+  /// its first checkpoint instead of after a full interval.
+  static constexpr std::uint64_t kDeadlineCheckInterval = 64;
+
   std::uint64_t max_edges_scanned = 0;
   std::uint64_t max_lp_pivots = 0;
   std::uint64_t max_spur_searches = 0;
@@ -40,13 +63,31 @@ struct WorkBudget {
   std::uint64_t lp_pivots = 0;
   std::uint64_t spur_searches = 0;
 
-  /// True when at least one cap is set; callers pass nullptr instead of an
-  /// unlimited budget so the zero-cap case stays off the hot path entirely.
+  /// True when at least one cap (or a deadline) is set; callers pass nullptr
+  /// instead of an unlimited budget so the zero-cap case stays off the hot
+  /// path entirely.
   [[nodiscard]] bool limited() const {
-    return max_edges_scanned != 0 || max_lp_pivots != 0 || max_spur_searches != 0;
+    return max_edges_scanned != 0 || max_lp_pivots != 0 ||
+           max_spur_searches != 0 || deadline_clock_ != nullptr;
+  }
+
+  /// Arms a wall-clock deadline at absolute instant `deadline_s` on `clock`
+  /// (which must outlive the budget).  Charge checkpoints then throw
+  /// DeadlineExceeded once the clock passes the deadline.
+  void arm_deadline(const Stopwatch* clock, double deadline_s) {
+    deadline_clock_ = clock;
+    deadline_s_ = deadline_s;
+    deadline_ticks_ = 0;
+  }
+
+  /// True when an armed deadline has already passed.  Cheap enough for a
+  /// per-request pre-execution probe (one clock read); false when disarmed.
+  [[nodiscard]] bool deadline_expired() const {
+    return deadline_clock_ != nullptr && deadline_clock_->seconds() >= deadline_s_;
   }
 
   void charge_edges_scanned(std::uint64_t n) {
+    check_deadline();
     edges_scanned += n;
     if (max_edges_scanned != 0 && edges_scanned > max_edges_scanned) {
       exhausted("edges_scanned", max_edges_scanned);
@@ -54,6 +95,7 @@ struct WorkBudget {
   }
 
   void charge_lp_pivots(std::uint64_t n) {
+    check_deadline();
     lp_pivots += n;
     if (max_lp_pivots != 0 && lp_pivots > max_lp_pivots) {
       exhausted("lp_pivots", max_lp_pivots);
@@ -61,6 +103,7 @@ struct WorkBudget {
   }
 
   void charge_spur_searches(std::uint64_t n) {
+    check_deadline();
     spur_searches += n;
     if (max_spur_searches != 0 && spur_searches > max_spur_searches) {
       exhausted("spur_searches", max_spur_searches);
@@ -75,7 +118,18 @@ struct WorkBudget {
   static WorkBudget from_environment();
 
  private:
+  void check_deadline() {
+    if (deadline_clock_ == nullptr) return;
+    if ((deadline_ticks_++ % kDeadlineCheckInterval) != 0) return;
+    if (deadline_clock_->seconds() >= deadline_s_) expired();
+  }
+
   [[noreturn]] static void exhausted(const char* counter, std::uint64_t cap);
+  [[noreturn]] static void expired();
+
+  const Stopwatch* deadline_clock_ = nullptr;  ///< nullptr = no deadline
+  double deadline_s_ = 0.0;                    ///< absolute, on deadline_clock_
+  std::uint64_t deadline_ticks_ = 0;
 };
 
 }  // namespace mts

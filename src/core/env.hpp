@@ -30,6 +30,25 @@
 //               seconds between periodic metrics-snapshot flushes while
 //               `mts routed` serves (implies MTS_METRICS=1); unset or 0
 //               (default) = no periodic flush, artifacts only at exit
+// MTS_MAX_INFLIGHT
+//               `mts routed` per-connection cap on parsed-but-unanswered
+//               requests; a connection over the cap gets `err <id>
+//               overloaded` immediately.  Unset or 0 (default) = unbounded.
+// MTS_MAX_QUEUE `mts routed` cap on queued+executing requests across all
+//               connections.  At half the cap the daemon sheds expensive
+//               verbs (attack, table); at the cap it sheds all search verbs
+//               (route, kalt too).  Unset or 0 (default) = unbounded.
+// MTS_DEADLINE_MS
+//               `mts routed` default per-request deadline in milliseconds,
+//               measured from parse (queue wait counts); an expired request
+//               answers `err <id> deadline-exceeded`.  A request's own
+//               `deadline=` token overrides.  Unset or 0 (default) = none.
+// MTS_WRITE_TIMEOUT_MS
+//               `mts routed` per-response send timeout; a client that can't
+//               drain a response within it is disconnected and counted in
+//               routed.slow_client_disconnects.  Unset or 0 (default) =
+//               writes block (the per-connection write-queue byte cap still
+//               bounds memory).
 // MTS_CH        1 (default) = serve route/kalt distance work and the
 //               attack oracle/verifier distance checks through the
 //               Contraction Hierarchy built at snapshot/table load (see

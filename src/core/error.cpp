@@ -15,6 +15,8 @@ std::string current_exception_taxonomy() {
     throw;
   } catch (const fault::FaultInjected& e) {
     return std::string("fault-injected: ") + e.what();
+  } catch (const DeadlineExceeded& e) {
+    return std::string("deadline-exceeded: ") + e.what();
   } catch (const BudgetExhausted& e) {
     return std::string("budget-exhausted: ") + e.what();
   } catch (const InvariantViolation& e) {

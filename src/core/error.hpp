@@ -35,9 +35,9 @@ class InvariantViolation : public Error {
 
 /// Classifies the exception currently in flight into a stable
 /// "<category>: <message>" string for quarantine records and JSON reports.
-/// Categories: fault-injected, budget-exhausted, invariant-violation,
-/// precondition-violation, invalid-input, error, bad-alloc, exception,
-/// unknown.  Must be called from inside a catch block (it rethrows the
+/// Categories: fault-injected, deadline-exceeded, budget-exhausted,
+/// invariant-violation, precondition-violation, invalid-input, error,
+/// bad-alloc, exception, unknown.  Must be called from inside a catch block (it rethrows the
 /// active exception to inspect it).
 std::string current_exception_taxonomy();
 

@@ -18,6 +18,8 @@ std::string to_string(Action action) {
       return "nan";
     case Action::Limit:
       return "limit";
+    case Action::Stall:
+      return "stall";
   }
   return "unknown";
 }
@@ -37,8 +39,9 @@ Action parse_action(std::string_view token) {
   if (token == "throw") return Action::Throw;
   if (token == "nan") return Action::Nan;
   if (token == "limit") return Action::Limit;
+  if (token == "stall") return Action::Stall;
   throw InvalidInput("MTS_FAULTS: unknown action '" + std::string(token) +
-                     "' (expected throw|nan|limit)");
+                     "' (expected throw|nan|limit|stall)");
 }
 
 }  // namespace

@@ -12,7 +12,7 @@
 //   }
 //
 // Points are armed via MTS_FAULTS="lp.pivot:after=100:throw" (comma-separated
-// entries, actions: throw | nan | limit) or programmatically through
+// entries, actions: throw | nan | limit | stall) or programmatically through
 // FaultRegistry::arm().  A point fires exactly once, on hit number `after`
 // (1-based, counted process-wide with an atomic increment, so the firing hit
 // is unique even across threads).
@@ -48,7 +48,13 @@ enum class Action : int {
   Throw = 1,  ///< throw FaultInjected
   Nan = 2,    ///< site poisons a value with quiet NaN
   Limit = 3,  ///< site reports a forced iteration/search limit
+  Stall = 4,  ///< site sleeps kStallMillis, emulating a wedged peer/syscall
 };
+
+/// How long an Action::Stall site sleeps before proceeding.  Long enough to
+/// dominate loopback round-trips in tests, short enough to keep chaos legs
+/// fast.
+inline constexpr int kStallMillis = 400;
 
 std::string to_string(Action action);
 
@@ -69,12 +75,13 @@ inline bool faults_enabled() {
 
 /// Every fault point compiled into the library.  Tests and the CI smoke leg
 /// iterate this list; keep it in sync with the MTS_FAULT_POINT/ACTION sites.
-inline constexpr std::array<const char*, 5> kKnownPoints = {
+inline constexpr std::array<const char*, 6> kKnownPoints = {
     "lp.pivot",        // simplex.cpp, once per pivot
     "yen.spur",        // yen.cpp, once per spur search
     "oracle.solve",    // oracle.cpp, once per exclusivity query
     "pool.task",       // table_runner.cpp, once per grid cell task
     "routed.request",  // net/engine.cpp, once per routed request
+    "net.write",       // net/server.cpp, once per queued response write
 };
 
 struct PointId {

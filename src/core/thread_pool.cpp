@@ -139,7 +139,8 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
 
 // ---- TaskQueue -------------------------------------------------------------
 
-TaskQueue::TaskQueue(std::size_t num_workers) {
+TaskQueue::TaskQueue(std::size_t num_workers, std::size_t max_queued)
+    : max_queued_(max_queued) {
   require(num_workers >= 1, "TaskQueue: num_workers must be >= 1");
   workers_.reserve(num_workers);
   for (std::size_t worker = 0; worker < num_workers; ++worker) {
@@ -149,15 +150,27 @@ TaskQueue::TaskQueue(std::size_t num_workers) {
 
 TaskQueue::~TaskQueue() { close(); }
 
-bool TaskQueue::submit(Task task) {
+TaskQueue::SubmitResult TaskQueue::try_submit(Task task) {
   require(static_cast<bool>(task), "TaskQueue::submit: empty task");
   {
     MutexLock lock(mutex_);
-    if (closed_) return false;
+    if (closed_) return SubmitResult::Closed;
+    if (max_queued_ != 0 && queue_.size() >= max_queued_) {
+      return SubmitResult::QueueFull;
+    }
     queue_.push_back(std::move(task));
   }
   work_ready_.notify_one();
-  return true;
+  return SubmitResult::Accepted;
+}
+
+bool TaskQueue::submit(Task task) {
+  return try_submit(std::move(task)) == SubmitResult::Accepted;
+}
+
+std::size_t TaskQueue::queued() const {
+  MutexLock lock(mutex_);
+  return queue_.size();
 }
 
 void TaskQueue::close() {

@@ -81,19 +81,29 @@ class ThreadPool {
   bool stop_ MTS_GUARDED_BY(mutex_) = false;
 };
 
-/// Unbounded FIFO queue with dedicated workers, for latency-oriented
-/// service work (the routed daemon) as opposed to parallel_for's
-/// throughput loops.  Tasks receive their worker index so callers can keep
-/// per-worker state (e.g. one net::QueryEngine per worker) without any
-/// sharing.  Tasks must not throw; one that does is swallowed and its
-/// quarantine taxonomy recorded (a service must survive a bad request).
+/// FIFO queue with dedicated workers, for latency-oriented service work
+/// (the routed daemon) as opposed to parallel_for's throughput loops.
+/// Tasks receive their worker index so callers can keep per-worker state
+/// (e.g. one net::QueryEngine per worker) without any sharing.  Tasks must
+/// not throw; one that does is swallowed and its quarantine taxonomy
+/// recorded (a service must survive a bad request).
+///
+/// The queue is unbounded by default; a `max_queued` bound turns submission
+/// into admission control — try_submit() reports QueueFull instead of
+/// growing the backlog, and the caller decides how to shed.
 class TaskQueue {
  public:
   using Task = std::function<void(std::size_t worker)>;
 
+  /// Why try_submit() did or did not accept a task.  Distinct outcomes on
+  /// purpose: a full queue is a load signal (shed and keep serving) while a
+  /// closed queue is a lifecycle signal (shut down).
+  enum class SubmitResult : std::uint8_t { Accepted, QueueFull, Closed };
+
   /// Spawns `num_workers` dedicated threads (>= 1 required).  Unlike
-  /// ThreadPool, the constructing thread never runs tasks.
-  explicit TaskQueue(std::size_t num_workers);
+  /// ThreadPool, the constructing thread never runs tasks.  `max_queued`
+  /// caps tasks waiting in the queue (not yet running); 0 = unbounded.
+  explicit TaskQueue(std::size_t num_workers, std::size_t max_queued = 0);
 
   /// close() + join.
   ~TaskQueue();
@@ -101,9 +111,17 @@ class TaskQueue {
   TaskQueue(const TaskQueue&) = delete;
   TaskQueue& operator=(const TaskQueue&) = delete;
 
+  /// Enqueues a task unless the queue is closed or at its bound.
+  [[nodiscard]] SubmitResult try_submit(Task task) MTS_EXCLUDES(mutex_);
+
   /// Enqueues a task.  Returns false — dropping the task — once close()
-  /// has begun, so producers racing a shutdown get a definite answer.
+  /// has begun or the bound is hit, so producers racing a shutdown get a
+  /// definite answer.  (Callers that must tell the two apart use
+  /// try_submit().)
   bool submit(Task task) MTS_EXCLUDES(mutex_);
+
+  /// Tasks currently waiting in the queue (excludes ones being executed).
+  [[nodiscard]] std::size_t queued() const MTS_EXCLUDES(mutex_);
 
   /// Stops accepting new tasks, waits for every already-queued task to
   /// finish, and joins the workers.  Idempotent; safe to call once from
@@ -122,6 +140,7 @@ class TaskQueue {
   void worker_loop(std::size_t worker) MTS_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
+  const std::size_t max_queued_;  // 0 = unbounded
   mutable Mutex mutex_;
   CondVar work_ready_;
   std::deque<Task> queue_ MTS_GUARDED_BY(mutex_);

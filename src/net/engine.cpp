@@ -1,7 +1,9 @@
 #include "net/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -55,10 +57,22 @@ void append_registry_stats(Response& response) {
 QueryEngine::QueryEngine(const Snapshot& snapshot, const WorkBudget& budget_template)
     : snapshot_(&snapshot), budget_template_(budget_template) {}
 
-Response QueryEngine::handle(const Request& request, RequestTrace* trace) {
+Response QueryEngine::handle(const Request& request, RequestTrace* trace,
+                             const Stopwatch* deadline_clock, double deadline_s) {
   try {
-    MTS_FAULT_POINT("routed.request");
+    // Value site: Stall emulates a slow handler (the worker sleeps, the
+    // request then completes normally); everything else escalates.
+    switch (const fault::Action action = MTS_FAULT_ACTION("routed.request")) {
+      case fault::Action::None:
+        break;
+      case fault::Action::Stall:
+        std::this_thread::sleep_for(std::chrono::milliseconds(fault::kStallMillis));
+        break;
+      default:
+        fault::throw_injected("routed.request", action);
+    }
     WorkBudget budget = budget_template_;
+    if (deadline_clock != nullptr) budget.arm_deadline(deadline_clock, deadline_s);
     return dispatch(request, budget, trace);
   } catch (...) {
     Response response;

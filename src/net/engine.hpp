@@ -36,7 +36,12 @@ class QueryEngine {
   /// fires here (once per request hit) when armed.  When `trace` is
   /// non-null it accumulates this request's work counters — including the
   /// work performed before a failure — for spans and the slow-query log.
-  Response handle(const Request& request, RequestTrace* trace = nullptr);
+  /// A non-null `deadline_clock` arms a wall-clock deadline at absolute
+  /// instant `deadline_s` on that clock (the server's lifetime Stopwatch):
+  /// the request's budget copy then answers `err ... deadline-exceeded:`
+  /// once the work runs past it (DESIGN.md §15).
+  Response handle(const Request& request, RequestTrace* trace = nullptr,
+                  const Stopwatch* deadline_clock = nullptr, double deadline_s = 0.0);
 
  private:
   Response dispatch(const Request& request, WorkBudget& budget, RequestTrace* trace);

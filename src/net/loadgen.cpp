@@ -1,10 +1,13 @@
 #include "net/loadgen.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <deque>
 #include <exception>
 #include <fstream>
 #include <iterator>
 #include <map>
+#include <string_view>
 #include <thread>
 #include <utility>
 
@@ -47,14 +50,23 @@ obs::HistogramId latency_histogram() {
 /// Per-connection replay state and results.
 struct ConnectionRun {
   std::vector<const Request*> assigned;
-  std::uint64_t sent = 0;
+  std::size_t connection_index = 0;  // jitter-stream key for reconnect backoff
+  std::uint64_t sent = 0;            // unique requests put on the wire
   std::uint64_t ok = 0;
   std::uint64_t errors = 0;
+  std::uint64_t retried = 0;     // re-sends after retryable err responses
+  std::uint64_t reconnects = 0;  // successful reconnections
   std::vector<double> latencies_s;  // raw seconds, gated at report time
   std::string failure;              // taxonomy when the connection died
   bool keep_responses = false;      // --dump: record raw response lines
   std::vector<std::pair<std::uint64_t, std::string>> responses;
 };
+
+bool retryable_error(const Response& response) {
+  const std::string_view error = response.error;
+  return !response.ok && (error.substr(0, 10) == "overloaded" ||
+                          error.substr(0, 17) == "deadline-exceeded");
+}
 
 /// Number of nodes served by the daemon, via a `graph` request on a
 /// dedicated control connection.
@@ -69,49 +81,116 @@ std::size_t query_num_nodes(const std::string& host, std::uint16_t port) {
   return static_cast<std::size_t>(std::stoull(nodes));
 }
 
-void replay_connection(const std::string& host, std::uint16_t port, std::size_t window,
-                       ConnectionRun& run) {
+void replay_connection(const std::string& host, std::uint16_t port,
+                       const LoadgenOptions& options, ConnectionRun& run) {
+  // Per-request replay state: a request is either done, in flight on the
+  // current socket, or waiting in `ready` for a (re-)send.
+  struct Slot {
+    const Request* request = nullptr;
+    std::uint32_t retries_left = 0;
+    bool sent_once = false;
+  };
+  std::vector<Slot> slots(run.assigned.size());
+  std::map<std::uint64_t, std::size_t> id_to_slot;
+  std::deque<std::size_t> ready;
+  for (std::size_t i = 0; i < run.assigned.size(); ++i) {
+    slots[i].request = run.assigned[i];
+    slots[i].retries_left = options.retry_limit;
+    id_to_slot.emplace(run.assigned[i]->id, i);
+    ready.push_back(i);
+  }
+
   try {
-    const Socket socket = connect_to(host, port);
+    Socket socket = connect_to(host, port);
     const Stopwatch watch;
     LineFramer framer;
     std::vector<char> buffer(8192);
     std::string line;
     std::map<std::uint64_t, double> in_flight_start_s;
-    std::size_t next = 0;
+    std::size_t reconnects_used = 0;
     std::uint64_t completed = 0;
 
-    while (completed < run.assigned.size()) {
+    // Connection death (EOF or a failed write): give up, or — with a
+    // reconnect budget — back off deterministically, dial back in, and
+    // queue every unanswered in-flight request for re-send ahead of the
+    // unsent tail (ascending id, so replays stay reproducible).
+    const auto try_reconnect = [&]() -> bool {
+      if (reconnects_used >= options.max_reconnects) return false;
+      ++reconnects_used;
+      const double backoff_s =
+          reconnect_backoff_s(options.seed, run.connection_index, reconnects_used);
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
+      socket = connect_to(host, port);  // throws when the daemon is gone for good
+      framer = LineFramer();            // drop any partial line from the dead socket
+      for (auto it = in_flight_start_s.rbegin(); it != in_flight_start_s.rend(); ++it) {
+        ready.push_front(id_to_slot.at(it->first));
+      }
+      in_flight_start_s.clear();
+      ++run.reconnects;
+      return true;
+    };
+
+    while (completed < slots.size()) {
       // Top up the window, batching the burst into one write.
       std::string burst;
-      while (next < run.assigned.size() && in_flight_start_s.size() < window) {
-        const Request& request = *run.assigned[next];
-        burst += serialize_request(request);
+      std::uint64_t burst_lines = 0;
+      while (!ready.empty() && in_flight_start_s.size() < options.window) {
+        Slot& slot = slots[ready.front()];
+        ready.pop_front();
+        burst += serialize_request(*slot.request);
         burst += '\n';
-        in_flight_start_s.emplace(request.id, watch.seconds());
-        ++next;
-        ++run.sent;
+        ++burst_lines;
+        in_flight_start_s.emplace(slot.request->id, watch.seconds());
+        if (!slot.sent_once) {
+          slot.sent_once = true;
+          ++run.sent;
+        }
       }
       if (!burst.empty()) {
-        socket.write_all(burst);
-        obs::add(sent_counter(),
-                 static_cast<std::uint64_t>(std::count(burst.begin(), burst.end(), '\n')));
+        try {
+          socket.write_all(burst);
+        } catch (const std::exception&) {
+          if (!try_reconnect()) {
+            run.failure = "error: daemon closed the connection mid-load";
+            return;  // the remaining in-flight requests count as dropped
+          }
+          continue;
+        }
+        obs::add(sent_counter(), burst_lines);
       }
 
-      const std::size_t received = socket.read_some(buffer.data(), buffer.size());
+      std::size_t received = 0;
+      try {
+        received = socket.read_some(buffer.data(), buffer.size());
+      } catch (const std::exception&) {
+        received = 0;  // a reset (evicted slow client) dies like a clean EOF
+      }
       if (received == 0) {
-        run.failure = "error: daemon closed the connection mid-load";
-        return;  // the remaining in-flight requests count as dropped
+        if (!try_reconnect()) {
+          run.failure = "error: daemon closed the connection mid-load";
+          return;
+        }
+        continue;
       }
       framer.feed(std::string_view(buffer.data(), received));
       while (framer.next_line(line)) {
         const Response response = parse_response(line);
-        if (run.keep_responses) run.responses.emplace_back(response.id, line);
         const auto started = in_flight_start_s.find(response.id);
         require(started != in_flight_start_s.end(),
                 "loadgen: response id " + std::to_string(response.id) + " was never sent");
         const double latency_s = watch.seconds() - started->second;
         in_flight_start_s.erase(started);
+        Slot& slot = slots[id_to_slot.at(response.id)];
+        if (retryable_error(response) && slot.retries_left > 0) {
+          // Shed or expired: the server asked us to back off, so the retry
+          // joins the back of the line instead of pushing in front.
+          --slot.retries_left;
+          ++run.retried;
+          ready.push_back(id_to_slot.at(response.id));
+          continue;
+        }
+        if (run.keep_responses) run.responses.emplace_back(response.id, line);
+        // Latency of the terminal answer, measured from its own (re-)send.
         run.latencies_s.push_back(latency_s);
         obs::observe(latency_histogram(), reported_seconds(latency_s));
         if (response.ok) {
@@ -149,6 +228,17 @@ Mix parse_mix(std::string_view token) {
   if (token == "table") return Mix::Table;
   if (token == "mixed") return Mix::Mixed;
   throw InvalidInput("unknown mix '" + std::string(token) + "' (route|kalt|attack|table|mixed)");
+}
+
+double reconnect_backoff_s(std::uint64_t seed, std::size_t connection, std::size_t attempt) {
+  constexpr double kBase_s = 0.010;
+  constexpr double kCap_s = 0.640;
+  const std::size_t doublings = attempt > 0 ? std::min<std::size_t>(attempt - 1, 6) : 0;
+  const double exp_s = std::min(kCap_s, kBase_s * static_cast<double>(std::uint64_t{1} << doublings));
+  // A private stream per (seed, connection, attempt): jitter decorrelates
+  // reconnect herds without any shared RNG state across threads.
+  Rng rng(derive_seed(seed, {0x62636b6fULL, connection, attempt}));  // "bcko"
+  return exp_s * (0.5 + 0.5 * rng.uniform());
 }
 
 Response request_once(const std::string& host, std::uint16_t port, const Request& request) {
@@ -229,7 +319,10 @@ LoadReport run_loadgen(const std::string& host, std::uint16_t port,
   const std::vector<Request> requests = synthesize_requests(options, num_nodes);
 
   std::vector<ConnectionRun> runs(options.connections);
-  for (ConnectionRun& run : runs) run.keep_responses = !options.dump_path.empty();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    runs[i].connection_index = i;
+    runs[i].keep_responses = !options.dump_path.empty();
+  }
   for (std::size_t i = 0; i < requests.size(); ++i) {
     runs[i % runs.size()].assigned.push_back(&requests[i]);
   }
@@ -239,7 +332,7 @@ LoadReport run_loadgen(const std::string& host, std::uint16_t port,
   threads.reserve(runs.size());
   for (ConnectionRun& run : runs) {
     threads.emplace_back(
-        [&host, port, &options, &run] { replay_connection(host, port, options.window, run); });
+        [&host, port, &options, &run] { replay_connection(host, port, options, run); });
   }
   for (std::thread& thread : threads) thread.join();
   const double wall_s = wall.seconds();
@@ -250,6 +343,8 @@ LoadReport run_loadgen(const std::string& host, std::uint16_t port,
     report.sent += run.sent;
     report.ok += run.ok;
     report.errors += run.errors;
+    report.retried += run.retried;
+    report.reconnects += run.reconnects;
     latencies.insert(latencies.end(), run.latencies_s.begin(), run.latencies_s.end());
     if (!run.failure.empty()) {
       ++report.failed_connections;
@@ -258,6 +353,7 @@ LoadReport run_loadgen(const std::string& host, std::uint16_t port,
   }
   report.completed = report.ok + report.errors;
   report.dropped = report.sent - report.completed;
+  report.partial = report.dropped > 0 || report.failed_connections > 0;
 
   if (!options.dump_path.empty()) {
     // Sorted by id, the dump is independent of connection interleaving, so

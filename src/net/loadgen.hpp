@@ -36,11 +36,22 @@ struct LoadgenOptions {
   std::uint32_t attack_rank = 8;  // forced path rank for attack requests
   std::uint32_t table_dim = 4;    // sources/targets per table request
   WeightKind weight = WeightKind::Time;
+  /// Overload-aware client behavior (both default off, so a replay with an
+  /// unarmed server sends byte-identical wire traffic to the pre-overload
+  /// client).  `max_reconnects` lets a connection that dies mid-load dial
+  /// back in — capped exponential backoff with deterministic jitter (see
+  /// reconnect_backoff_s) — and re-send its unanswered requests.
+  /// `retry_limit` re-sends a request up to that many times when the
+  /// server answers `overloaded` or `deadline-exceeded` (every other error
+  /// taxonomy is terminal).
+  std::size_t max_reconnects = 0;
+  std::uint32_t retry_limit = 0;
   /// When non-empty, every raw response line is written here sorted by
   /// request id, one per line — an A/B parity artifact: two runs against
   /// the same snapshot and stream (same seed/mix/requests) must produce
   /// byte-identical dumps regardless of server config (ci.sh diffs
-  /// MTS_CH=1 vs MTS_CH=0 this way).
+  /// MTS_CH=1 vs MTS_CH=0 this way).  Retried requests record only their
+  /// terminal response.
   std::string dump_path;
 };
 
@@ -48,9 +59,15 @@ struct LoadReport {
   std::uint64_t sent = 0;
   std::uint64_t completed = 0;  // responses received (ok + errors)
   std::uint64_t ok = 0;
-  std::uint64_t errors = 0;   // structured `err` responses
+  std::uint64_t errors = 0;   // structured `err` responses (terminal only)
   std::uint64_t dropped = 0;  // sent but never answered (connection died)
+  std::uint64_t retried = 0;     // re-sends after overloaded/deadline-exceeded
+  std::uint64_t reconnects = 0;  // successful mid-load reconnections
   std::uint64_t failed_connections = 0;
+  /// True when any connection died or any request was dropped: the latency
+  /// percentiles below then summarize only the requests that completed —
+  /// a partial window, not the full offered load.
+  bool partial = false;
   std::string first_failure;  // taxonomy of the first connection failure
   double wall_s = 0.0;
   double qps = 0.0;
@@ -59,6 +76,13 @@ struct LoadReport {
   double mean_s = 0.0;
   double max_s = 0.0;
 };
+
+/// Backoff before successful-reconnect attempt `attempt` (1-based) on
+/// `connection`: capped exponential (10 ms doubling to 640 ms) scaled by
+/// deterministic jitter in [0.5, 1.0] drawn from an RNG stream derived
+/// from (seed, connection, attempt).  Pure — same inputs, same delay on
+/// every machine — so a replay with reconnects is still reproducible.
+double reconnect_backoff_s(std::uint64_t seed, std::size_t connection, std::size_t attempt);
 
 /// The deterministic request stream: request i has id i+1, endpoints drawn
 /// from mts::Rng seeded by `options.seed` alone.  Identical inputs produce

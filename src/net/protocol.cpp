@@ -75,11 +75,21 @@ attack::Algorithm parse_algorithm_token(std::string_view token) {
                      "' (lp-pathcover|greedy-pathcover|greedy-edge|greedy-eig)");
 }
 
-/// Consumes the optional trailing weight token; anything after it is junk.
+constexpr std::string_view kDeadlineKey = "deadline=";
+
+/// Consumes the optional trailing weight and `deadline=<ms>` tokens (in
+/// that order); anything after them is junk.
 void finish_request(Request& request, const std::vector<std::string_view>& tokens,
                     std::size_t next) {
-  if (next < tokens.size()) {
+  if (next < tokens.size() && tokens[next].substr(0, kDeadlineKey.size()) != kDeadlineKey) {
     request.weight = parse_weight_kind(tokens[next]);
+    ++next;
+  }
+  if (next < tokens.size() && tokens[next].substr(0, kDeadlineKey.size()) == kDeadlineKey) {
+    const std::string_view value = tokens[next].substr(kDeadlineKey.size());
+    request.deadline_ms =
+        static_cast<std::uint32_t>(parse_u64(value, "deadline", kMaxDeadlineMs));
+    if (request.deadline_ms == 0) throw InvalidInput("deadline must be >= 1 ms");
     ++next;
   }
   if (next < tokens.size()) {
@@ -236,6 +246,10 @@ std::string serialize_request(const Request& request) {
   if (request.weight != WeightKind::Time) {
     line += ' ';
     line += to_string(request.weight);
+  }
+  if (request.deadline_ms != 0) {
+    line += " deadline=";
+    line += std::to_string(request.deadline_ms);
   }
   return line;
 }

@@ -12,6 +12,11 @@
 //   table  <id> <src,src,...> <dst,dst,...> [time|length]
 //   attack <id> <src> <dst> <rank> <algorithm> [time|length]
 //
+// Every verb accepts one optional final `deadline=<ms>` token (after the
+// weight, when both appear): the client's per-request deadline in
+// milliseconds, overriding the server's MTS_DEADLINE_MS default.  A request
+// that cannot finish in time answers `err <id> deadline-exceeded: ...`.
+//
 // Responses:
 //
 //   ok  <id> pong
@@ -57,6 +62,10 @@ inline constexpr std::uint32_t kMaxPathRank = 512;
 /// Side cap for `table`: at most 8x8 distances per request, so the largest
 /// table costs about as much as a handful of route queries.
 inline constexpr std::uint32_t kMaxTableDim = 8;
+/// Cap on the per-request `deadline=` token (one hour): a deadline this far
+/// out is indistinguishable from no deadline, and the cap keeps the value
+/// safely additive to any clock reading.
+inline constexpr std::uint32_t kMaxDeadlineMs = 3'600'000;
 
 /// One parsed request line.
 struct Request {
@@ -68,13 +77,14 @@ struct Request {
   std::uint32_t rank = 0;    // attack: forced path rank, in [1, kMaxPathRank]
   attack::Algorithm algorithm = attack::Algorithm::GreedyPathCover;  // attack
   WeightKind weight = WeightKind::Time;
+  std::uint32_t deadline_ms = 0;  // optional `deadline=` token; 0 = none
   std::vector<std::uint32_t> sources;  // table: 1..kMaxTableDim row nodes
   std::vector<std::uint32_t> targets;  // table: 1..kMaxTableDim column nodes
 
   friend bool operator==(const Request& a, const Request& b) {
     return a.verb == b.verb && a.id == b.id && a.source == b.source && a.target == b.target &&
            a.k == b.k && a.rank == b.rank && a.algorithm == b.algorithm && a.weight == b.weight &&
-           a.sources == b.sources && a.targets == b.targets;
+           a.deadline_ms == b.deadline_ms && a.sources == b.sources && a.targets == b.targets;
   }
 };
 

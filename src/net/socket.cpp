@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "core/error.hpp"
+#include "core/timer.hpp"
 
 namespace mts::net {
 
@@ -73,8 +74,46 @@ void Socket::write_all(std::string_view data) const {
   }
 }
 
+bool Socket::write_all_for(std::string_view data, int timeout_ms) const {
+  if (timeout_ms <= 0) {
+    write_all(data);
+    return true;
+  }
+  require(valid(), "Socket::write_all_for on an invalid socket");
+  Stopwatch elapsed;
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + written, data.size() - written,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) throw_errno("send");
+    // Kernel buffer full: wait for drain within the remaining budget.
+    const double remaining_ms = timeout_ms - elapsed.seconds() * 1000.0;
+    if (remaining_ms <= 0.0) return false;
+    pollfd poll_entry{};
+    poll_entry.fd = fd_;
+    poll_entry.events = POLLOUT;
+    const int ready = ::poll(&poll_entry, 1, static_cast<int>(remaining_ms) + 1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (ready == 0 && elapsed.seconds() * 1000.0 >= timeout_ms) return false;
+    // POLLERR/POLLHUP (or a spurious wake): loop and let send() report it.
+  }
+  return true;
+}
+
 void Socket::shutdown_read() const {
   if (valid()) ::shutdown(fd_, SHUT_RD);  // best effort: peer may be gone already
+}
+
+void Socket::shutdown_both() const {
+  if (valid()) ::shutdown(fd_, SHUT_RDWR);  // best effort, like shutdown_read
 }
 
 void Socket::close() {

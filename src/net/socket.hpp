@@ -39,9 +39,22 @@ class Socket {
   /// SIGPIPE-suppressed).  Throws Error when the peer is gone.
   void write_all(std::string_view data) const;
 
+  /// Like write_all, but gives the peer at most `timeout_ms` of cumulative
+  /// not-draining time: non-blocking sends interleaved with POLLOUT waits.
+  /// Returns false when the timeout expires mid-write (the peer is a slow
+  /// client; some prefix of `data` may have been sent), true on completion.
+  /// `timeout_ms <= 0` degrades to plain blocking write_all.  Throws Error
+  /// on hard socket failure, like write_all.
+  [[nodiscard]] bool write_all_for(std::string_view data, int timeout_ms) const;
+
   /// Half-closes the read side: a peer blocked in read_some() on this fd
   /// wakes with EOF.  Used to interrupt reader threads at shutdown.
   void shutdown_read() const;
+
+  /// Shuts down both directions: our reader wakes with EOF and the peer
+  /// sees the connection end.  Used to evict slow clients without closing
+  /// the fd out from under threads still holding it.
+  void shutdown_both() const;
 
   /// Full close (idempotent).
   void close();

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <sstream>
+#include <utility>
 
 namespace mts::cli {
 namespace {
@@ -254,6 +256,43 @@ TEST_F(CliTest, LoadgenRejectsKBeyondProtocolCap) {
 TEST_F(CliTest, LoadgenRejectsRankBeyondProtocolCap) {
   EXPECT_EQ(run({"loadgen", "--port", "1", "--rank", "513"}), 1);
   EXPECT_NE(err_.str().find("--rank must be in [1, 512]"), std::string::npos) << err_.str();
+}
+
+TEST_F(CliTest, LoadgenRejectsNegativeRetriesAndReconnects) {
+  EXPECT_EQ(run({"loadgen", "--port", "1", "--retries", "-1"}), 1);
+  EXPECT_NE(err_.str().find("--retries must be >= 0"), std::string::npos) << err_.str();
+  err_.str("");
+  EXPECT_EQ(run({"loadgen", "--port", "1", "--reconnects", "-2"}), 1);
+  EXPECT_NE(err_.str().find("--reconnects must be >= 0"), std::string::npos) << err_.str();
+}
+
+TEST_F(CliTest, LoadgenRequireZeroDropsIsBoolean) {
+  EXPECT_EQ(run({"loadgen", "--port", "1", "--require-zero-drops", "2"}), 1);
+  EXPECT_NE(err_.str().find("--require-zero-drops must be 0 or 1"), std::string::npos)
+      << err_.str();
+}
+
+TEST_F(CliTest, RoutedRejectsMalformedOverloadKnobs) {
+  // Each knob validates before the daemon binds a port, so a typo fails
+  // fast instead of silently serving unprotected.
+  const std::pair<const char*, const char*> knobs[] = {
+      {"MTS_MAX_INFLIGHT", "MTS_MAX_INFLIGHT must be >= 0"},
+      {"MTS_MAX_QUEUE", "MTS_MAX_QUEUE must be >= 0"},
+      {"MTS_DEADLINE_MS", "MTS_DEADLINE_MS must be >= 0"},
+      {"MTS_WRITE_TIMEOUT_MS", "MTS_WRITE_TIMEOUT_MS must be >= 0"},
+  };
+  // "-3" probes the sign check; "nope" and "250x" probe strict parsing —
+  // a garbage value must not fall back to 0 and serve unprotected.
+  for (const char* value : {"-3", "nope", "250x"}) {
+    for (const auto& [name, message] : knobs) {
+      ASSERT_EQ(setenv(name, value, 1), 0);
+      err_.str("");
+      EXPECT_EQ(run({"routed", "--osm", osm_path_}), 1) << name << "=" << value;
+      EXPECT_NE(err_.str().find(message), std::string::npos)
+          << name << "=" << value << ": " << err_.str();
+      ASSERT_EQ(unsetenv(name), 0);
+    }
+  }
 }
 
 }  // namespace

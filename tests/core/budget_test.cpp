@@ -1,10 +1,12 @@
 // WorkBudget unit tests (core/budget.hpp): cap semantics, spec parsing,
-// and the taxonomy classification of BudgetExhausted.
+// the taxonomy classification of BudgetExhausted, and the armed wall-clock
+// deadline (DeadlineExceeded) used by the routed serving path.
 #include "core/budget.hpp"
 
 #include <gtest/gtest.h>
 
 #include "core/error.hpp"
+#include "core/timer.hpp"
 
 namespace mts {
 namespace {
@@ -80,6 +82,49 @@ TEST(WorkBudgetTest, ParseRejectsUnknownKeysAndBadCounts) {
   EXPECT_THROW(WorkBudget::parse("edges=0"), InvalidInput);
   EXPECT_THROW(WorkBudget::parse("edges=-5"), InvalidInput);
   EXPECT_THROW(WorkBudget::parse("edges=many"), InvalidInput);
+}
+
+TEST(WorkBudgetTest, ArmedDeadlineMakesBudgetLimited) {
+  const Stopwatch clock;
+  WorkBudget budget;
+  EXPECT_FALSE(budget.limited());
+  budget.arm_deadline(&clock, clock.seconds() + 3600.0);
+  // A deadline alone is enough to thread the budget into the hot path --
+  // that is how engines pick up the check without any new plumbing.
+  EXPECT_TRUE(budget.limited());
+  budget.charge_edges_scanned(1'000'000ULL);  // far-future deadline: no throw
+  EXPECT_FALSE(budget.deadline_expired());
+}
+
+TEST(WorkBudgetTest, ExpiredDeadlineThrowsWithinTheCheckInterval) {
+  const Stopwatch clock;
+  WorkBudget budget;
+  budget.arm_deadline(&clock, clock.seconds());  // already expired
+  EXPECT_TRUE(budget.deadline_expired());
+  // The probe runs every kDeadlineCheckInterval charges, so a charge loop
+  // must notice the expiry within one interval's worth of single charges.
+  EXPECT_THROW(
+      {
+        for (std::size_t i = 0; i <= WorkBudget::kDeadlineCheckInterval; ++i) {
+          budget.charge_edges_scanned(1);
+        }
+      },
+      DeadlineExceeded);
+}
+
+TEST(WorkBudgetTest, TaxonomyClassifiesDeadlineBeforeBudget) {
+  const Stopwatch clock;
+  WorkBudget budget;
+  budget.max_edges_scanned = 1;  // both caps would fire; deadline wins naming
+  budget.arm_deadline(&clock, clock.seconds());
+  try {
+    for (std::size_t i = 0; i <= WorkBudget::kDeadlineCheckInterval; ++i) {
+      budget.charge_edges_scanned(0);  // no work counted: only the clock trips
+    }
+    FAIL() << "expired deadline did not throw";
+  } catch (...) {
+    EXPECT_EQ(current_exception_taxonomy().rfind("deadline-exceeded: ", 0), 0u);
+  }
 }
 
 }  // namespace

@@ -92,6 +92,20 @@ TEST_F(FaultTest, ThrowInjectedNamesThePointAndTaxonomyClassifiesIt) {
   }
 }
 
+TEST_F(FaultTest, StallActionParsesAndReportsAtValueSites) {
+  // `stall` joins the spec grammar; plain sites still escalate it to a
+  // throw (they have no way to emulate a wedge), value sites see it and
+  // sleep natively (net.write does).
+  auto& registry = FaultRegistry::instance();
+  registry.arm_from_spec("fault-test.stall:after=2:stall");
+  EXPECT_EQ(MTS_FAULT_ACTION("fault-test.stall"), Action::None);
+  EXPECT_EQ(MTS_FAULT_ACTION("fault-test.stall"), Action::Stall);
+  EXPECT_EQ(to_string(Action::Stall), "stall");
+  registry.reset();
+  registry.arm("fault-test.stall-plain", 1, Action::Stall);
+  EXPECT_THROW(MTS_FAULT_POINT("fault-test.stall-plain"), FaultInjected);
+}
+
 TEST_F(FaultTest, KnownPointsAreArmable) {
   for (const char* name : kKnownPoints) {
     FaultRegistry::instance().arm(name, 1, Action::Throw);

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <future>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -142,6 +143,55 @@ TEST(TaskQueue, SubmitAfterCloseIsRefused) {
   queue.close();
   EXPECT_FALSE(queue.submit([](std::size_t) {}));
   queue.close();  // idempotent
+}
+
+TEST(TaskQueue, BoundedQueueRefusesExcessButRunsEveryAcceptedTask) {
+  std::atomic<int> ran{0};
+  {
+    TaskQueue queue(1, 2);
+    // Park the single worker so submissions pile up in the queue itself;
+    // wait until it has actually dequeued the parking task, or the bound
+    // would count it too.
+    std::promise<void> parked;
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    ASSERT_EQ(queue.try_submit([&, opened](std::size_t) {
+      parked.set_value();
+      opened.wait();
+      ran.fetch_add(1);
+    }),
+              TaskQueue::SubmitResult::Accepted);
+    parked.get_future().wait();
+    // The bound counts queued (not executing) tasks: two fit, a third is
+    // refused with QueueFull -- never silently dropped, never blocking.
+    ASSERT_EQ(queue.try_submit([&](std::size_t) { ran.fetch_add(1); }),
+              TaskQueue::SubmitResult::Accepted);
+    ASSERT_EQ(queue.try_submit([&](std::size_t) { ran.fetch_add(1); }),
+              TaskQueue::SubmitResult::Accepted);
+    EXPECT_EQ(queue.queued(), 2u);
+    EXPECT_EQ(queue.try_submit([&](std::size_t) { ran.fetch_add(1); }),
+              TaskQueue::SubmitResult::QueueFull);
+    // The bool wrapper reports the same refusal.
+    EXPECT_FALSE(queue.submit([&](std::size_t) { ran.fetch_add(1); }));
+    gate.set_value();
+    // Destructor closes and drains every accepted task.
+  }
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(TaskQueue, TrySubmitAfterCloseReportsClosed) {
+  TaskQueue queue(1, 4);
+  queue.close();
+  EXPECT_EQ(queue.try_submit([](std::size_t) {}), TaskQueue::SubmitResult::Closed);
+}
+
+TEST(TaskQueue, UnboundedQueueNeverReportsFull) {
+  TaskQueue queue(2);  // max_queued = 0: the pre-overload default
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(queue.try_submit([](std::size_t) {}), TaskQueue::SubmitResult::Accepted);
+  }
+  queue.close();
+  EXPECT_EQ(queue.tasks_run(), 2000u);
 }
 
 TEST(TaskQueue, TaskExceptionsAreQuarantinedAsTaxonomy) {

@@ -98,6 +98,22 @@ TEST(LineFramer, UnterminatedOversizedTailThrowsOnFeed) {
   EXPECT_THROW(framer.feed(std::string(16, 'y')), InvalidInput);
 }
 
+TEST(LineFramer, MaximalLineSplitExactlyAtTheCapBoundary) {
+  // A response of exactly kMaxLineBytes whose terminator arrives in the
+  // next read: the tail sits at the cap (legal) until the '\n' lands.
+  LineFramer framer;
+  std::string line;
+  const std::string maximal(kMaxLineBytes, 'r');
+  framer.feed(maximal);
+  EXPECT_FALSE(framer.next_line(line));
+  EXPECT_EQ(framer.partial_bytes(), kMaxLineBytes);
+  framer.feed("\nping 1\n");
+  ASSERT_TRUE(framer.next_line(line));
+  EXPECT_EQ(line, maximal);
+  ASSERT_TRUE(framer.next_line(line));
+  EXPECT_EQ(line, "ping 1");  // the stream stays parsable after the giant
+}
+
 TEST(LineFramer, CompactionKeepsTornTailIntact) {
   // Force many consumed lines before a torn tail so the lazy compaction
   // path runs, then verify the tail completes correctly.

@@ -93,6 +93,39 @@ TEST(Protocol, RequestRoundTripsForEveryVerbAndVariant) {
   for (const Request& request : cases) {
     const std::string wire = serialize_request(request);
     EXPECT_EQ(parse_request(wire), request) << wire;
+    // The optional deadline token composes with every variant.
+    Request with_deadline = request;
+    with_deadline.deadline_ms = 2500;
+    const std::string deadline_wire = serialize_request(with_deadline);
+    EXPECT_EQ(parse_request(deadline_wire), with_deadline) << deadline_wire;
+  }
+}
+
+TEST(Protocol, DeadlineTokenParsesWithAndWithoutWeight) {
+  const Request bare = parse_request("route 7 1 2 deadline=250");
+  EXPECT_EQ(bare.deadline_ms, 250u);
+  EXPECT_EQ(bare.weight, WeightKind::Time);  // weight slot untouched
+  const Request both = parse_request("route 7 1 2 length deadline=250");
+  EXPECT_EQ(both.deadline_ms, 250u);
+  EXPECT_EQ(both.weight, WeightKind::Length);
+  const Request none = parse_request("route 7 1 2");
+  EXPECT_EQ(none.deadline_ms, 0u);
+  // The cap is inclusive (one hour).
+  EXPECT_EQ(parse_request("ping 1 deadline=3600000").deadline_ms, 3'600'000u);
+}
+
+TEST(Protocol, DeadlineTokenRejectsBadValues) {
+  const char* hostile[] = {
+      "route 1 2 3 deadline=0",          // a zero deadline is meaningless
+      "route 1 2 3 deadline=",           // empty value
+      "route 1 2 3 deadline=soon",       // non-numeric
+      "route 1 2 3 deadline=-5",         // negative
+      "route 1 2 3 deadline=3600001",    // beyond the one-hour cap
+      "route 1 2 3 deadline=250 time",   // deadline must come last
+      "ping 1 deadline=10 deadline=10",  // at most one deadline token
+  };
+  for (const char* line : hostile) {
+    EXPECT_THROW(parse_request(line), InvalidInput) << "accepted: '" << line << "'";
   }
 }
 

@@ -1,0 +1,452 @@
+// Overload-protection tests for the routed daemon (DESIGN.md §15): the
+// admission policy as a pure function, shed/deadline/eviction end to end
+// against a real server, the slow-client regression (a stalled writer must
+// never block unrelated requests), and the overload-aware loadgen client
+// (retries and reconnects).  Time-dependent tests are arranged so the
+// asserted ordering follows from synchronization points (a pipelined burst
+// parsed while a known-slow request occupies the only worker; an observed
+// EOF proving an eviction happened), not from sleeps racing the server.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "citygen/generate.hpp"
+#include "core/error.hpp"
+#include "core/fault.hpp"
+#include "core/timer.hpp"
+#include "net/framing.hpp"
+#include "net/loadgen.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "net/snapshot.hpp"
+#include "net/socket.hpp"
+
+namespace mts::net {
+namespace {
+
+const Snapshot& test_snapshot() {
+  static const Snapshot snapshot(citygen::generate_city(citygen::City::Chicago, 0.15, 5));
+  return snapshot;
+}
+
+/// A RoutedServer with serve() on a background thread, taking the caller's
+/// options verbatim (unlike the e2e harness, overload tests often need
+/// exactly one worker so a slow request deterministically parks the queue).
+class OverloadHarness {
+ public:
+  explicit OverloadHarness(RoutedOptions options) : server_(test_snapshot(), options) {
+    server_.start();
+    serve_thread_ = std::thread([this] { server_.serve(); });
+  }
+
+  ~OverloadHarness() {
+    server_.request_stop();
+    serve_thread_.join();
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return server_.port(); }
+  [[nodiscard]] RoutedStats stats() const { return server_.stats(); }
+
+ private:
+  RoutedServer server_;
+  std::thread serve_thread_;
+};
+
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port) : socket_(connect_to("127.0.0.1", port)) {}
+
+  void send_line(const std::string& line) { socket_.write_all(line + "\n"); }
+
+  Response read_response() {
+    std::string line;
+    while (!framer_.next_line(line)) {
+      char buf[512];
+      const std::size_t n = socket_.read_some(buf, sizeof buf);
+      require(n > 0, "daemon closed the connection while a response was expected");
+      framer_.feed(std::string_view(buf, n));
+    }
+    return parse_response(line);
+  }
+
+  /// Reads until the daemon closes the connection; returns the number of
+  /// complete response lines seen before EOF.
+  std::size_t read_until_eof() {
+    std::size_t lines = 0;
+    std::string line;
+    for (;;) {
+      while (framer_.next_line(line)) ++lines;
+      char buf[512];
+      std::size_t n = 0;
+      try {
+        n = socket_.read_some(buf, sizeof buf);
+      } catch (const Error&) {
+        return lines;  // RST from an evicted connection counts as EOF here
+      }
+      if (n == 0) return lines;
+      framer_.feed(std::string_view(buf, n));
+    }
+  }
+
+ private:
+  Socket socket_;
+  LineFramer framer_;
+};
+
+/// Parks the next request's worker for fault::kStallMillis: the
+/// `routed.request` value site sleeps on Stall and then serves the request
+/// normally.  Unlike a "slow" query (whose duration depends on the graph
+/// and the machine), this holds the worker for a known, generous interval,
+/// so anything pipelined behind it on a one-worker server is parsed and
+/// queued/shed/expired while the worker is provably still busy.
+void stall_next_request() {
+  fault::FaultRegistry::instance().arm("routed.request", 1, fault::Action::Stall);
+}
+
+TEST(RoutedOverload, ShouldShedPolicy) {
+  // No cap: nothing ever sheds.
+  EXPECT_FALSE(RoutedServer::should_shed(Verb::Attack, 1000000, 0));
+  // Control verbs always pass the policy regardless of depth.
+  EXPECT_FALSE(RoutedServer::should_shed(Verb::Ping, 100, 4));
+  EXPECT_FALSE(RoutedServer::should_shed(Verb::Graph, 100, 4));
+  EXPECT_FALSE(RoutedServer::should_shed(Verb::Stats, 100, 4));
+  // Cheap search verbs shed only at the full cap.
+  EXPECT_FALSE(RoutedServer::should_shed(Verb::Route, 3, 4));
+  EXPECT_TRUE(RoutedServer::should_shed(Verb::Route, 4, 4));
+  EXPECT_FALSE(RoutedServer::should_shed(Verb::Kalt, 3, 4));
+  EXPECT_TRUE(RoutedServer::should_shed(Verb::Kalt, 5, 4));
+  // Expensive verbs shed first, at half the cap.
+  EXPECT_FALSE(RoutedServer::should_shed(Verb::Attack, 1, 4));
+  EXPECT_TRUE(RoutedServer::should_shed(Verb::Attack, 2, 4));
+  EXPECT_TRUE(RoutedServer::should_shed(Verb::Table, 2, 4));
+  EXPECT_FALSE(RoutedServer::should_shed(Verb::Table, 1, 4));
+  // Odd cap rounds the expensive threshold up (depth*2 >= cap).
+  EXPECT_FALSE(RoutedServer::should_shed(Verb::Attack, 2, 5));
+  EXPECT_TRUE(RoutedServer::should_shed(Verb::Attack, 3, 5));
+}
+
+TEST(RoutedOverload, QueueCapShedsButAnswersEveryRequest) {
+  RoutedOptions options;
+  options.threads = 1;
+  options.max_queue = 1;
+  OverloadHarness harness(options);
+  TestClient client(harness.port());
+
+  // A stalled ping parks the single worker, then a pipelined burst of
+  // routes arrives while it sleeps: every route must be answered --
+  // admitted or shed -- and at least one must shed, because depth stays
+  // at the cap (one queued route) until the stall ends.
+  stall_next_request();
+  std::string burst = "ping 1\n";
+  for (int i = 2; i <= 12; ++i) burst += "route " + std::to_string(i) + " 0 1\n";
+  client.send_line(burst.substr(0, burst.size() - 1));
+
+  std::vector<bool> answered(13, false);
+  std::size_t shed = 0;
+  for (int i = 0; i < 12; ++i) {
+    const Response response = client.read_response();
+    ASSERT_GE(response.id, 1u);
+    ASSERT_LE(response.id, 12u);
+    EXPECT_FALSE(answered[response.id]) << "duplicate response id " << response.id;
+    answered[response.id] = true;
+    if (!response.ok) {
+      EXPECT_NE(response.error.find("overloaded"), std::string::npos) << response.error;
+      ++shed;
+    }
+  }
+  fault::FaultRegistry::instance().reset();
+  EXPECT_GE(shed, 1u);
+  EXPECT_EQ(harness.stats().shed, shed);
+  EXPECT_EQ(harness.stats().queue_depth, 0u);  // gauge returns to idle
+
+  // After the burst drains the server admits routes again.
+  client.send_line("route 20 0 1");
+  EXPECT_TRUE(client.read_response().ok);
+}
+
+TEST(RoutedOverload, InflightCapShedsPerConnection) {
+  RoutedOptions options;
+  options.threads = 1;
+  options.max_inflight = 1;
+  OverloadHarness harness(options);
+  TestClient client(harness.port());
+
+  // The stalled ping holds pending=1 on this connection until its response
+  // is delivered, so both pipelined routes behind it exceed the inflight cap.
+  stall_next_request();
+  client.send_line("ping 1\nroute 2 0 1\nroute 3 0 1");
+  std::size_t shed = 0;
+  for (int i = 0; i < 3; ++i) {
+    const Response response = client.read_response();
+    if (!response.ok) {
+      EXPECT_NE(response.error.find("overloaded"), std::string::npos) << response.error;
+      ++shed;
+    }
+  }
+  fault::FaultRegistry::instance().reset();
+  EXPECT_EQ(shed, 2u);
+  EXPECT_EQ(harness.stats().shed, 2u);
+
+  // A fresh connection has its own inflight budget.
+  TestClient second(harness.port());
+  second.send_line("route 10 0 1");
+  EXPECT_TRUE(second.read_response().ok);
+}
+
+TEST(RoutedOverload, RequestDeadlineTokenExpiresWhileQueued) {
+  RoutedOptions options;
+  options.threads = 1;
+  OverloadHarness harness(options);
+  TestClient client(harness.port());
+
+  // The route's 1 ms deadline starts at parse time; the stalled ping
+  // occupies the only worker far longer than that, so the route must be
+  // dropped before execution with the deadline taxonomy.
+  stall_next_request();
+  client.send_line("ping 1\nroute 2 0 1 deadline=1");
+  Response first = client.read_response();
+  Response second = client.read_response();
+  if (first.id != 2) std::swap(first, second);
+  fault::FaultRegistry::instance().reset();
+  ASSERT_EQ(first.id, 2u);
+  EXPECT_FALSE(first.ok);
+  EXPECT_NE(first.error.find("deadline-exceeded"), std::string::npos) << first.error;
+  EXPECT_TRUE(second.ok) << second.error;  // the stalled request itself completes
+  EXPECT_EQ(harness.stats().deadline_exceeded, 1u);
+
+  // Generous deadlines pass untouched.
+  client.send_line("route 5 0 1 deadline=60000");
+  EXPECT_TRUE(client.read_response().ok);
+}
+
+TEST(RoutedOverload, ServerDefaultDeadlineApplies) {
+  RoutedOptions options;
+  options.threads = 1;
+  options.deadline_s = 0.001;  // MTS_DEADLINE_MS=1 equivalent
+  OverloadHarness harness(options);
+  TestClient client(harness.port());
+
+  // Same shape as the token test, but request 2's deadline comes from the
+  // server default; the token overrides it upward for the stalled ping
+  // (whose dequeue must not race the 1 ms default) and for request 3.
+  stall_next_request();
+  client.send_line("ping 1 deadline=60000\nroute 2 0 1\nroute 3 0 1 deadline=60000");
+  std::size_t deadline_errors = 0;
+  for (int i = 0; i < 3; ++i) {
+    const Response response = client.read_response();
+    if (response.id == 2) {
+      EXPECT_FALSE(response.ok);
+      EXPECT_NE(response.error.find("deadline-exceeded"), std::string::npos) << response.error;
+      ++deadline_errors;
+    }
+    if (response.id == 3) {
+      EXPECT_TRUE(response.ok) << response.error;
+    }
+  }
+  fault::FaultRegistry::instance().reset();
+  EXPECT_EQ(deadline_errors, 1u);
+}
+
+TEST(RoutedOverload, StalledClientWriteDoesNotBlockOtherConnections) {
+  RoutedOptions options;
+  options.threads = 1;  // one worker: if a write ran on it, everyone would stall
+  OverloadHarness harness(options);
+  TestClient stalled(harness.port());
+  TestClient healthy(harness.port());
+
+  // Arm the first net.write hit to stall.  The stalled client's ping
+  // response is that first hit: its writer sleeps kStallMillis mid-send.
+  fault::FaultRegistry::instance().arm("net.write", 1, fault::Action::Stall);
+  stalled.send_line("ping 1");
+  // Give the worker time to answer ping 1 and its writer to enter the
+  // stall; the worker itself is free again within microseconds.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const Stopwatch rtt;
+  healthy.send_line("ping 2");
+  EXPECT_TRUE(healthy.read_response().ok);
+  // The healthy connection's round trip must not absorb the stall: the
+  // write queue decouples workers from client sockets.
+  EXPECT_LT(rtt.seconds(), fault::kStallMillis / 1000.0 * 0.75);
+
+  // The stalled write proceeds after the sleep -- the response arrives.
+  const Response late = stalled.read_response();
+  fault::FaultRegistry::instance().reset();
+  EXPECT_TRUE(late.ok);
+  EXPECT_EQ(late.id, 1u);
+  EXPECT_EQ(harness.stats().slow_client_disconnects, 0u);
+}
+
+TEST(RoutedOverload, SlowClientEvictedAtWriteQueueByteCap) {
+  RoutedOptions options;
+  options.threads = 2;
+  options.max_write_queue_bytes = 64;  // a handful of pong lines
+  OverloadHarness harness(options);
+  TestClient client(harness.port());
+
+  // Stall the writer on its first send while the workers keep producing
+  // responses the client never reads: the backlog crosses the byte cap
+  // and the connection must be evicted, not grow without bound.
+  fault::FaultRegistry::instance().arm("net.write", 1, fault::Action::Stall);
+  std::string burst;
+  for (int i = 1; i <= 32; ++i) burst += "ping " + std::to_string(i) + "\n";
+  client.send_line(burst.substr(0, burst.size() - 1));
+
+  // Observing EOF proves the eviction happened -- no timing assumptions.
+  const std::size_t lines_before_eof = client.read_until_eof();
+  fault::FaultRegistry::instance().reset();
+  EXPECT_LT(lines_before_eof, 32u);
+  EXPECT_EQ(harness.stats().slow_client_disconnects, 1u);
+
+  // The daemon itself is healthy: a fresh connection is served.
+  TestClient second(harness.port());
+  second.send_line("ping 100");
+  EXPECT_TRUE(second.read_response().ok);
+}
+
+TEST(RoutedOverload, LoadgenRetriesShedRequestsToCompletion) {
+  RoutedOptions options;
+  options.threads = 1;
+  options.max_queue = 2;
+  OverloadHarness harness(options);
+
+  LoadgenOptions load;
+  load.requests = 20;
+  load.connections = 2;
+  load.window = 8;
+  load.mix = Mix::Attack;
+  load.attack_rank = 8;  // slow enough that the queue cap binds
+  load.retry_limit = 50;
+  const LoadReport report = run_loadgen("127.0.0.1", harness.port(), load);
+
+  // Every request reaches a terminal answer: retries absorb transient
+  // sheds, exhausted retries surface as structured errors, nothing drops.
+  EXPECT_EQ(report.sent, 20u);
+  EXPECT_EQ(report.completed, 20u);
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_FALSE(report.partial);
+  EXPECT_GE(report.retried, 1u);
+  EXPECT_GE(harness.stats().shed, 1u);
+}
+
+TEST(RoutedOverload, LoadgenReconnectsAfterEviction) {
+  RoutedOptions options;
+  options.threads = 2;
+  OverloadHarness harness(options);
+
+  // Hit 1 is the loadgen's own `graph` size probe; hit 2 is the first
+  // response on its replay connection.  A throw there is a hard write
+  // failure -- the writer treats the peer as gone and evicts -- so the
+  // replay connection dies mid-load exactly once and must dial back in,
+  // re-sending every in-flight request.
+  fault::FaultRegistry::instance().arm("net.write", 2, fault::Action::Throw);
+  LoadgenOptions load;
+  load.requests = 40;
+  load.connections = 1;
+  load.window = 16;
+  load.max_reconnects = 4;
+  const LoadReport report = run_loadgen("127.0.0.1", harness.port(), load);
+  fault::FaultRegistry::instance().reset();
+
+  EXPECT_EQ(report.reconnects, 1u);
+  EXPECT_EQ(report.sent, 40u);
+  EXPECT_EQ(report.completed, 40u);
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_FALSE(report.partial);
+  EXPECT_EQ(harness.stats().slow_client_disconnects, 1u);
+}
+
+TEST(RoutedOverload, ReconnectBackoffIsDeterministicCappedAndJittered) {
+  for (std::size_t attempt = 1; attempt <= 12; ++attempt) {
+    const double a = reconnect_backoff_s(7, 0, attempt);
+    EXPECT_EQ(a, reconnect_backoff_s(7, 0, attempt)) << "same inputs, same delay";
+    // Jitter scales the capped exponential by [0.5, 1.0].
+    const double cap = 0.640;
+    const double base = 0.010 * static_cast<double>(1ULL << std::min<std::size_t>(attempt - 1, 6));
+    const double exp = std::min(cap, base);
+    EXPECT_GE(a, exp * 0.5);
+    EXPECT_LE(a, exp);
+  }
+  // Different connections and seeds draw from different jitter streams.
+  EXPECT_NE(reconnect_backoff_s(7, 0, 1), reconnect_backoff_s(7, 1, 1));
+  EXPECT_NE(reconnect_backoff_s(7, 0, 1), reconnect_backoff_s(8, 0, 1));
+}
+
+TEST(RoutedOverload, GenerousKnobsLeaveWireBytesIdentical) {
+  // Pid-qualified so concurrent runs of this binary never share dumps.
+  const std::string tag = std::to_string(::getpid());
+  const std::string dump_off = ::testing::TempDir() + "overload_dump_off." + tag + ".txt";
+  const std::string dump_on = ::testing::TempDir() + "overload_dump_on." + tag + ".txt";
+  const auto run_against = [](const RoutedOptions& server_options, const std::string& dump) {
+    OverloadHarness harness(server_options);
+    LoadgenOptions load;
+    load.requests = 80;
+    load.connections = 2;
+    load.mix = Mix::Mixed;
+    load.attack_rank = 2;
+    load.dump_path = dump;
+    const LoadReport report = run_loadgen("127.0.0.1", harness.port(), load);
+    EXPECT_EQ(report.dropped, 0u);
+    return harness.stats();
+  };
+
+  RoutedOptions off;
+  off.threads = 2;
+  run_against(off, dump_off);
+
+  // Armed but non-binding knobs must not change a single response byte.
+  RoutedOptions on;
+  on.threads = 2;
+  on.max_inflight = 10000;
+  on.max_queue = 10000;
+  on.deadline_s = 600.0;
+  on.write_timeout_s = 600.0;
+  const RoutedStats stats = run_against(on, dump_on);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
+  EXPECT_EQ(stats.slow_client_disconnects, 0u);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+  };
+  const std::string off_bytes = slurp(dump_off);
+  EXPECT_FALSE(off_bytes.empty());
+  EXPECT_EQ(off_bytes, slurp(dump_on));
+  std::remove(dump_off.c_str());
+  std::remove(dump_on.c_str());
+}
+
+TEST(RoutedOverload, StatsVerbExposesOverloadCounters) {
+  RoutedOptions options;
+  options.threads = 1;
+  options.max_queue = 1;
+  OverloadHarness harness(options);
+  TestClient client(harness.port());
+  stall_next_request();
+  client.send_line("ping 1\nroute 2 0 1\nroute 3 0 1");
+  for (int i = 0; i < 3; ++i) client.read_response();
+  fault::FaultRegistry::instance().reset();
+
+  client.send_line("stats 9");
+  const Response stats = client.read_response();
+  ASSERT_TRUE(stats.ok);
+  EXPECT_FALSE(stats.field("server.shed").empty());
+  EXPECT_EQ(stats.field("server.deadline_exceeded"), "0");
+  EXPECT_EQ(stats.field("server.slow_client_disconnects"), "0");
+  EXPECT_EQ(stats.field("routed.queue_depth"), "0");
+  EXPECT_EQ(stats.field("server.shed"), std::to_string(harness.stats().shed));
+}
+
+}  // namespace
+}  // namespace mts::net

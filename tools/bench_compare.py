@@ -33,6 +33,16 @@ dev leg of ci.sh plus the hosted bench CI job.  Usage:
 
   python3 tools/bench_compare.py --bench build/bench/table02_boston_length \
       --baseline BENCH_PR9.json [--write-baseline] [--report BASE]
+
+Standalone zero-gate mode (no bench run, no baseline): assert that the
+named counters are zero in an already-written metrics JSON.  Used by the
+ci.sh unloaded routed smoke to prove the overload machinery is inert when
+nothing is overloaded — a counter that is absent from the file counts as
+zero, since counters register lazily on first increment:
+
+  python3 tools/bench_compare.py \
+      --assert-zero routed.shed,routed.deadline_exceeded \
+      --metrics-json build-dev/routed_obs_metrics.json
 """
 
 from __future__ import annotations
@@ -159,12 +169,42 @@ def gated_values(counters: dict, report_base: Path | None) -> dict[str, int]:
     return {name: counters[name] for name in GATED_COUNTERS}
 
 
+def assert_zero(names: list[str], metrics_json: Path) -> int:
+    """Standalone gate: every named counter must be 0 (or absent) in the file."""
+    if not metrics_json.is_file():
+        fail(f"metrics JSON not found: {metrics_json}")
+    try:
+        metrics = json.loads(metrics_json.read_text())
+    except json.JSONDecodeError as err:
+        fail(f"{metrics_json} is not valid JSON: {err}")
+    counters = metrics.get("counters")
+    if not isinstance(counters, dict):
+        counters = {}
+    nonzero = []
+    for name in names:
+        value = counters.get(name, 0)
+        if value != 0:
+            nonzero.append(f"{name} = {value}")
+        else:
+            REPORT.emit(f"ok    {name} = 0")
+    if nonzero:
+        fail(f"counters expected to be zero are not: {'; '.join(nonzero)} "
+             f"({metrics_json})")
+    REPORT.emit(f"zero-gate passed for {len(names)} counter(s)")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--bench", type=Path, required=True,
+    parser.add_argument("--bench", type=Path, default=None,
                         help="path to the table02 bench binary")
-    parser.add_argument("--baseline", type=Path, required=True,
+    parser.add_argument("--baseline", type=Path, default=None,
                         help="checked-in baseline JSON (BENCH_PR9.json)")
+    parser.add_argument("--assert-zero", type=str, default=None, metavar="NAMES",
+                        help="comma-separated counters that must be zero in "
+                             "--metrics-json; skips the bench/baseline flow")
+    parser.add_argument("--metrics-json", type=Path, default=None,
+                        help="already-written metrics JSON for --assert-zero")
     parser.add_argument("--write-baseline", "--update", dest="write_baseline",
                         action="store_true",
                         help="rewrite the baseline from this run instead of comparing")
@@ -172,6 +212,16 @@ def main() -> int:
                         help="also write BASE.txt (report lines) and "
                              "BASE_metrics.json (raw metrics) for CI artifacts")
     args = parser.parse_args()
+
+    if args.assert_zero is not None:
+        if args.metrics_json is None:
+            parser.error("--assert-zero requires --metrics-json")
+        names = [name for name in args.assert_zero.split(",") if name]
+        if not names:
+            parser.error("--assert-zero needs at least one counter name")
+        return assert_zero(names, args.metrics_json)
+    if args.bench is None or args.baseline is None:
+        parser.error("--bench and --baseline are required (unless using --assert-zero)")
 
     bench = args.bench.resolve()
     if not bench.is_file():
